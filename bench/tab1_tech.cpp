@@ -1,0 +1,19 @@
+// Reproduces paper Table 1: SIA roadmap technology parameters.
+#include <cstdio>
+
+#include "cacti/tech.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace prestage;
+  using namespace prestage::cacti;
+  Table t({"Year", "Technology (um)", "Clock (GHz)", "Cycle time (ns)"});
+  for (const TechNode node : kAllNodes) {
+    const TechParams p = params(node);
+    t.add_row({std::to_string(p.year), fmt(p.feature_um, 3),
+               fmt(p.clock_ghz, 1), fmt(p.cycle_ns, 3)});
+  }
+  std::printf("== Table 1: SIA technology roadmap parameters ==\n%s\n",
+              t.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces paper Table 3: L1 I-cache and L2 latencies per size per node,
+// from the analytical CACTI-style model, and checks them against the
+// published values.
+#include <cstdio>
+
+#include "cacti/cacti.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace prestage;
+  using namespace prestage::cacti;
+  const AccessTimeModel model;
+
+  struct Row {
+    std::uint64_t size;
+    int paper_090;
+    int paper_045;
+  };
+  const Row rows[] = {{256, 1, 1},    {512, 1, 2},    {1024, 2, 3},
+                      {2048, 2, 4},   {4096, 3, 4},   {8192, 3, 4},
+                      {16384, 3, 4},  {32768, 3, 4},  {65536, 3, 5},
+                      {1ULL << 20U, 17, 24}};
+
+  Table t({"Size", "0.09um model", "0.09um paper", "0.045um model",
+           "0.045um paper", "match"});
+  bool all_match = true;
+  for (const Row& r : rows) {
+    const CacheGeometry geom{.size_bytes = r.size,
+                             .line_bytes = r.size >= (1ULL << 20U)
+                                               ? 128u
+                                               : 64u};
+    const int m090 = model.access_cycles(geom, TechNode::um090);
+    const int m045 = model.access_cycles(geom, TechNode::um045);
+    const bool match = m090 == r.paper_090 && m045 == r.paper_045;
+    all_match = all_match && match;
+    t.add_row({fmt_bytes(r.size), std::to_string(m090),
+               std::to_string(r.paper_090), std::to_string(m045),
+               std::to_string(r.paper_045), match ? "yes" : "NO"});
+  }
+  std::printf("== Table 3: cache latencies (cycles) ==\n%s\n%s\n",
+              t.to_text().c_str(),
+              all_match ? "All 20 latencies match the paper."
+                        : "MISMATCH against the paper!");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Cache-budget planner: reproduces the paper's §5.1 hardware-budget
+// argument as a tool. Given a target technology node, it finds, for each
+// configuration family, the smallest total cache budget (L1 + L0 +
+// pre-buffer) that reaches a target fraction of the ideal IPC — showing
+// how prestaging shrinks the budget a front-end needs (the paper's "same
+// performance at 1/6.4th the budget" example).
+//
+//   ./budget_planner [node: 90|45] [target-fraction] [instructions]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace prestage;
+using namespace prestage::sim;
+
+std::uint64_t config_budget(const cpu::MachineConfig& cfg) {
+  std::uint64_t budget = cfg.l1i_size;
+  if (cfg.has_l0) {
+    budget += cpu::DerivedTimings::from(cfg).l0_size;
+  }
+  if (cfg.prefetcher != cpu::PrefetcherKind::None) {
+    budget += static_cast<std::uint64_t>(cfg.prebuffer_entries) * 64;
+  }
+  return budget;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool node90 = argc > 1 && std::string(argv[1]) == "90";
+  const auto node =
+      node90 ? cacti::TechNode::um090 : cacti::TechNode::um045;
+  const double target_frac = argc > 2 ? std::atof(argv[2]) : 0.95;
+  const std::uint64_t instructions =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 50000;
+
+  // A fetch-bound subset keeps the tool responsive; the full-suite sweep
+  // lives in bench/fig5_ipc_sweep.
+  const std::vector<std::string> suite = {"eon", "vortex", "crafty", "gcc"};
+
+  // Reference: ideal 1-cycle 64KB I-cache.
+  const double ideal =
+      run_suite(make_config(Preset::BaseIdeal, node, 65536), suite,
+                instructions)
+          .hmean_ipc;
+  const double target = target_frac * ideal;
+  std::printf("node %s: ideal-64KB IPC %.3f; target %.0f%% -> %.3f\n\n",
+              std::string(cacti::to_string(node)).c_str(), ideal,
+              100 * target_frac, target);
+
+  Table t({"configuration", "smallest L1", "total budget", "IPC"});
+  const Preset families[] = {Preset::Base, Preset::BasePipelined,
+                             Preset::BaseL0, Preset::FdpL0,
+                             Preset::FdpL0Pb16, Preset::ClgpL0,
+                             Preset::ClgpL0Pb16};
+  std::uint64_t best_budget = ~0ULL;
+  std::string best_name = "(none)";
+  for (const Preset family : families) {
+    bool met = false;
+    for (const std::uint64_t size : paper_l1_sizes()) {
+      const auto cfg = make_config(family, node, size);
+      const double ipc = run_suite(cfg, suite, instructions).hmean_ipc;
+      if (ipc >= target) {
+        const std::uint64_t budget = config_budget(cfg);
+        t.add_row({preset_name(family), fmt_bytes(size), fmt_bytes(budget),
+                   fmt(ipc, 3)});
+        if (budget < best_budget) {
+          best_budget = budget;
+          best_name = preset_name(family);
+        }
+        met = true;
+        break;
+      }
+    }
+    if (!met) {
+      t.add_row({preset_name(family), "-", "-", "target unmet"});
+    }
+  }
+  std::printf("%s\nsmallest budget meeting the target: %s (%s)\n",
+              t.to_text().c_str(), best_name.c_str(),
+              best_budget == ~0ULL ? "-" : fmt_bytes(best_budget).c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Front-end design-space explorer: the scenario the paper's introduction
+// motivates — an architect choosing an instruction-supply organisation
+// for a deeply-scaled technology node. Sweeps the configurations across
+// L1 sizes for a chosen benchmark and node and prints the IPC matrix.
+//
+//   ./frontend_explorer [benchmark] [node: 90|45] [instructions]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prestage;
+  using namespace prestage::sim;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "gcc";
+  const bool node90 = argc > 2 && std::string(argv[2]) == "90";
+  const auto node =
+      node90 ? cacti::TechNode::um090 : cacti::TechNode::um045;
+  const std::uint64_t instructions =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 60000;
+
+  const Preset presets[] = {Preset::Base,        Preset::BasePipelined,
+                            Preset::BaseL0,      Preset::FdpL0,
+                            Preset::ClgpL0,      Preset::ClgpL0Pb16};
+  const auto& sizes = paper_l1_sizes();
+
+  // All (preset, size) runs are independent: run them in one parallel
+  // batch and reassemble the matrix.
+  std::vector<cpu::MachineConfig> configs;
+  for (const Preset p : presets) {
+    for (const std::uint64_t size : sizes) {
+      auto cfg = make_config(p, node, size);
+      cfg.benchmark = benchmark;
+      cfg.max_instructions = instructions;
+      configs.push_back(cfg);
+    }
+  }
+  const auto results = run_parallel(configs);
+
+  std::vector<Series> series;
+  std::size_t i = 0;
+  for (const Preset p : presets) {
+    Series s;
+    s.label = preset_name(p);
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      s.values.push_back(results[i++].ipc);
+    }
+    series.push_back(std::move(s));
+  }
+  std::printf("%s\n",
+              render_size_chart("Front-end design space: " + benchmark +
+                                    " at " +
+                                    std::string(cacti::to_string(node)),
+                                sizes, series)
+                  .c_str());
+
+  // Point the architect at the cheapest configuration within 2% of the
+  // best observed IPC.
+  double best = 0.0;
+  for (const auto& s : series) {
+    for (const double v : s.values) best = std::max(best, v);
+  }
+  for (std::size_t k = 0; k < sizes.size(); ++k) {  // smallest L1 first
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      if (series[si].values[k] >= 0.98 * best) {
+        std::printf("smallest L1 within 2%% of best (%.3f): %s with a %s "
+                    "L1 (IPC %.3f)\n",
+                    best, series[si].label.c_str(),
+                    fmt_bytes(sizes[k]).c_str(), series[si].values[k]);
+        return 0;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Classic 2-bit bimodal direction predictor.
+//
+// Not used by the paper's configurations (the stream predictor subsumes
+// direction prediction); provided as library substrate for ablations and
+// for the workload calibration tests, which use it to check that synthetic
+// branches have realistic predictability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "common/types.hpp"
+
+namespace prestage::bpred {
+
+class BimodalPredictor {
+ public:
+  explicit BimodalPredictor(std::size_t entries = 4096) : table_(entries, 1) {
+    PRESTAGE_ASSERT(is_pow2(entries));
+  }
+
+  [[nodiscard]] bool predict(Addr pc) const noexcept {
+    return table_[index(pc)] >= 2;
+  }
+
+  void train(Addr pc, bool taken) noexcept {
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken && ctr < 3) ++ctr;
+    if (!taken && ctr > 0) --ctr;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const noexcept {
+    return (pc >> 2U) & (table_.size() - 1);
+  }
+  std::vector<std::uint8_t> table_;
+};
+
+}  // namespace prestage::bpred

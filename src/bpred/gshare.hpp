@@ -1,0 +1,47 @@
+// Gshare direction predictor (global history XOR PC).
+//
+// Library substrate for ablation studies comparing history-based direction
+// prediction against the stream predictor's last-stream prediction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "common/types.hpp"
+
+namespace prestage::bpred {
+
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(std::size_t entries = 4096,
+                           unsigned history_bits = 12)
+      : table_(entries, 1), history_bits_(history_bits) {
+    PRESTAGE_ASSERT(is_pow2(entries));
+    PRESTAGE_ASSERT(history_bits <= 32);
+  }
+
+  [[nodiscard]] bool predict(Addr pc) const noexcept {
+    return table_[index(pc)] >= 2;
+  }
+
+  void train(Addr pc, bool taken) noexcept {
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken && ctr < 3) ++ctr;
+    if (!taken && ctr > 0) --ctr;
+    history_ = ((history_ << 1U) | (taken ? 1U : 0U)) &
+               ((1U << history_bits_) - 1U);
+  }
+
+  [[nodiscard]] std::uint32_t history() const noexcept { return history_; }
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const noexcept {
+    return ((pc >> 2U) ^ history_) & (table_.size() - 1);
+  }
+  std::vector<std::uint8_t> table_;
+  unsigned history_bits_;
+  std::uint32_t history_ = 0;
+};
+
+}  // namespace prestage::bpred

@@ -1,0 +1,54 @@
+// Return address stack (8 entries, Table 2) with full-state checkpointing.
+//
+// The front-end updates the RAS speculatively as it predicts calls and
+// returns; recovery after a branch misprediction restores the checkpoint
+// captured with the mispredicted block. A fixed-depth circular stack means
+// deep call chains silently wrap — exactly the hardware behaviour that
+// makes deep recursion a residual source of return mispredictions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace prestage::bpred {
+
+class ReturnAddressStack {
+ public:
+  static constexpr std::size_t kDefaultDepth = 8;
+
+  struct Checkpoint {
+    std::array<Addr, kDefaultDepth> entries{};
+    std::size_t top = 0;
+    std::size_t height = 0;
+  };
+
+  void push(Addr return_pc) noexcept {
+    state_.top = (state_.top + 1) % state_.entries.size();
+    state_.entries[state_.top] = return_pc;
+    if (state_.height < state_.entries.size()) ++state_.height;
+  }
+
+  /// Pops and returns the predicted return target; kNoAddr on underflow.
+  Addr pop() noexcept {
+    if (state_.height == 0) return kNoAddr;
+    const Addr pc = state_.entries[state_.top];
+    state_.top =
+        (state_.top + state_.entries.size() - 1) % state_.entries.size();
+    --state_.height;
+    return pc;
+  }
+
+  [[nodiscard]] std::size_t height() const noexcept { return state_.height; }
+
+  [[nodiscard]] Checkpoint checkpoint() const noexcept { return state_; }
+  void restore(const Checkpoint& cp) noexcept { state_ = cp; }
+
+  void clear() noexcept { state_ = Checkpoint{}; }
+
+ private:
+  Checkpoint state_;
+};
+
+}  // namespace prestage::bpred

@@ -1,0 +1,35 @@
+// Instruction streams: the prediction unit of the decoupled front-end.
+//
+// A stream (Ramirez et al., "Fetching Instruction Streams", MICRO-36) is a
+// run of sequentially-stored instructions from a stream start to the next
+// *taken* control transfer. Not-taken conditional branches live inside a
+// stream; the terminating instruction redirects to the next stream's start.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace prestage::bpred {
+
+/// Maximum stream length in instructions. Streams that would run longer are
+/// split; this bounds FTQ/CLTQ entry sizes and predictor table payloads.
+inline constexpr std::uint32_t kMaxStreamInstrs = 64;
+
+/// A (possibly predicted) instruction stream.
+struct Stream {
+  Addr start = kNoAddr;          ///< PC of the first instruction
+  std::uint32_t length = 0;      ///< instructions, 1..kMaxStreamInstrs
+  Addr next_start = kNoAddr;     ///< predicted/actual start of the successor
+
+  /// PC one past the final instruction.
+  [[nodiscard]] Addr end() const noexcept {
+    return start + static_cast<Addr>(length) * kInstrBytes;
+  }
+  /// PC of the final (stream-terminating) instruction.
+  [[nodiscard]] Addr last_pc() const noexcept { return end() - kInstrBytes; }
+
+  [[nodiscard]] bool operator==(const Stream&) const = default;
+};
+
+}  // namespace prestage::bpred

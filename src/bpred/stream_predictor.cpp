@@ -1,0 +1,139 @@
+#include "bpred/stream_predictor.hpp"
+
+#include "common/prestage_assert.hpp"
+#include "common/rng.hpp"
+
+namespace prestage::bpred {
+
+StreamPredictor::StreamPredictor(const StreamPredictorConfig& config)
+    : config_(config) {
+  PRESTAGE_ASSERT(config.l1_entries >= 1);
+  PRESTAGE_ASSERT(config.l2_entries % config.l2_assoc == 0);
+  // 6K entries / 4 ways = 1536 sets: not a power of two, so tables index
+  // by modulo rather than mask.
+  l2_sets_ = config.l2_entries / config.l2_assoc;
+  l1_.resize(config.l1_entries);
+  l2_.resize(config.l2_entries);
+  l2_victim_.resize(l2_sets_, 0);
+}
+
+std::uint64_t StreamPredictor::index_hash(Addr start) noexcept {
+  // Instruction addresses are 4-byte aligned; fold upper bits so nearby
+  // functions do not collide systematically.
+  return hash_mix(start >> 2U);
+}
+
+const StreamPredictor::Entry* StreamPredictor::find_l1(Addr start) const {
+  const Entry& e = l1_[index_hash(start) % l1_.size()];
+  return (e.valid && e.tag == start) ? &e : nullptr;
+}
+
+const StreamPredictor::Entry* StreamPredictor::find_l2(Addr start) const {
+  const std::uint64_t set = index_hash(start) % l2_sets_;
+  for (std::uint32_t w = 0; w < config_.l2_assoc; ++w) {
+    const Entry& e = l2_[set * config_.l2_assoc + w];
+    if (e.valid && e.tag == start) return &e;
+  }
+  return nullptr;
+}
+
+Stream StreamPredictor::predict(Addr start) const {
+  lookups.add();
+  if (const Entry* e = find_l2(start)) {
+    l2_hits_.add();
+    return Stream{start, e->length, e->next_start};
+  }
+  if (const Entry* e = find_l1(start)) {
+    l1_hits_.add();
+    return Stream{start, e->length, e->next_start};
+  }
+  table_misses.add();
+  // Fall-through prediction: a maximal sequential stream.
+  Stream s{start, kMaxStreamInstrs, kNoAddr};
+  s.next_start = s.end();
+  return s;
+}
+
+void StreamPredictor::train_entry(Entry& entry, Addr start,
+                                  const Stream& actual) {
+  if (entry.valid && entry.tag == start) {
+    if (entry.length == actual.length &&
+        entry.next_start == actual.next_start) {
+      if (entry.confidence < 3) ++entry.confidence;
+    } else if (entry.confidence > 0) {
+      --entry.confidence;
+    } else {
+      entry.length = actual.length;
+      entry.next_start = actual.next_start;
+      entry.confidence = 1;
+    }
+    return;
+  }
+  // Allocation: hysteresis protects a confident resident entry.
+  if (entry.valid && entry.confidence > 1) {
+    --entry.confidence;
+    return;
+  }
+  entry.tag = start;
+  entry.length = actual.length;
+  entry.next_start = actual.next_start;
+  entry.confidence = 1;
+  entry.valid = true;
+}
+
+void StreamPredictor::train(const Stream& actual) {
+  PRESTAGE_ASSERT(actual.length >= 1 && actual.length <= kMaxStreamInstrs);
+  const Addr start = actual.start;
+  // First level trains always (fast reaction); second level trains on
+  // first-level presence (cascade promotion) or an existing L2 entry.
+  Entry& l1e = l1_[index_hash(start) % l1_.size()];
+  const bool was_in_l1 = l1e.valid && l1e.tag == start;
+  train_entry(l1e, start, actual);
+
+  const std::uint64_t set = index_hash(start) % l2_sets_;
+  Entry* l2e = nullptr;
+  for (std::uint32_t w = 0; w < config_.l2_assoc; ++w) {
+    Entry& e = l2_[set * config_.l2_assoc + w];
+    if (e.valid && e.tag == start) {
+      l2e = &e;
+      break;
+    }
+  }
+  if (l2e != nullptr) {
+    train_entry(*l2e, start, actual);
+    return;
+  }
+  (void)was_in_l1;
+  // The second level is the main table and trains on every stream; the
+  // small first level only provides fast reaction to fresh streams.
+  // Allocate in L2: free way first, else the round-robin victim if it has
+  // no hysteresis protection.
+  for (std::uint32_t w = 0; w < config_.l2_assoc; ++w) {
+    Entry& e = l2_[set * config_.l2_assoc + w];
+    if (!e.valid) {
+      train_entry(e, start, actual);
+      return;
+    }
+  }
+  std::uint32_t& cursor = l2_victim_[set];
+  Entry& victim = l2_[set * config_.l2_assoc + cursor];
+  cursor = (cursor + 1) % config_.l2_assoc;
+  if (victim.confidence > 1) {
+    --victim.confidence;
+    return;
+  }
+  victim.valid = false;
+  train_entry(victim, start, actual);
+}
+
+bool StreamPredictor::contains(Addr start) const {
+  return find_l1(start) != nullptr || find_l2(start) != nullptr;
+}
+
+void StreamPredictor::clear() {
+  for (Entry& e : l1_) e = Entry{};
+  for (Entry& e : l2_) e = Entry{};
+  for (auto& v : l2_victim_) v = 0;
+}
+
+}  // namespace prestage::bpred

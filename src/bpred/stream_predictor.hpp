@@ -1,0 +1,76 @@
+// The stream predictor used by every configuration in the paper (Table 2:
+// "1K+6K-entry stream pred., 1 cycle lat.").
+//
+// Structure follows the cascaded organisation of Ramirez et al.: a small
+// first-level table backed by a larger second-level table, both indexed by
+// stream start address and tagged. A lookup prefers a second-level hit
+// (longer residency), falls back to the first level, and otherwise
+// predicts a maximal sequential stream (next-line behaviour). Entries
+// carry 2-bit replacement hysteresis so a single divergent occurrence does
+// not evict a stable stream.
+//
+// Training is non-speculative: the simulator trains with the *actual*
+// stream each time a predicted block is verified against the oracle trace
+// (equivalent to commit-time training with a short lead).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/stream.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace prestage::bpred {
+
+struct StreamPredictorConfig {
+  std::uint32_t l1_entries = 1024;  ///< first-level table (1K, Table 2)
+  std::uint32_t l2_entries = 6144;  ///< second-level table (6K, Table 2)
+  std::uint32_t l2_assoc = 4;       ///< ways in the second-level table
+};
+
+class StreamPredictor {
+ public:
+  explicit StreamPredictor(const StreamPredictorConfig& config);
+
+  /// Predicts the stream starting at @p start. Table miss yields a
+  /// maximal sequential stream (fall-through prediction).
+  [[nodiscard]] Stream predict(Addr start) const;
+
+  /// Trains with an observed actual stream.
+  void train(const Stream& actual);
+
+  /// True if either table holds an entry for @p start (diagnostics).
+  [[nodiscard]] bool contains(Addr start) const;
+
+  void clear();
+
+  // --- statistics -------------------------------------------------------
+  mutable Counter lookups;
+  mutable Counter l2_hits_;
+  mutable Counter l1_hits_;
+  mutable Counter table_misses;
+
+ private:
+  struct Entry {
+    Addr tag = kNoAddr;
+    std::uint32_t length = 0;
+    Addr next_start = kNoAddr;
+    std::uint8_t confidence = 0;  ///< 2-bit hysteresis
+    bool valid = false;
+  };
+
+  [[nodiscard]] static std::uint64_t index_hash(Addr start) noexcept;
+
+  [[nodiscard]] const Entry* find_l1(Addr start) const;
+  [[nodiscard]] const Entry* find_l2(Addr start) const;
+  void train_entry(Entry& entry, Addr start, const Stream& actual);
+
+  StreamPredictorConfig config_;
+  std::vector<Entry> l1_;  ///< direct-mapped
+  std::vector<Entry> l2_;  ///< set-associative, round-robin victim choice
+  std::vector<std::uint32_t> l2_victim_;  ///< per-set replacement cursor
+  std::uint32_t l2_sets_;
+};
+
+}  // namespace prestage::bpred

@@ -1,0 +1,64 @@
+#include "cacti/cacti.hpp"
+
+#include <cmath>
+
+#include "common/prestage_assert.hpp"
+#include "common/types.hpp"
+
+namespace prestage::cacti {
+
+double AccessTimeModel::access_ns(const CacheGeometry& geom,
+                                  TechNode node) const {
+  PRESTAGE_ASSERT(geom.size_bytes >= kRowBytes, "cache smaller than one row");
+  PRESTAGE_ASSERT(is_pow2(geom.size_bytes), "cache size must be a power of 2");
+  PRESTAGE_ASSERT(geom.line_bytes > 0 && geom.assoc > 0);
+
+  const double k = logic_scale(node);
+  const double bit_scale = std::pow(k, kBitlineScaleExp);
+
+  const std::uint64_t subarray =
+      geom.size_bytes < kSubarrayBytes ? geom.size_bytes : kSubarrayBytes;
+  const double rows = static_cast<double>(subarray / kRowBytes);
+  const double banks = geom.size_bytes <= kSubarrayBytes
+                           ? 1.0
+                           : static_cast<double>(geom.size_bytes) /
+                                 static_cast<double>(kSubarrayBytes);
+  const double local_banks = banks < kMaxLocalBanks ? banks : kMaxLocalBanks;
+
+  double t = kSenseDriver * k;
+  t += kDecodePerLevel * k * std::log2(rows);
+  t += kBitlinePerRow * bit_scale * rows;
+  t += kHtreeWire * (std::sqrt(local_banks) - 1.0);
+
+  constexpr double k64KB = 64.0 * 1024.0;
+  if (static_cast<double>(geom.size_bytes) > k64KB) {
+    t += kGlobalWire * k *
+         (std::sqrt(static_cast<double>(geom.size_bytes) / k64KB) - 1.0);
+  }
+  return t;
+}
+
+int AccessTimeModel::access_cycles(const CacheGeometry& geom,
+                                   TechNode node) const {
+  const double ns = access_ns(geom, node);
+  const double cycle = params(node).cycle_ns;
+  // An access fitting exactly in N cycles takes N cycles; the epsilon
+  // guards against floating-point noise flipping a boundary case.
+  const int cycles = static_cast<int>(std::ceil(ns / cycle - 1e-9));
+  return cycles < 1 ? 1 : cycles;
+}
+
+std::uint64_t AccessTimeModel::max_one_cycle_size(TechNode node) const {
+  std::uint64_t best = 0;
+  for (std::uint64_t size = kRowBytes; size <= (1ULL << 30U); size *= 2) {
+    if (access_cycles({.size_bytes = size}, node) == 1) {
+      best = size;
+    } else {
+      break;
+    }
+  }
+  PRESTAGE_ASSERT(best > 0, "no size is accessible in one cycle");
+  return best;
+}
+
+}  // namespace prestage::cacti

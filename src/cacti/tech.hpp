@@ -1,0 +1,67 @@
+// SIA roadmap technology parameters (paper Table 1).
+//
+// The paper couples CACTI access times (ns) with the SIA-predicted cycle
+// time of each technology generation to derive cache latencies in cycles
+// (Table 3). This header carries exactly the Table 1 data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::cacti {
+
+/// Technology generations from the SIA roadmap as used in the paper.
+enum class TechNode : std::uint8_t {
+  um180,  ///< 0.18 µm (1999)
+  um130,  ///< 0.13 µm (2001)
+  um090,  ///< 0.09 µm (2004)  — the paper's "current" node
+  um065,  ///< 0.065 µm (2007)
+  um045,  ///< 0.045 µm (2010) — the paper's "far future" node
+};
+
+inline constexpr int kNumTechNodes = 5;
+
+struct TechParams {
+  int year;             ///< roadmap year
+  double feature_um;    ///< feature size in µm
+  double clock_ghz;     ///< predicted clock frequency
+  double cycle_ns;      ///< predicted cycle time
+};
+
+/// Paper Table 1, verbatim.
+[[nodiscard]] constexpr TechParams params(TechNode node) {
+  switch (node) {
+    case TechNode::um180: return {1999, 0.18, 0.5, 2.0};
+    case TechNode::um130: return {2001, 0.13, 1.7, 0.59};
+    case TechNode::um090: return {2004, 0.09, 4.0, 0.25};
+    case TechNode::um065: return {2007, 0.065, 6.7, 0.15};
+    case TechNode::um045: return {2010, 0.045, 11.5, 0.087};
+  }
+  PRESTAGE_ASSERT(false, "unknown tech node");
+}
+
+[[nodiscard]] constexpr std::string_view to_string(TechNode node) {
+  switch (node) {
+    case TechNode::um180: return "0.18um";
+    case TechNode::um130: return "0.13um";
+    case TechNode::um090: return "0.09um";
+    case TechNode::um065: return "0.065um";
+    case TechNode::um045: return "0.045um";
+  }
+  return "?";
+}
+
+/// Logic-delay scaling factor relative to the 0.09 µm node (transistor
+/// delay scales roughly with feature size).
+[[nodiscard]] constexpr double logic_scale(TechNode node) {
+  return params(node).feature_um / 0.09;
+}
+
+inline constexpr std::array<TechNode, kNumTechNodes> kAllNodes = {
+    TechNode::um180, TechNode::um130, TechNode::um090, TechNode::um065,
+    TechNode::um045};
+
+}  // namespace prestage::cacti

@@ -1,0 +1,41 @@
+// Simulator-internal invariant checking.
+//
+// Invariant violations throw (rather than abort) so that unit tests can
+// assert on them and example programs fail with a readable message.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace prestage {
+
+/// Thrown when a simulator invariant is violated. Always indicates a bug in
+/// the simulator or an ill-formed configuration, never a property of the
+/// simulated workload.
+class SimError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const std::string& msg,
+                                     const std::source_location& loc) {
+  throw SimError(std::string(loc.file_name()) + ":" +
+                 std::to_string(loc.line()) + ": invariant `" + expr +
+                 "` violated" + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+/// Checks a simulator invariant; throws SimError with location info on
+/// failure. Enabled in all build types: the simulator is a measurement
+/// instrument and silent state corruption would invalidate results.
+#define PRESTAGE_ASSERT(expr, ...)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::prestage::detail::assert_fail(#expr, ::std::string{__VA_ARGS__},   \
+                                      ::std::source_location::current());  \
+    }                                                                      \
+  } while (false)
+
+}  // namespace prestage

@@ -1,0 +1,91 @@
+// Fixed-capacity FIFO ring buffer.
+//
+// Hardware queues in the model (FTQ, CLTQ, decode pipe, prefetch request
+// queue) are bounded by construction; RingBuffer makes the bound explicit
+// and keeps queue operations allocation-free on the simulation fast path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Creates a buffer holding at most @p capacity elements.
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity > 0 ? capacity : 1), capacity_(capacity) {
+    PRESTAGE_ASSERT(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Appends to the tail. Precondition: !full().
+  void push(T value) {
+    PRESTAGE_ASSERT(!full(), "push on full ring buffer");
+    slots_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes and returns the head. Precondition: !empty().
+  T pop() {
+    PRESTAGE_ASSERT(!empty(), "pop on empty ring buffer");
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return value;
+  }
+
+  /// Head element (next to pop). Precondition: !empty().
+  [[nodiscard]] T& front() {
+    PRESTAGE_ASSERT(!empty());
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    PRESTAGE_ASSERT(!empty());
+    return slots_[head_];
+  }
+
+  /// Tail element (most recently pushed). Precondition: !empty().
+  [[nodiscard]] T& back() {
+    PRESTAGE_ASSERT(!empty());
+    return slots_[(head_ + size_ - 1) % capacity_];
+  }
+
+  /// Element @p i positions behind the head (0 == front()).
+  [[nodiscard]] T& at(std::size_t i) {
+    PRESTAGE_ASSERT(i < size_, "ring buffer index out of range");
+    return slots_[(head_ + i) % capacity_];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    PRESTAGE_ASSERT(i < size_, "ring buffer index out of range");
+    return slots_[(head_ + i) % capacity_];
+  }
+
+  /// Discards all contents (a pipeline flush).
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Drops the newest @p n elements (partial squash after a mispredict
+  /// discovered mid-queue). Precondition: n <= size().
+  void pop_back_n(std::size_t n) {
+    PRESTAGE_ASSERT(n <= size_);
+    size_ -= n;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace prestage

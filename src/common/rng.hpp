@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator (workload synthesis, wrong-path
+// direction draws) flows through Rng seeded from the experiment
+// configuration, so identical configurations replay identical simulations —
+// a hard requirement for reproducing the paper's tables.
+//
+// The generator is xoshiro256** (Blackman & Vigna), chosen over std::mt19937
+// for speed and for a guaranteed bit-identical stream across standard
+// libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage {
+
+class Rng {
+ public:
+  /// Seeds the stream; two Rng objects with equal seeds produce equal
+  /// sequences on every platform.
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the scalar seed into the 256-bit state,
+    // as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31U);
+    }
+  }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17U;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    PRESTAGE_ASSERT(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64U);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    PRESTAGE_ASSERT(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11U) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw: true with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric-ish draw: number of successes before failure, capped.
+  /// Used for loop trip counts and block-length tails.
+  std::uint64_t geometric(double continue_p, std::uint64_t cap) noexcept {
+    std::uint64_t n = 0;
+    while (n < cap && chance(continue_p)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << static_cast<unsigned>(k)) |
+           (x >> static_cast<unsigned>(64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Stateless 64-bit mix, used where a *repeatable* pseudo-random value must
+/// be derived from simulation state (e.g. the direction taken on a
+/// wrong-path branch must depend only on the branch PC and visit count).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  x ^= x >> 33U;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33U;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33U;
+  return x;
+}
+
+}  // namespace prestage

@@ -1,0 +1,22 @@
+#include "common/stats.hpp"
+
+namespace prestage {
+
+double harmonic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double x : xs) {
+    PRESTAGE_ASSERT(x > 0.0, "harmonic mean requires positive samples");
+    inv_sum += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv_sum;
+}
+
+double arithmetic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace prestage

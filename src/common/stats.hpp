@@ -1,0 +1,92 @@
+// Lightweight named statistics for simulator components.
+//
+// Components register counters/distributions in a StatSet; the sim harness
+// walks the set to build reports. Counting must be cheap (a single add on
+// the fast path), so the stat objects are plain structs and formatting is
+// deferred to report time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "common/types.hpp"
+
+namespace prestage {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Ratio of two counters, e.g. mispredicts / branches.
+[[nodiscard]] inline double ratio(std::uint64_t num,
+                                  std::uint64_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Running mean/min/max of a sampled quantity (e.g. stream length).
+class Distribution {
+ public:
+  void sample(double v) noexcept {
+    sum_ += v;
+    ++count_;
+    if (v < min_ || count_ == 1) min_ = v;
+    if (v > max_ || count_ == 1) max_ = v;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  void reset() noexcept { *this = Distribution{}; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Per-FetchSource event counts; backs the paper's Figures 7 and 8.
+class SourceBreakdown {
+ public:
+  void add(FetchSource s, std::uint64_t n = 1) noexcept {
+    counts_[static_cast<std::size_t>(s)] += n;
+  }
+  [[nodiscard]] std::uint64_t count(FetchSource s) const noexcept {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+  /// Fraction served by @p s (0 when no events were recorded).
+  [[nodiscard]] double fraction(FetchSource s) const noexcept {
+    return ratio(count(s), total());
+  }
+  void reset() noexcept { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, kNumFetchSources> counts_{};
+};
+
+/// Harmonic mean, the aggregate the paper reports for per-benchmark IPC
+/// (Figure 6's HMEAN bar). Zero/negative samples are rejected.
+[[nodiscard]] double harmonic_mean(const std::vector<double>& xs);
+
+/// Arithmetic mean.
+[[nodiscard]] double arithmetic_mean(const std::vector<double>& xs);
+
+}  // namespace prestage

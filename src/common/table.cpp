@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PRESTAGE_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PRESTAGE_ASSERT(cells.size() == headers_.size(),
+                  "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size())
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+    return std::to_string(bytes / (1024 * 1024)) + "MB";
+  if (bytes >= 1024 && bytes % 1024 == 0)
+    return std::to_string(bytes / 1024) + "KB";
+  return std::to_string(bytes) + "B";
+}
+
+}  // namespace prestage

@@ -1,0 +1,43 @@
+// Plain-text table rendering for bench harnesses and examples.
+//
+// Every figure/table reproduction prints two artifacts: an aligned
+// human-readable table and (optionally) a CSV block for plotting, so the
+// paper's series can be regenerated and diffed mechanically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prestage {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with space-aligned columns.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as CSV (headers + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with @p digits fractional digits (locale-independent).
+[[nodiscard]] std::string fmt(double v, int digits = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.1234 -> "12.3%".
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 1);
+
+/// Formats a byte count compactly: 256 -> "256B", 4096 -> "4KB".
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace prestage

@@ -1,0 +1,116 @@
+// Core value types shared by every module of the prestage simulator.
+//
+// The simulator is trace-driven: it never holds instruction *data*, only
+// addresses, sizes and register identifiers, which is all the timing model
+// needs (the paper's own simulator works the same way, §4).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace prestage {
+
+/// Byte address in the simulated address space.
+using Addr = std::uint64_t;
+
+/// Simulation time in processor cycles.
+using Cycle = std::uint64_t;
+
+/// Architectural register identifier. The abstract ISA has 64 registers
+/// (32 integer + 32 floating point, Alpha-like).
+using RegId = std::uint8_t;
+
+inline constexpr RegId kNumRegs = 64;
+
+/// Register id used to mean "no register" (e.g. a store has no destination).
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+
+/// Sentinel for "no cycle" / "not scheduled".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel address (never a valid instruction address).
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/// Instructions are fixed 4 bytes, as on the DEC Alpha the paper traces.
+inline constexpr Addr kInstrBytes = 4;
+
+/// Broad operation classes; latencies are attached in cpu/config.hpp.
+enum class OpClass : std::uint8_t {
+  IntAlu,    ///< single-cycle integer op
+  IntMult,   ///< integer multiply/divide class
+  FpAlu,     ///< floating-point op (rare in SPECint-like workloads)
+  Load,      ///< memory read; latency depends on the D-cache
+  Store,     ///< memory write; retires without a register result
+  Branch,    ///< conditional branch
+  Jump,      ///< unconditional direct jump
+  Call,      ///< subroutine call (pushes the RAS)
+  Return,    ///< subroutine return (pops the RAS)
+};
+
+/// True for any instruction that can redirect the fetch stream.
+[[nodiscard]] constexpr bool is_control(OpClass c) noexcept {
+  return c == OpClass::Branch || c == OpClass::Jump || c == OpClass::Call ||
+         c == OpClass::Return;
+}
+
+/// Human-readable op-class name (for reports and error messages).
+[[nodiscard]] constexpr std::string_view to_string(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::IntAlu: return "int_alu";
+    case OpClass::IntMult: return "int_mult";
+    case OpClass::FpAlu: return "fp_alu";
+    case OpClass::Load: return "load";
+    case OpClass::Store: return "store";
+    case OpClass::Branch: return "branch";
+    case OpClass::Jump: return "jump";
+    case OpClass::Call: return "call";
+    case OpClass::Return: return "return";
+  }
+  return "?";
+}
+
+/// Which storage level served a fetch or prefetch. Matches the legend of
+/// the paper's Figures 7 and 8 (PB / il0 / il1 / ul2 / Mem).
+enum class FetchSource : std::uint8_t {
+  PreBuffer,  ///< prefetch buffer (FDP) or prestage buffer (CLGP)
+  L0,         ///< small one-cycle filter cache
+  L1,         ///< first-level instruction cache
+  L2,         ///< unified second-level cache
+  Memory,     ///< main memory
+};
+
+inline constexpr int kNumFetchSources = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(FetchSource s) noexcept {
+  switch (s) {
+    case FetchSource::PreBuffer: return "PB";
+    case FetchSource::L0: return "il0";
+    case FetchSource::L1: return "il1";
+    case FetchSource::L2: return "ul2";
+    case FetchSource::Memory: return "Mem";
+  }
+  return "?";
+}
+
+/// Aligns @p addr down to the start of its cache line.
+[[nodiscard]] constexpr Addr line_align(Addr addr, Addr line_bytes) noexcept {
+  return addr & ~(line_bytes - 1);
+}
+
+/// True if @p v is a power of two (cache geometry precondition).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1U;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace prestage

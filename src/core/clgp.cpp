@@ -1,0 +1,114 @@
+#include "core/clgp.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::core {
+
+ClgpPrestager::ClgpPrestager(const ClgpConfig& config,
+                             frontend::CacheLineTargetQueue& cltq,
+                             mem::IFetchCaches& caches, mem::MemSystem& mem)
+    : config_(config),
+      cltq_(cltq),
+      caches_(caches),
+      mem_(mem),
+      port_(config.pb_latency, config.pb_pipelined),
+      buffer_(config.entries) {}
+
+prefetch::PreBufferProbe ClgpPrestager::probe(Addr line) const {
+  const PrestageBuffer::Entry* e = buffer_.find(line);
+  if (e == nullptr) return {};
+  return prefetch::PreBufferProbe{true, e->valid ? 0 : e->ready};
+}
+
+void ClgpPrestager::on_fetch_from_pb(Addr line, Cycle now) {
+  (void)now;
+  buffer_.on_fetch(line);
+  if (config_.transfer_on_use) {
+    // Ablation: behave like a classic prefetch buffer that replicates
+    // used lines into the cache (the paper's CLGP never does).
+    caches_.fill_promoted(line);
+  }
+  if (config_.disable_consumers) {
+    // Ablation: free-on-first-use replacement.
+    PrestageBuffer::Entry* e = buffer_.find(line);
+    if (e != nullptr) e->consumers = 0;
+  }
+}
+
+void ClgpPrestager::settle_arrivals(Cycle now) { buffer_.settle(now); }
+
+void ClgpPrestager::tick(Cycle now) {
+  settle_arrivals(now);
+
+  std::uint32_t examined = 0;
+  bool issued_transfer = false;
+  for (std::size_t i = 0; i < cltq_.lines_held(); ++i) {
+    if (examined >= config_.scan_per_cycle) return;
+    if (cltq_.is_prefetched(i)) continue;
+    const frontend::LineView& v = cltq_.line_at(i);
+    ++examined;
+
+    if (buffer_.find(v.line) != nullptr) {
+      // Already staged or in flight: extend the entry's lifetime to cover
+      // this future fetch (paper §3.2.3). No transfer, no bus traffic.
+      if (!config_.disable_consumers) buffer_.add_consumer(v.line);
+      consumer_extensions.add();
+      sources_.add(FetchSource::PreBuffer);
+      cltq_.mark_prefetched(i);
+      continue;
+    }
+    if (config_.filter_resident &&
+        (caches_.probe_l0(v.line) ||
+         (!caches_.has_l0() && caches_.probe_l1(v.line)))) {
+      // Ablation: FDP-style cache probe filtering (CLGP proper never
+      // filters — §3.2.3).
+      sources_.add(caches_.has_l0() ? FetchSource::L0 : FetchSource::L1);
+      cltq_.mark_prefetched(i);
+      continue;
+    }
+    if (issued_transfer) return;  // one new transfer per cycle
+
+    // CLGP performs no filtering, but the transfer source depends on
+    // where the line currently lives: L1-resident lines are read from
+    // the L1 (multi-cycle) into the one-cycle buffer; everything else
+    // comes from L2/memory through the arbitrated bus.
+    const bool from_l1 = caches_.probe_l1(v.line);
+    if (from_l1 && !caches_.prefetch_port().can_accept(now)) {
+      return;  // transfer engine busy this cycle; retry
+    }
+    PrestageBuffer::Entry* e = buffer_.allocate(v.line);
+    if (e == nullptr) {
+      pb_occupancy_stalls.add();
+      return;  // every entry pinned: wait for fetch to consume
+    }
+    if (from_l1) {
+      e->ready = caches_.prefetch_port().issue(now);
+      sources_.add(FetchSource::L1);
+    } else {
+      const std::uint64_t gen = e->gen;
+      const Addr line = v.line;
+      PrestageBuffer::Entry* slot = e;
+      mem_.submit(mem::ReqType::IPrefetch, line, now,
+                  [this, slot, line, gen](FetchSource src, Cycle ready) {
+                    if (!slot->allocated || slot->gen != gen ||
+                        slot->line != line) {
+                      return;  // entry reallocated meanwhile
+                    }
+                    slot->ready = ready;
+                    slot->valid = true;
+                    sources_.add(src);
+                  });
+    }
+    prefetches_issued.add();
+    issued_transfer = true;
+    cltq_.mark_prefetched(i);
+  }
+}
+
+void ClgpPrestager::on_recovery(Cycle now) {
+  (void)now;
+  buffer_.reset_consumers();
+  consumers_resets.add();
+}
+
+}  // namespace prestage::core

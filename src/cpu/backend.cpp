@@ -1,0 +1,180 @@
+#include "cpu/backend.hpp"
+
+#include "common/prestage_assert.hpp"
+#include "frontend/fetch_types.hpp"
+
+namespace prestage::cpu {
+
+Backend::Backend(const MachineConfig& cfg, Oracle& oracle,
+                 const workload::Program& program, mem::MemSystem& mem)
+    : cfg_(cfg),
+      oracle_(oracle),
+      prog_(program),
+      mem_(mem),
+      l1d_(cfg.l1d_size, cfg.line_bytes, cfg.l1d_assoc),
+      decode_(static_cast<std::size_t>(cfg.decode_stages) * cfg.width) {}
+
+void Backend::accept(const frontend::FetchedInst& inst) {
+  PRESTAGE_ASSERT(!decode_.full(), "accept into full decode pipe");
+  decode_.push(Staged{inst, next_order_++,
+                      now_ + static_cast<Cycle>(cfg_.decode_stages)});
+}
+
+bool Backend::recovery_due(Cycle now) const {
+  for (const Slot& s : ruu_) {
+    if (s.f.culprit && !s.recovery_handled) {
+      return s.done != kNoCycle && s.done <= now;
+    }
+  }
+  return false;
+}
+
+void Backend::squash_younger_than_culprit() {
+  std::uint64_t culprit_order = 0;
+  for (Slot& s : ruu_) {
+    if (s.f.culprit && !s.recovery_handled) {
+      culprit_order = s.order;
+      s.recovery_handled = true;
+      break;
+    }
+  }
+  PRESTAGE_ASSERT(culprit_order != 0, "squash without a resolved culprit");
+  while (!ruu_.empty() && ruu_.back().order > culprit_order) {
+    ruu_.pop_back();
+  }
+  decode_.clear();
+}
+
+int Backend::exec_latency(OpClass op) {
+  switch (op) {
+    case OpClass::IntMult: return 3;
+    case OpClass::FpAlu: return 2;
+    default: return 1;
+  }
+}
+
+void Backend::issue_one(Slot& s, Cycle now, std::uint32_t& loads_this_cycle) {
+  s.issued = true;
+  if (s.op == OpClass::Load) {
+    ++loads_this_cycle;
+    const Addr line = line_align(s.data_addr, cfg_.line_bytes);
+    if (s.f.wrong_path) {
+      // Wrong-path loads disturb D-cache LRU but are modelled with a
+      // fixed completion and no bus traffic (squashed before retirement).
+      (void)l1d_.access(line);
+      s.done = now + 3;
+      return;
+    }
+    if (l1d_.access(line)) {
+      dcache_hits.add();
+      s.done = now + 1;
+      return;
+    }
+    dcache_misses.add();
+    const std::uint64_t order = s.order;
+    mem_.submit(mem::ReqType::Data, line, now,
+                [this, order, line](FetchSource, Cycle ready) {
+                  const auto ev = l1d_.insert(line);
+                  if (ev.has_value() && ev->dirty) {
+                    mem_.submit_writeback(ev->line, ready);
+                  }
+                  for (Slot& slot : ruu_) {
+                    if (slot.order == order) {
+                      slot.done = ready + 1;
+                      // Wake dependents through the scoreboard now, not
+                      // at commit.
+                      if (slot.dst != kNoReg && !slot.f.wrong_path &&
+                          reg_ready_[slot.dst] < slot.done) {
+                        reg_ready_[slot.dst] = slot.done;
+                      }
+                      return;
+                    }
+                  }
+                });
+    s.done = kNoCycle;  // completed by the fill callback
+    return;
+  }
+  s.done = now + static_cast<Cycle>(exec_latency(s.op));
+}
+
+void Backend::tick_issue(Cycle now) {
+  std::uint32_t issued = 0;
+  std::uint32_t loads = 0;
+  for (Slot& s : ruu_) {
+    if (issued >= cfg_.width) break;
+    if (s.issued) continue;
+    if (!reg_ready(s.src1, now) || !reg_ready(s.src2, now)) continue;
+    if (s.op == OpClass::Load && loads >= cfg_.l1d_ports) continue;
+    issue_one(s, now, loads);
+    ++issued;
+    if (s.done != kNoCycle && s.dst != kNoReg && !s.f.wrong_path) {
+      reg_ready_[s.dst] = s.done;
+    }
+  }
+}
+
+void Backend::tick_commit(Cycle now) {
+  std::uint32_t retired = 0;
+  while (!ruu_.empty() && retired < cfg_.width) {
+    Slot& head = ruu_.front();
+    if (!head.issued || head.done == kNoCycle || head.done > now) break;
+    PRESTAGE_ASSERT(!head.f.wrong_path,
+                    "wrong-path instruction reached commit");
+    if (head.op == OpClass::Store) {
+      const Addr line = line_align(head.data_addr, cfg_.line_bytes);
+      const auto ev = l1d_.insert(line, /*dirty=*/true);
+      if (ev.has_value() && ev->dirty) {
+        mem_.submit_writeback(ev->line, now);
+      }
+      store_commits.add();
+    }
+    ++committed_;
+    oracle_.release_below(head.f.oracle_seq);
+    ruu_.pop_front();
+    ++retired;
+  }
+}
+
+void Backend::tick_dispatch(Cycle now) {
+  ruu_occupancy.sample(static_cast<double>(ruu_.size()));
+  std::uint32_t dispatched = 0;
+  while (!decode_.empty() && dispatched < cfg_.width) {
+    if (ruu_.size() >= cfg_.ruu_size) {
+      ruu_full_stalls.add();
+      return;
+    }
+    const Staged& st = decode_.front();
+    if (st.ready_at > now) return;
+
+    Slot s;
+    s.f = st.f;
+    s.order = st.order;
+    if (st.f.wrong_path) {
+      wrong_path_dispatched.add();
+      if (prog_.contains_pc(st.f.pc)) {
+        const workload::StaticInst& si = prog_.static_inst_at(st.f.pc);
+        s.op = si.op;
+        s.dst = si.dst;
+        s.src1 = si.src1;
+        s.src2 = si.src2;
+        if (si.op == OpClass::Load || si.op == OpClass::Store) {
+          s.data_addr =
+              workload::wrong_path_data_addr(prog_, st.f.pc, st.order);
+        }
+      }
+    } else {
+      const workload::DynInst& d = oracle_.get(st.f.oracle_seq);
+      PRESTAGE_ASSERT(d.pc == st.f.pc, "oracle/fetch PC mismatch");
+      s.op = d.op;
+      s.dst = d.dst;
+      s.src1 = d.src1;
+      s.src2 = d.src2;
+      s.data_addr = d.data_addr;
+    }
+    ruu_.push_back(s);
+    (void)decode_.pop();
+    ++dispatched;
+  }
+}
+
+}  // namespace prestage::cpu

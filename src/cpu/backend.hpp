@@ -1,0 +1,107 @@
+// The execution back-end: decode pipe, RUU (register update unit),
+// scoreboard, data cache and in-order commit.
+//
+// Trace-driven timing model of the paper's Table 2 core: 4-wide
+// fetch/issue/commit, 64-entry RUU, 15-stage pipeline (fetch +
+// decode_stages to dispatch + execute/commit), 2-ported 1-cycle 32 KB
+// D-cache with L2 behind the arbitrated bus (highest priority class).
+// Wrong-path instructions occupy pipe and RUU slots and pollute D-cache
+// LRU but never touch the scoreboard or commit counts; the culprit
+// instruction's completion raises the recovery event.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/ring_buffer.hpp"
+#include "common/stats.hpp"
+#include "cpu/config.hpp"
+#include "cpu/oracle.hpp"
+#include "frontend/fetch_engine.hpp"
+#include "mem/cache.hpp"
+#include "mem/memsys.hpp"
+#include "workload/program.hpp"
+#include "workload/trace.hpp"
+
+namespace prestage::cpu {
+
+class Backend final : public frontend::IFetchSink {
+ public:
+  Backend(const MachineConfig& cfg, Oracle& oracle,
+          const workload::Program& program, mem::MemSystem& mem);
+
+  // --- IFetchSink (fetch delivers into the decode pipe) -----------------
+  [[nodiscard]] bool can_accept() const override { return !decode_.full(); }
+  void accept(const frontend::FetchedInst& inst) override;
+
+  // --- per-cycle stages (called by the CPU in order) --------------------
+  void begin_cycle(Cycle now) { now_ = now; }
+
+  /// True when a culprit instruction has completed execution and its
+  /// misprediction must be recovered this cycle.
+  [[nodiscard]] bool recovery_due(Cycle now) const;
+
+  /// Squashes everything younger than the resolved culprit: the whole
+  /// decode pipe and all younger RUU entries.
+  void squash_younger_than_culprit();
+
+  void tick_commit(Cycle now);
+  void tick_issue(Cycle now);
+  void tick_dispatch(Cycle now);
+
+  [[nodiscard]] std::uint64_t committed() const noexcept {
+    return committed_;
+  }
+  [[nodiscard]] bool drained() const {
+    return decode_.empty() && ruu_.empty();
+  }
+
+  // --- statistics -------------------------------------------------------
+  Counter wrong_path_dispatched;
+  Counter dcache_hits;
+  Counter dcache_misses;
+  Counter store_commits;
+  Counter ruu_full_stalls;
+  Distribution ruu_occupancy;
+
+ private:
+  struct Staged {
+    frontend::FetchedInst f;
+    std::uint64_t order = 0;
+    Cycle ready_at = 0;  ///< cycle it may dispatch (decode latency)
+  };
+
+  struct Slot {
+    frontend::FetchedInst f;
+    std::uint64_t order = 0;
+    OpClass op = OpClass::IntAlu;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    Addr data_addr = kNoAddr;
+    Cycle done = kNoCycle;  ///< completion cycle; kNoCycle = outstanding
+    bool issued = false;
+    bool recovery_handled = false;  ///< culprit already triggered recovery
+  };
+
+  [[nodiscard]] bool reg_ready(RegId r, Cycle now) const {
+    return r == kNoReg || reg_ready_[r] <= now;
+  }
+  [[nodiscard]] static int exec_latency(OpClass op);
+  void issue_one(Slot& s, Cycle now, std::uint32_t& loads_this_cycle);
+
+  MachineConfig cfg_;
+  Oracle& oracle_;
+  const workload::Program& prog_;
+  mem::MemSystem& mem_;
+  mem::SetAssocCache l1d_;
+
+  RingBuffer<Staged> decode_;
+  std::deque<Slot> ruu_;
+  Cycle reg_ready_[kNumRegs] = {};
+  std::uint64_t next_order_ = 1;
+  std::uint64_t committed_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace prestage::cpu

@@ -1,0 +1,98 @@
+// Machine configuration: the paper's Table 2 baseline plus the knobs the
+// evaluation sweeps (L1 I-cache size/pipelining, L0 presence, prefetcher
+// kind, pre-buffer size/pipelining, technology node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cacti/cacti.hpp"
+#include "cacti/tech.hpp"
+
+namespace prestage::cpu {
+
+enum class PrefetcherKind : std::uint8_t {
+  None,      ///< baseline without prefetching
+  Fdp,       ///< Fetch Directed Prefetching (comparison, §3.1)
+  Clgp,      ///< Cache Line Guided Prestaging (the contribution, §3.2)
+  NextLine,  ///< next-N-line prefetching (related-work baseline, §2.1)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PrefetcherKind k) {
+  switch (k) {
+    case PrefetcherKind::None: return "base";
+    case PrefetcherKind::Fdp: return "FDP";
+    case PrefetcherKind::Clgp: return "CLGP";
+    case PrefetcherKind::NextLine: return "NL";
+  }
+  return "?";
+}
+
+struct MachineConfig {
+  // --- workload ---------------------------------------------------------
+  std::string benchmark = "gzip";
+  std::uint64_t seed = 1;
+  std::uint64_t max_instructions = 100000;
+  std::uint64_t warmup_instructions = 0;
+
+  // --- technology -------------------------------------------------------
+  cacti::TechNode node = cacti::TechNode::um045;
+
+  // --- instruction cache stack -------------------------------------------
+  std::uint64_t l1i_size = 4096;
+  bool l1i_pipelined = false;
+  bool ideal_l1 = false;  ///< force a 1-cycle L1 (Figure 1 "ideal")
+  bool has_l0 = false;    ///< L0 sized to the node's one-cycle maximum
+
+  // --- prefetching --------------------------------------------------------
+  PrefetcherKind prefetcher = PrefetcherKind::None;
+  std::uint32_t prebuffer_entries = 4;
+  bool prebuffer_pipelined = false;  ///< required for 16-entry buffers (§5)
+  std::uint32_t queue_blocks = 8;    ///< FTQ/CLTQ capacity (Table 2)
+  std::uint32_t next_line_degree = 2;  ///< for PrefetcherKind::NextLine
+
+  // CLGP ablation knobs (all false == the paper's CLGP):
+  bool clgp_disable_consumers = false;
+  bool clgp_filter_resident = false;
+  bool clgp_transfer_on_use = false;
+
+  // --- core (Table 2) -----------------------------------------------------
+  std::uint32_t width = 4;
+  std::uint32_t ruu_size = 64;
+  std::uint32_t decode_stages = 8;  ///< fetch->dispatch depth (15 total)
+  std::uint32_t line_bytes = 64;
+
+  // --- data side (Table 2, held fixed across the study) -------------------
+  std::uint64_t l1d_size = 32768;
+  std::uint32_t l1d_assoc = 2;
+  std::uint32_t l1d_ports = 2;
+  int mem_latency = 200;
+};
+
+/// Latencies and sizes derived from the CACTI model for a configuration.
+struct DerivedTimings {
+  int l1i_latency = 1;
+  int l2_latency = 17;
+  int prebuffer_latency = 1;
+  std::uint64_t l0_size = 256;
+
+  [[nodiscard]] static DerivedTimings from(const MachineConfig& cfg) {
+    const cacti::AccessTimeModel model;
+    DerivedTimings t;
+    t.l1i_latency =
+        cfg.ideal_l1
+            ? 1
+            : model.access_cycles({.size_bytes = cfg.l1i_size}, cfg.node);
+    t.l2_latency =
+        model.access_cycles({.size_bytes = 1ULL << 20U, .line_bytes = 128},
+                            cfg.node);
+    t.l0_size = model.max_one_cycle_size(cfg.node);
+    const std::uint64_t pb_bytes =
+        static_cast<std::uint64_t>(cfg.prebuffer_entries) * cfg.line_bytes;
+    t.prebuffer_latency =
+        model.access_cycles({.size_bytes = pb_bytes}, cfg.node);
+    return t;
+  }
+};
+
+}  // namespace prestage::cpu

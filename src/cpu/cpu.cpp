@@ -1,0 +1,223 @@
+#include "cpu/cpu.hpp"
+
+#include "common/prestage_assert.hpp"
+#include "core/clgp.hpp"
+#include "prefetch/fdp.hpp"
+#include "prefetch/next_line.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace prestage::cpu {
+
+namespace {
+
+/// Counter values at the warmup boundary, to report post-warmup deltas.
+struct StatSnapshot {
+  std::uint64_t fetch_src[kNumFetchSources] = {};
+  std::uint64_t prefetch_src[kNumFetchSources] = {};
+  std::uint64_t lines = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t prefetches = 0;
+};
+
+StatSnapshot take_snapshot(const frontend::FetchEngine& fe,
+                           const prefetch::IPrefetcher& pf,
+                           const mem::MemSystem& mem, const Backend& be,
+                           std::uint64_t recoveries,
+                           std::uint64_t blocks) {
+  StatSnapshot s;
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    s.fetch_src[i] = fe.fetch_sources.count(static_cast<FetchSource>(i));
+    s.prefetch_src[i] =
+        pf.prefetch_sources().count(static_cast<FetchSource>(i));
+  }
+  s.lines = fe.lines_fetched.value();
+  s.recoveries = recoveries;
+  s.blocks = blocks;
+  s.l2_hits = mem.l2_hits.value();
+  s.l2_misses = mem.l2_misses.value();
+  s.dcache_misses = be.dcache_misses.value();
+  s.prefetches = pf.prefetches();
+  return s;
+}
+
+}  // namespace
+
+Cpu::Cpu(const MachineConfig& config)
+    : cfg_(config),
+      timings_(DerivedTimings::from(config)),
+      program_(workload::generate_program(
+          workload::profile_for(config.benchmark), config.seed)),
+      predictor_({.l1_entries = 1024, .l2_entries = 6144, .l2_assoc = 4}) {
+  oracle_ = std::make_unique<Oracle>(program_, cfg_.seed + 17);
+
+  mem::MemSystemConfig mem_cfg;
+  mem_cfg.l2_latency = timings_.l2_latency;
+  mem_cfg.mem_latency = cfg_.mem_latency;
+  mem_cfg.l1_line_bytes = cfg_.line_bytes;
+  mem_ = std::make_unique<mem::MemSystem>(mem_cfg);
+
+  mem::IFetchCachesConfig icfg;
+  icfg.l1_size_bytes = cfg_.l1i_size;
+  icfg.line_bytes = cfg_.line_bytes;
+  icfg.l1_latency = timings_.l1i_latency;
+  icfg.l1_pipelined = cfg_.l1i_pipelined;
+  icfg.has_l0 = cfg_.has_l0;
+  icfg.l0_size_bytes = timings_.l0_size;
+  caches_ = std::make_unique<mem::IFetchCaches>(icfg);
+
+  switch (cfg_.prefetcher) {
+    case PrefetcherKind::Clgp: {
+      auto cltq = std::make_unique<frontend::CacheLineTargetQueue>(
+          cfg_.queue_blocks, cfg_.line_bytes);
+      core::ClgpConfig ccfg;
+      ccfg.entries = cfg_.prebuffer_entries;
+      ccfg.pb_latency = timings_.prebuffer_latency;
+      ccfg.pb_pipelined = cfg_.prebuffer_pipelined;
+      ccfg.disable_consumers = cfg_.clgp_disable_consumers;
+      ccfg.filter_resident = cfg_.clgp_filter_resident;
+      ccfg.transfer_on_use = cfg_.clgp_transfer_on_use;
+      prefetcher_ = std::make_unique<core::ClgpPrestager>(ccfg, *cltq,
+                                                          *caches_, *mem_);
+      queue_ = std::move(cltq);
+      break;
+    }
+    case PrefetcherKind::Fdp: {
+      auto ftq = std::make_unique<frontend::FetchTargetQueue>(
+          cfg_.queue_blocks, cfg_.line_bytes);
+      prefetch::FdpConfig fcfg;
+      fcfg.entries = cfg_.prebuffer_entries;
+      fcfg.pb_latency = timings_.prebuffer_latency;
+      fcfg.pb_pipelined = cfg_.prebuffer_pipelined;
+      prefetcher_ = std::make_unique<prefetch::FdpPrefetcher>(fcfg, *ftq,
+                                                              *caches_,
+                                                              *mem_);
+      queue_ = std::move(ftq);
+      break;
+    }
+    case PrefetcherKind::NextLine: {
+      queue_ = std::make_unique<frontend::FetchTargetQueue>(
+          cfg_.queue_blocks, cfg_.line_bytes);
+      prefetch::NextLineConfig ncfg;
+      ncfg.entries = cfg_.prebuffer_entries;
+      ncfg.degree = cfg_.next_line_degree;
+      ncfg.pb_latency = timings_.prebuffer_latency;
+      ncfg.pb_pipelined = cfg_.prebuffer_pipelined;
+      ncfg.line_bytes = cfg_.line_bytes;
+      prefetcher_ = std::make_unique<prefetch::NextLinePrefetcher>(
+          ncfg, *caches_, *mem_);
+      break;
+    }
+    case PrefetcherKind::None: {
+      queue_ = std::make_unique<frontend::FetchTargetQueue>(
+          cfg_.queue_blocks, cfg_.line_bytes);
+      prefetcher_ = std::make_unique<prefetch::NonePrefetcher>();
+      break;
+    }
+  }
+
+  frontend::FetchEngineConfig fecfg;
+  fecfg.width = cfg_.width;
+  fetch_engine_ = std::make_unique<frontend::FetchEngine>(
+      fecfg, *queue_, *caches_, *mem_, *prefetcher_);
+  backend_ = std::make_unique<Backend>(cfg_, *oracle_, program_, *mem_);
+  driver_ = std::make_unique<FrontendDriver>(predictor_, ras_, *oracle_,
+                                             *queue_, program_);
+}
+
+Cpu::~Cpu() = default;
+
+void Cpu::do_recovery(Cycle now) {
+  backend_->squash_younger_than_culprit();
+  queue_->flush();
+  fetch_engine_->flush();
+  prefetcher_->on_recovery(now);
+  driver_->on_recovery();
+  recoveries.add();
+}
+
+void Cpu::tick() {
+  const Cycle now = cycle_;
+  backend_->begin_cycle(now);
+  mem_->tick(now);
+  const bool recovering = backend_->recovery_due(now);
+  if (recovering) do_recovery(now);
+  backend_->tick_commit(now);
+  backend_->tick_issue(now);
+  backend_->tick_dispatch(now);
+  if (!recovering) {
+    // Fetch races ahead of the prefetch scan: a head-of-queue line the
+    // scan has not reached yet goes down the demand path (L0/L1/L2 — the
+    // emergency role of the caches), while the scan covers the lookahead.
+    // The predictor pushes new blocks last, so the scan sees them one
+    // cycle later — its one-cycle table latency (Table 2).
+    fetch_engine_->tick(now, *backend_);
+    prefetcher_->tick(now);
+    driver_->tick(now);
+  }
+  ++cycle_;
+}
+
+RunResult Cpu::run() {
+  const std::uint64_t target =
+      cfg_.warmup_instructions + cfg_.max_instructions;
+  // Generous wedge detector: even mcf-like IPC stays well above 1/400.
+  const Cycle cycle_cap = 10000 + target * 400;
+
+  StatSnapshot warm{};
+  while (backend_->committed() < target) {
+    if (!warmup_done_ && backend_->committed() >= cfg_.warmup_instructions) {
+      warmup_done_ = true;
+      warmup_cycle_ = cycle_;
+      warmup_instrs_ = backend_->committed();
+      warm = take_snapshot(*fetch_engine_, *prefetcher_, *mem_, *backend_,
+                           recoveries.value(),
+                           driver_->blocks_predicted.value());
+    }
+    PRESTAGE_ASSERT(cycle_ < cycle_cap, "machine wedged: committed " +
+                                            std::to_string(backend_->committed()) +
+                                            " of " + std::to_string(target));
+    tick();
+  }
+  if (!warmup_done_) {
+    warmup_done_ = true;
+    warmup_cycle_ = 0;
+    warmup_instrs_ = 0;
+  }
+
+  const StatSnapshot end = take_snapshot(
+      *fetch_engine_, *prefetcher_, *mem_, *backend_, recoveries.value(),
+      driver_->blocks_predicted.value());
+
+  RunResult r;
+  r.benchmark = cfg_.benchmark;
+  r.instructions = backend_->committed() - warmup_instrs_;
+  r.cycles = cycle_ - warmup_cycle_;
+  r.ipc = r.cycles == 0 ? 0.0
+                        : static_cast<double>(r.instructions) /
+                              static_cast<double>(r.cycles);
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    const auto s = static_cast<FetchSource>(i);
+    r.fetch_sources.add(s, end.fetch_src[i] - warm.fetch_src[i]);
+    r.prefetch_sources.add(s, end.prefetch_src[i] - warm.prefetch_src[i]);
+  }
+  r.lines_fetched = end.lines - warm.lines;
+  r.recoveries = end.recoveries - warm.recoveries;
+  r.blocks_predicted = end.blocks - warm.blocks;
+  r.mispredicts_per_kilo_instr =
+      r.instructions == 0
+          ? 0.0
+          : 1000.0 * static_cast<double>(r.recoveries) /
+                static_cast<double>(r.instructions);
+  r.l2_hits = end.l2_hits - warm.l2_hits;
+  r.l2_misses = end.l2_misses - warm.l2_misses;
+  r.dcache_misses = end.dcache_misses - warm.dcache_misses;
+  r.prefetches_issued = end.prefetches - warm.prefetches;
+  return r;
+}
+
+}  // namespace prestage::cpu

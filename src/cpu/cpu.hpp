@@ -1,0 +1,104 @@
+// The whole machine: workload + oracle + decoupled front-end + prefetcher
+// + cache hierarchy + back-end, advanced cycle by cycle.
+//
+// This is the public simulation entry point: construct a Cpu from a
+// MachineConfig and call run(); the RunResult carries every statistic the
+// paper's figures plot.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bpred/ras.hpp"
+#include "bpred/stream_predictor.hpp"
+#include "common/stats.hpp"
+#include "cpu/backend.hpp"
+#include "cpu/config.hpp"
+#include "cpu/frontend_driver.hpp"
+#include "cpu/oracle.hpp"
+#include "frontend/fetch_engine.hpp"
+#include "frontend/fetch_queue.hpp"
+#include "mem/ifetch_caches.hpp"
+#include "mem/memsys.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "workload/program.hpp"
+
+namespace prestage::cpu {
+
+/// Everything a bench harness needs to reproduce the paper's figures.
+struct RunResult {
+  std::string benchmark;
+  std::uint64_t instructions = 0;  ///< committed (post-warmup)
+  Cycle cycles = 0;                ///< elapsed (post-warmup)
+  double ipc = 0.0;
+
+  SourceBreakdown fetch_sources;     ///< Figure 7
+  SourceBreakdown prefetch_sources;  ///< Figure 8
+  std::uint64_t lines_fetched = 0;
+
+  std::uint64_t recoveries = 0;       ///< branch misprediction recoveries
+  std::uint64_t blocks_predicted = 0;
+  double mispredicts_per_kilo_instr = 0.0;
+
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t prefetches_issued = 0;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(const MachineConfig& config);
+  ~Cpu();
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Runs until the configured instruction count commits; returns the
+  /// collected statistics. Throws SimError if the machine wedges.
+  RunResult run();
+
+  /// Advances a single cycle (integration tests).
+  void tick();
+
+  [[nodiscard]] Cycle cycle() const noexcept { return cycle_; }
+  [[nodiscard]] const Backend& backend() const { return *backend_; }
+  [[nodiscard]] const prefetch::IPrefetcher& prefetcher() const {
+    return *prefetcher_;
+  }
+  [[nodiscard]] const frontend::FetchEngine& fetch_engine() const {
+    return *fetch_engine_;
+  }
+  [[nodiscard]] const FrontendDriver& driver() const { return *driver_; }
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] const DerivedTimings& timings() const { return timings_; }
+  [[nodiscard]] const workload::Program& program() const { return program_; }
+
+  Counter recoveries;
+
+ private:
+  void do_recovery(Cycle now);
+  void snapshot_warmup_baseline();
+
+  MachineConfig cfg_;
+  DerivedTimings timings_;
+  workload::Program program_;
+
+  std::unique_ptr<Oracle> oracle_;
+  bpred::StreamPredictor predictor_;
+  bpred::ReturnAddressStack ras_;
+  std::unique_ptr<mem::MemSystem> mem_;
+  std::unique_ptr<mem::IFetchCaches> caches_;
+  std::unique_ptr<frontend::IFetchQueue> queue_;
+  std::unique_ptr<prefetch::IPrefetcher> prefetcher_;
+  std::unique_ptr<frontend::FetchEngine> fetch_engine_;
+  std::unique_ptr<Backend> backend_;
+  std::unique_ptr<FrontendDriver> driver_;
+
+  Cycle cycle_ = 0;
+  bool warmup_done_ = false;
+  Cycle warmup_cycle_ = 0;
+  std::uint64_t warmup_instrs_ = 0;
+};
+
+}  // namespace prestage::cpu

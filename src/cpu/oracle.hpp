@@ -1,0 +1,99 @@
+// The oracle: the actual (committed-path) execution, one stream at a time.
+//
+// Wraps the workload trace walker with:
+//  * a remainder cursor — predictions are verified against the actual
+//    stream *from the current resume point* (which sits mid-stream after
+//    a recovery from a length-underprediction);
+//  * a sliding DynInst window — the back-end resolves correct-path
+//    instruction metadata by sequence number;
+//  * per-stream call-stack snapshots — recovery repairs the speculative
+//    RAS with the call stack as of the resume point (a stream contains at
+//    most one call/return, always its final instruction, so the snapshot
+//    taken at stream start is exact for every resume point inside it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bpred/stream.hpp"
+#include "common/prestage_assert.hpp"
+#include "workload/trace.hpp"
+
+namespace prestage::cpu {
+
+class Oracle {
+ public:
+  Oracle(const workload::Program& program, std::uint64_t seed)
+      : walker_(program, seed) {
+    advance_chunk();
+  }
+
+  /// The actual stream from the current position: start PC, remaining
+  /// length, and the successor of the underlying stream.
+  [[nodiscard]] bpred::Stream remainder() const {
+    const auto& s = chunk_.stream;
+    bpred::Stream r;
+    r.start = s.start + static_cast<Addr>(offset_) * kInstrBytes;
+    r.length = s.length - offset_;
+    r.next_start = s.next_start;
+    return r;
+  }
+
+  /// Sequence number of the instruction at the current position.
+  [[nodiscard]] std::uint64_t seq_at_cursor() const {
+    return chunk_.insts[offset_].seq;
+  }
+
+  /// Consumes @p n instructions (n <= remainder().length). Crossing a
+  /// stream boundary snapshots the call stack and generates the next
+  /// stream, so remainder() is always non-empty.
+  void consume(std::uint32_t n) {
+    PRESTAGE_ASSERT(offset_ + n <= chunk_.stream.length);
+    offset_ += n;
+    if (offset_ == chunk_.stream.length) advance_chunk();
+  }
+
+  /// Correct-path instruction metadata by sequence number. Valid from the
+  /// oldest unreleased instruction to the newest generated one.
+  [[nodiscard]] const workload::DynInst& get(std::uint64_t seq) const {
+    PRESTAGE_ASSERT(seq >= base_seq_ && seq - base_seq_ < window_.size(),
+                    "oracle window lookup out of range");
+    return window_[static_cast<std::size_t>(seq - base_seq_)];
+  }
+
+  /// Releases window entries older than @p seq (commit).
+  void release_below(std::uint64_t seq) {
+    while (base_seq_ < seq && !window_.empty()) {
+      window_.pop_front();
+      ++base_seq_;
+    }
+  }
+
+  /// Call stack (innermost first) as of the current stream's start: the
+  /// correct RAS contents for any resume point inside it.
+  [[nodiscard]] const std::vector<Addr>& stack_snapshot() const {
+    return stack_snapshot_;
+  }
+
+  [[nodiscard]] std::uint64_t instructions_generated() const {
+    return walker_.instructions();
+  }
+
+ private:
+  void advance_chunk() {
+    stack_snapshot_ = walker_.call_stack_pcs(8);
+    chunk_ = walker_.next_stream();
+    offset_ = 0;
+    for (const auto& d : chunk_.insts) window_.push_back(d);
+  }
+
+  workload::TraceGenerator walker_;
+  workload::TraceGenerator::StreamChunk chunk_;
+  std::uint32_t offset_ = 0;
+  std::deque<workload::DynInst> window_;
+  std::uint64_t base_seq_ = 0;
+  std::vector<Addr> stack_snapshot_;
+};
+
+}  // namespace prestage::cpu

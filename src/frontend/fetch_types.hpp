@@ -1,0 +1,59 @@
+// Shared value types of the decoupled front-end.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace prestage::frontend {
+
+/// Oracle sequence number meaning "no oracle instruction" (wrong path).
+inline constexpr std::uint64_t kNoSeq = static_cast<std::uint64_t>(-1);
+
+/// A predicted fetch block (stream) as pushed into the FTQ/CLTQ, annotated
+/// with the verification outcome against the oracle trace:
+///  * wrong_from  — instructions at index >= wrong_from were predicted
+///    beyond the point of divergence and run down the wrong path
+///    (wrong_from == length when the prefix is fully correct).
+///  * culprit_index — index of the instruction whose prediction diverged
+///    (-1 when the block matches the oracle). Its execution triggers
+///    recovery.
+///  * oracle_base_seq — seq of the first instruction when the block has a
+///    correct-path prefix; kNoSeq for blocks fetched entirely down the
+///    wrong path.
+struct FetchBlock {
+  Addr start = kNoAddr;
+  std::uint32_t length = 0;  ///< instructions
+  Addr pred_next = kNoAddr;
+  std::uint64_t oracle_base_seq = kNoSeq;
+  std::uint32_t wrong_from = 0;
+  std::int32_t culprit_index = -1;
+
+  [[nodiscard]] bool fully_wrong() const noexcept {
+    return oracle_base_seq == kNoSeq;
+  }
+};
+
+/// One cache line's worth of a fetch block: the unit the fetch engine
+/// requests from the memory structures, and (for CLGP) the unit stored in
+/// the CLTQ.
+struct LineView {
+  Addr line = kNoAddr;      ///< line-aligned address
+  Addr first_pc = kNoAddr;  ///< first instruction to fetch in this line
+  std::uint32_t count = 0;  ///< instructions to fetch from this line
+  std::uint64_t oracle_seq = kNoSeq;  ///< seq of first_pc (kNoSeq if wrong)
+  std::uint32_t wrong_from = 0;       ///< index within this line
+  std::int32_t culprit_index = -1;    ///< index within this line, or -1
+  bool prefetched = false;  ///< CLTQ "prefetched bit" (scanned by CLGP)
+};
+
+/// An instruction leaving the fetch stage toward decode.
+struct FetchedInst {
+  Addr pc = kNoAddr;
+  std::uint64_t oracle_seq = kNoSeq;  ///< kNoSeq for wrong-path instrs
+  bool wrong_path = false;
+  bool culprit = false;  ///< resolves the pending misprediction
+  FetchSource source = FetchSource::L1;
+};
+
+}  // namespace prestage::frontend

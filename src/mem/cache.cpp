@@ -1,0 +1,106 @@
+#include "mem/cache.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::mem {
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes,
+                             std::uint32_t line_bytes, std::uint32_t assoc)
+    : size_(size_bytes), line_(line_bytes) {
+  PRESTAGE_ASSERT(is_pow2(size_bytes), "cache size must be a power of two");
+  PRESTAGE_ASSERT(is_pow2(line_bytes), "line size must be a power of two");
+  PRESTAGE_ASSERT(size_bytes >= line_bytes, "cache smaller than one line");
+  const std::uint64_t lines = size_bytes / line_bytes;
+  assoc_ = (assoc == 0 || assoc > lines) ? static_cast<std::uint32_t>(lines)
+                                         : assoc;
+  PRESTAGE_ASSERT(lines % assoc_ == 0, "lines not divisible by ways");
+  sets_ = lines / assoc_;
+  PRESTAGE_ASSERT(is_pow2(sets_), "set count must be a power of two");
+  ways_.resize(sets_ * assoc_);
+}
+
+std::uint64_t SetAssocCache::set_index(Addr addr) const noexcept {
+  return (addr / line_) & (sets_ - 1);
+}
+
+Addr SetAssocCache::tag_of(Addr addr) const noexcept {
+  return addr / line_ / sets_;
+}
+
+SetAssocCache::Way* SetAssocCache::find(Addr addr) {
+  const std::uint64_t base = set_index(addr) * assoc_;
+  const Addr tag = tag_of(addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) return &way;
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Way* SetAssocCache::find(Addr addr) const {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+bool SetAssocCache::contains(Addr addr) const { return find(addr) != nullptr; }
+
+bool SetAssocCache::access(Addr addr) {
+  if (Way* way = find(addr)) {
+    way->lru = ++lru_clock_;
+    return true;
+  }
+  return false;
+}
+
+void SetAssocCache::mark_dirty(Addr addr) {
+  if (Way* way = find(addr)) way->dirty = true;
+}
+
+std::optional<Eviction> SetAssocCache::insert(Addr addr, bool dirty) {
+  if (Way* way = find(addr)) {
+    way->lru = ++lru_clock_;
+    way->dirty = way->dirty || dirty;
+    return std::nullopt;
+  }
+  const std::uint64_t base = set_index(addr) * assoc_;
+  Way* victim = &ways_[base];
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  std::optional<Eviction> evicted;
+  if (victim->valid) {
+    const Addr victim_line =
+        (victim->tag * sets_ + set_index(addr)) * line_;
+    evicted = Eviction{victim_line, victim->dirty};
+  }
+  victim->tag = tag_of(addr);
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->lru = ++lru_clock_;
+  return evicted;
+}
+
+void SetAssocCache::invalidate(Addr addr) {
+  if (Way* way = find(addr)) {
+    way->valid = false;
+    way->dirty = false;
+  }
+}
+
+void SetAssocCache::clear() {
+  for (Way& way : ways_) way = Way{};
+  lru_clock_ = 0;
+}
+
+std::uint64_t SetAssocCache::valid_lines() const {
+  std::uint64_t n = 0;
+  for (const Way& way : ways_)
+    if (way.valid) ++n;
+  return n;
+}
+
+}  // namespace prestage::mem

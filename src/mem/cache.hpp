@@ -1,0 +1,81 @@
+// Set-associative tag store with true-LRU replacement.
+//
+// The simulator is trace-driven, so caches track only tags and metadata —
+// never data bytes. One class serves every level: L0 filter cache, L1
+// instruction cache, L1 data cache and the unified L2 (the paper's
+// fully-associative pre-buffers have richer per-entry state and live in
+// src/prefetch and src/core instead).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace prestage::mem {
+
+/// Result of inserting a line: the victim, if a valid line was evicted.
+struct Eviction {
+  Addr line;   ///< line-aligned address of the evicted block
+  bool dirty;  ///< whether the victim held unwritten-back data
+};
+
+class SetAssocCache {
+ public:
+  /// @param size_bytes  total capacity; power of two
+  /// @param line_bytes  block size; power of two
+  /// @param assoc       ways per set; 0 selects full associativity
+  SetAssocCache(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                std::uint32_t assoc);
+
+  /// Tag probe with no replacement-state side effects (the paper's FDP
+  /// "Enqueue Cache Probe Filtering" uses an extra tag port this way).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Demand lookup: updates LRU on hit. Returns true on hit.
+  bool access(Addr addr);
+
+  /// Marks the line holding @p addr dirty (store hit). No-op on miss.
+  void mark_dirty(Addr addr);
+
+  /// Fills the line containing @p addr, evicting the set's LRU entry if
+  /// the set is full. Filling an already-present line only refreshes LRU.
+  std::optional<Eviction> insert(Addr addr, bool dirty = false);
+
+  /// Drops the line containing @p addr if present.
+  void invalidate(Addr addr);
+
+  /// Drops every line.
+  void clear();
+
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept { return line_; }
+  [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
+  [[nodiscard]] std::uint64_t num_sets() const noexcept { return sets_; }
+
+  /// Number of currently valid lines (for occupancy tests).
+  [[nodiscard]] std::uint64_t valid_lines() const;
+
+ private:
+  struct Way {
+    Addr tag = kNoAddr;
+    std::uint64_t lru = 0;  ///< larger == more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_index(Addr addr) const noexcept;
+  [[nodiscard]] Addr tag_of(Addr addr) const noexcept;
+  [[nodiscard]] Way* find(Addr addr);
+  [[nodiscard]] const Way* find(Addr addr) const;
+
+  std::uint64_t size_;
+  std::uint32_t line_;
+  std::uint32_t assoc_;
+  std::uint64_t sets_;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  ///< sets_ * assoc_, set-major
+};
+
+}  // namespace prestage::mem

@@ -1,0 +1,154 @@
+#include "mem/memsys.hpp"
+
+#include <algorithm>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::mem {
+
+MemSystem::MemSystem(const MemSystemConfig& config)
+    : config_(config),
+      l2_(config.l2_size_bytes, config.l2_line_bytes, config.l2_assoc) {
+  PRESTAGE_ASSERT(config.l2_latency >= 1);
+  PRESTAGE_ASSERT(config.mem_latency >= 1);
+  PRESTAGE_ASSERT(config.transfer_bytes > 0);
+}
+
+void MemSystem::submit(ReqType type, Addr addr, Cycle now,
+                       FillCallback on_fill) {
+  const Addr line = l1_line(addr);
+
+  // MSHR merge: piggyback on an in-service fill for the same line.
+  if (auto it = in_service_by_line_.find(line);
+      it != in_service_by_line_.end()) {
+    in_service_[it->second].callbacks.push_back(std::move(on_fill));
+    merges.add();
+    return;
+  }
+  // Merge with a still-queued request; a higher-priority requester
+  // upgrades the transaction's arbitration class.
+  if (auto it = pending_by_line_.find(line); it != pending_by_line_.end()) {
+    Transaction& txn = pending_[it->second];
+    if (static_cast<int>(type) < static_cast<int>(txn.type)) txn.type = type;
+    txn.callbacks.push_back(std::move(on_fill));
+    merges.add();
+    return;
+  }
+
+  Transaction txn;
+  txn.line = line;
+  txn.type = type;
+  txn.seq = next_seq_++;
+  txn.callbacks.push_back(std::move(on_fill));
+  pending_by_line_.emplace(line, pending_.size());
+  pending_.push_back(std::move(txn));
+  (void)now;
+}
+
+void MemSystem::submit_writeback(Addr addr, Cycle now) {
+  (void)now;
+  Transaction txn;
+  txn.line = line_align(addr, config_.l2_line_bytes);
+  txn.type = ReqType::Data;
+  txn.seq = next_seq_++;
+  txn.is_writeback = true;
+  // Writebacks are not merged: each occupies the bus once.
+  pending_.push_back(std::move(txn));
+}
+
+bool MemSystem::in_flight(Addr addr) const {
+  const Addr line = l1_line(addr);
+  return pending_by_line_.contains(line) || in_service_by_line_.contains(line);
+}
+
+void MemSystem::grant_one(Cycle now) {
+  if (now < bus_free_at_ || pending_.empty()) return;
+
+  // Highest priority class first; oldest submission within a class.
+  std::size_t best = pending_.size();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (best == pending_.size()) {
+      best = i;
+      continue;
+    }
+    const Transaction& a = pending_[i];
+    const Transaction& b = pending_[best];
+    if (static_cast<int>(a.type) < static_cast<int>(b.type) ||
+        (a.type == b.type && a.seq < b.seq)) {
+      best = i;
+    }
+  }
+  Transaction txn = std::move(pending_[best]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  if (!txn.is_writeback) pending_by_line_.erase(txn.line);
+  // Rebuild indices shifted by the erase.
+  pending_by_line_.clear();
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    if (!pending_[i].is_writeback)
+      pending_by_line_.emplace(pending_[i].line, i);
+
+  grants[static_cast<std::size_t>(txn.type)].add();
+  const Cycle transfer = std::max<Cycle>(
+      1, config_.l1_line_bytes / config_.transfer_bytes);
+  bus_free_at_ = now + transfer;
+  bus_busy_cycles.add(transfer);
+
+  if (txn.is_writeback) {
+    writebacks.add();
+    l2_.insert(txn.line, /*dirty=*/true);
+    return;  // fire-and-forget
+  }
+
+  txn.granted = true;
+  if (l2_.access(txn.line)) {
+    l2_hits.add();
+    txn.source = FetchSource::L2;
+    txn.ready = now + static_cast<Cycle>(config_.l2_latency);
+  } else {
+    l2_misses.add();
+    txn.source = FetchSource::Memory;
+    txn.ready = now + static_cast<Cycle>(config_.l2_latency) +
+                static_cast<Cycle>(config_.mem_latency);
+    // The memory fill installs the (larger) L2 line; a dirty victim is
+    // counted but its writeback bandwidth is charged to the memory bus,
+    // which is not the contended resource in this study.
+    l2_.insert(line_align(txn.line, config_.l2_line_bytes));
+  }
+  in_service_by_line_.emplace(txn.line, in_service_.size());
+  in_service_.push_back(std::move(txn));
+}
+
+void MemSystem::deliver_completions(Cycle now) {
+  // Completions fire in (ready, seq) order for determinism. The number of
+  // in-service fills is small (bounded by bus issue rate x latency), so a
+  // linear scan is cheap and keeps the structure simple.
+  for (;;) {
+    std::size_t best = in_service_.size();
+    for (std::size_t i = 0; i < in_service_.size(); ++i) {
+      if (in_service_[i].ready > now) continue;
+      if (best == in_service_.size() ||
+          in_service_[i].ready < in_service_[best].ready ||
+          (in_service_[i].ready == in_service_[best].ready &&
+           in_service_[i].seq < in_service_[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == in_service_.size()) return;
+    Transaction txn = std::move(in_service_[best]);
+    in_service_.erase(in_service_.begin() +
+                      static_cast<std::ptrdiff_t>(best));
+    in_service_by_line_.clear();
+    for (std::size_t i = 0; i < in_service_.size(); ++i)
+      in_service_by_line_.emplace(in_service_[i].line, i);
+    for (FillCallback& cb : txn.callbacks) cb(txn.source, txn.ready);
+  }
+}
+
+void MemSystem::tick(Cycle now) {
+  PRESTAGE_ASSERT(now >= last_tick_, "tick must not go backwards");
+  last_tick_ = now;
+  deliver_completions(now);
+  grant_one(now);
+}
+
+}  // namespace prestage::mem

@@ -1,0 +1,112 @@
+// The shared L2 + main-memory subsystem behind a single arbitrated bus.
+//
+// Paper §4.1: one request per cycle may use the L2 bus; priority is
+// L1 data cache > L1 instruction cache (demand fetch) > prefetcher.
+// Requests for a line already in flight merge MSHR-style (the later
+// requester piggybacks on the earlier fill; a demand merge upgrades the
+// pending request's priority). Completion is delivered through callbacks
+// invoked in deterministic (ready-cycle, submission-order) order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace prestage::mem {
+
+/// Bus priority classes, highest first (paper §4.1).
+enum class ReqType : std::uint8_t {
+  Data = 0,          ///< L1 D-cache miss or writeback
+  IFetchDemand = 1,  ///< L1 I-cache demand miss
+  IPrefetch = 2,     ///< FDP/CLGP prefetch
+};
+
+inline constexpr int kNumReqTypes = 3;
+
+/// Called when a fill completes: where the line was found (L2 or Memory)
+/// and the cycle the data is available to the requester.
+using FillCallback = std::function<void(FetchSource, Cycle)>;
+
+struct MemSystemConfig {
+  std::uint64_t l2_size_bytes = 1ULL << 20U;  ///< 1 MB (Table 2)
+  std::uint32_t l2_line_bytes = 128;          ///< Table 2
+  std::uint32_t l2_assoc = 2;                 ///< Table 2
+  int l2_latency = 17;          ///< cycles; Table 3, node-dependent
+  int mem_latency = 200;        ///< cycles (Table 2)
+  std::uint32_t transfer_bytes = 64;  ///< bus bandwidth per cycle (Table 2)
+  std::uint32_t l1_line_bytes = 64;   ///< fill transfer unit
+};
+
+class MemSystem {
+ public:
+  explicit MemSystem(const MemSystemConfig& config);
+
+  /// Submits a fill request for the line containing @p addr. The callback
+  /// fires during the tick() whose cycle equals the fill's ready time.
+  /// Requests for an already-in-flight line merge; merging a
+  /// higher-priority request upgrades a still-queued transaction.
+  void submit(ReqType type, Addr addr, Cycle now, FillCallback on_fill);
+
+  /// Queues a dirty-line writeback (bus occupancy only, no callback).
+  void submit_writeback(Addr addr, Cycle now);
+
+  /// Advances arbitration and delivers completions for cycle @p now.
+  /// Must be called once per cycle with non-decreasing @p now.
+  void tick(Cycle now);
+
+  /// True if a fill for @p addr's line is pending or in flight.
+  [[nodiscard]] bool in_flight(Addr addr) const;
+
+  /// Direct access to the L2 tag array (tests, warm-up).
+  [[nodiscard]] SetAssocCache& l2() noexcept { return l2_; }
+  [[nodiscard]] const SetAssocCache& l2() const noexcept { return l2_; }
+
+  [[nodiscard]] const MemSystemConfig& config() const noexcept {
+    return config_;
+  }
+
+  // --- statistics -------------------------------------------------------
+  Counter l2_hits;
+  Counter l2_misses;
+  Counter writebacks;
+  Counter merges;                      ///< requests satisfied by merging
+  std::array<Counter, kNumReqTypes> grants;  ///< bus grants per class
+  Counter bus_busy_cycles;
+
+ private:
+  struct Transaction {
+    Addr line = kNoAddr;
+    ReqType type = ReqType::IPrefetch;
+    std::uint64_t seq = 0;      ///< submission order (grant tie-break)
+    Cycle ready = kNoCycle;     ///< set at grant time
+    FetchSource source = FetchSource::L2;
+    bool granted = false;
+    bool is_writeback = false;
+    std::vector<FillCallback> callbacks;
+  };
+
+  [[nodiscard]] Addr l1_line(Addr addr) const noexcept {
+    return line_align(addr, config_.l1_line_bytes);
+  }
+
+  void grant_one(Cycle now);
+  void deliver_completions(Cycle now);
+
+  MemSystemConfig config_;
+  SetAssocCache l2_;
+  std::vector<Transaction> pending_;  ///< not yet granted
+  std::vector<Transaction> in_service_;  ///< granted, awaiting ready
+  std::unordered_map<Addr, std::size_t> pending_by_line_;
+  std::unordered_map<Addr, std::size_t> in_service_by_line_;
+  Cycle bus_free_at_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Cycle last_tick_ = 0;
+};
+
+}  // namespace prestage::mem

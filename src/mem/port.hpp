@@ -1,0 +1,54 @@
+// Cache port timing: blocking (conventional multi-cycle) or pipelined.
+//
+// This small state machine is where the paper's central trade-off lives:
+// a conventional multi-cycle cache blocks its port for the whole access
+// (low throughput), while a pipelined cache accepts a new access every
+// cycle at the same latency (high throughput, but redirect/mispredict
+// flushes pay the full pipeline drain — modelled naturally because each
+// access still completes `latency` cycles after it starts).
+#pragma once
+
+#include "common/prestage_assert.hpp"
+#include "common/types.hpp"
+
+namespace prestage::mem {
+
+class LatencyPort {
+ public:
+  LatencyPort(int latency_cycles, bool pipelined)
+      : latency_(latency_cycles), pipelined_(pipelined) {
+    PRESTAGE_ASSERT(latency_cycles >= 1, "port latency must be >= 1");
+  }
+
+  [[nodiscard]] int latency() const noexcept { return latency_; }
+  [[nodiscard]] bool pipelined() const noexcept { return pipelined_; }
+
+  /// Can a new access start at @p now?
+  [[nodiscard]] bool can_accept(Cycle now) const noexcept {
+    if (pipelined_) return last_issue_ == kNoCycle || now > last_issue_;
+    return busy_until_ == kNoCycle || now >= busy_until_;
+  }
+
+  /// Starts an access at @p now; returns the cycle its result is available.
+  Cycle issue(Cycle now) {
+    PRESTAGE_ASSERT(can_accept(now), "issue on busy port");
+    last_issue_ = now;
+    if (!pipelined_) busy_until_ = now + static_cast<Cycle>(latency_);
+    return now + static_cast<Cycle>(latency_);
+  }
+
+  /// Clears occupancy (used on machine reset, not on pipeline flush: an
+  /// in-flight SRAM access completes regardless of a flush).
+  void reset() noexcept {
+    busy_until_ = kNoCycle;
+    last_issue_ = kNoCycle;
+  }
+
+ private:
+  int latency_;
+  bool pipelined_;
+  Cycle busy_until_ = kNoCycle;  ///< blocking ports: busy until this cycle
+  Cycle last_issue_ = kNoCycle;  ///< pipelined ports: one issue per cycle
+};
+
+}  // namespace prestage::mem

@@ -1,0 +1,161 @@
+#include "prefetch/fdp.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::prefetch {
+
+FdpPrefetcher::FdpPrefetcher(const FdpConfig& config,
+                             frontend::FetchTargetQueue& ftq,
+                             mem::IFetchCaches& caches, mem::MemSystem& mem)
+    : config_(config),
+      ftq_(ftq),
+      caches_(caches),
+      mem_(mem),
+      port_(config.pb_latency, config.pb_pipelined),
+      entries_(config.entries) {
+  PRESTAGE_ASSERT(config.entries >= 1);
+}
+
+FdpPrefetcher::Entry* FdpPrefetcher::find(Addr line) {
+  for (Entry& e : entries_) {
+    if (e.allocated && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+const FdpPrefetcher::Entry* FdpPrefetcher::find(Addr line) const {
+  return const_cast<FdpPrefetcher*>(this)->find(line);
+}
+
+FdpPrefetcher::Entry* FdpPrefetcher::allocate() {
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.allocated) return &e;
+  }
+  // LRU fallback over arrived-but-unused entries (see header).
+  for (Entry& e : entries_) {
+    if (!e.valid) continue;  // in-flight entries cannot be reclaimed
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  return victim;
+}
+
+PreBufferProbe FdpPrefetcher::probe(Addr line) const {
+  const Entry* e = find(line);
+  if (e == nullptr) return {};
+  return PreBufferProbe{true, e->valid ? 0 : e->ready};
+}
+
+void FdpPrefetcher::on_fetch_from_pb(Addr line, Cycle now) {
+  Entry* e = find(line);
+  PRESTAGE_ASSERT(e != nullptr, "PB consume of absent line");
+  e->lru = ++lru_clock_;
+  if (e->valid) {
+    promote_and_free(*e);
+  } else {
+    // Consumed while the fill is still in flight: promote on arrival.
+    e->promote_on_fill = true;
+  }
+  (void)now;
+}
+
+void FdpPrefetcher::promote_and_free(Entry& e) {
+  // Paper §3.1/§3.1.1: a used line moves to the I-cache (L0 if present),
+  // and the entry becomes available for new prefetches.
+  caches_.fill_promoted(e.line);
+  e.allocated = false;
+  e.valid = false;
+  e.promote_on_fill = false;
+}
+
+bool FdpPrefetcher::process_line(Addr line, Cycle now,
+                                 bool& issued_transfer) {
+  // Enqueue Cache Probe Filtering: skip lines already one cycle away.
+  const bool one_cycle_resident = caches_.has_l0()
+                                      ? caches_.probe_l0(line)
+                                      : caches_.probe_l1(line);
+  if (one_cycle_resident) {
+    requests_filtered.add();
+    sources_.add(caches_.has_l0() ? FetchSource::L0 : FetchSource::L1);
+    return true;
+  }
+  if (find(line) != nullptr) {
+    sources_.add(FetchSource::PreBuffer);  // already staged or in flight
+    return true;
+  }
+  if (issued_transfer) return false;  // one new transfer per cycle
+
+  Entry* e = allocate();
+  if (e == nullptr) {
+    pb_occupancy_stalls.add();
+    return false;
+  }
+  // With an L0, prefetches are served by the (multi-cycle) L1 first
+  // (§3.1.1); without one, filtering guarantees the line is not in L1.
+  if (caches_.has_l0() && caches_.probe_l1(line)) {
+    if (!caches_.prefetch_port().can_accept(now)) return false;
+    const Cycle done = caches_.prefetch_port().issue(now);
+    *e = Entry{line, done, ++lru_clock_, e->gen + 1, true, false, false};
+    sources_.add(FetchSource::L1);
+    prefetches_issued.add();
+    issued_transfer = true;
+    return true;
+  }
+  *e = Entry{line, kNoCycle, ++lru_clock_, e->gen + 1, true, false, false};
+  const std::uint64_t gen = e->gen;
+  Entry* slot = e;
+  mem_.submit(mem::ReqType::IPrefetch, line, now,
+              [this, slot, line, gen](FetchSource src, Cycle ready) {
+                if (!slot->allocated || slot->gen != gen ||
+                    slot->line != line) {
+                  return;  // entry was reclaimed meanwhile
+                }
+                slot->ready = ready;
+                slot->valid = true;
+                sources_.add(src);
+                if (slot->promote_on_fill) promote_and_free(*slot);
+              });
+  prefetches_issued.add();
+  issued_transfer = true;
+  return true;
+}
+
+void FdpPrefetcher::tick(Cycle now) {
+  // Make in-flight L1->PB transfers visible once their port time passes.
+  for (Entry& e : entries_) {
+    if (e.allocated && !e.valid && e.ready != kNoCycle && e.ready <= now) {
+      e.valid = true;
+      if (e.promote_on_fill) promote_and_free(e);
+    }
+  }
+  std::uint32_t examined = 0;
+  bool issued_transfer = false;
+  for (std::size_t b = 0; b < ftq_.size(); ++b) {
+    auto& entry = ftq_.entry(b);
+    for (;;) {
+      if (examined >= config_.scan_per_cycle) return;
+      const auto view = frontend::line_of_block(entry.block,
+                                                ftq_.line_bytes(),
+                                                entry.prefetch_line);
+      if (!view.has_value()) break;  // block fully scanned
+      ++examined;
+      if (!process_line(view->line, now, issued_transfer)) return;
+      ++entry.prefetch_line;
+    }
+  }
+}
+
+void FdpPrefetcher::on_recovery(Cycle now) {
+  // The FTQ (and its scan cursors) is flushed by the CPU; prefetched
+  // lines stay in the buffer — the paper keeps wrong-path prefetches as
+  // potentially useful (§3.2.3 discusses the same for CLGP).
+  (void)now;
+}
+
+std::uint32_t FdpPrefetcher::valid_entries() const {
+  std::uint32_t n = 0;
+  for (const Entry& e : entries_) n += (e.allocated && e.valid);
+  return n;
+}
+
+}  // namespace prestage::prefetch

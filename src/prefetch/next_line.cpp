@@ -1,0 +1,86 @@
+#include "prefetch/next_line.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::prefetch {
+
+NextLinePrefetcher::NextLinePrefetcher(const NextLineConfig& config,
+                                       mem::IFetchCaches& caches,
+                                       mem::MemSystem& mem)
+    : config_(config),
+      caches_(caches),
+      mem_(mem),
+      port_(config.pb_latency, config.pb_pipelined),
+      entries_(config.entries) {
+  PRESTAGE_ASSERT(config.entries >= 1 && config.degree >= 1);
+}
+
+NextLinePrefetcher::Entry* NextLinePrefetcher::find(Addr line) {
+  for (Entry& e : entries_) {
+    if (e.allocated && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+const NextLinePrefetcher::Entry* NextLinePrefetcher::find(Addr line) const {
+  return const_cast<NextLinePrefetcher*>(this)->find(line);
+}
+
+NextLinePrefetcher::Entry* NextLinePrefetcher::allocate() {
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.allocated) return &e;
+  }
+  for (Entry& e : entries_) {
+    if (!e.valid) continue;  // in flight
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  return victim;
+}
+
+PreBufferProbe NextLinePrefetcher::probe(Addr line) const {
+  const Entry* e = find(line);
+  if (e == nullptr) return {};
+  return PreBufferProbe{true, e->valid ? 0 : e->ready};
+}
+
+void NextLinePrefetcher::on_fetch_from_pb(Addr line, Cycle now) {
+  (void)now;
+  Entry* e = find(line);
+  PRESTAGE_ASSERT(e != nullptr, "PB consume of absent line");
+  caches_.fill_promoted(line);
+  e->allocated = false;
+  e->valid = false;
+}
+
+void NextLinePrefetcher::on_line_request(Addr line, Cycle now) {
+  for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+    const Addr target = line + static_cast<Addr>(d) * config_.line_bytes;
+    const bool resident = caches_.probe_l1(target) ||
+                          caches_.probe_l0(target) ||
+                          find(target) != nullptr;
+    if (resident) {
+      sources_.add(find(target) != nullptr ? FetchSource::PreBuffer
+                                           : FetchSource::L1);
+      continue;
+    }
+    Entry* e = allocate();
+    if (e == nullptr) return;
+    *e = Entry{target, kNoCycle, ++lru_clock_, e->gen + 1, true, false};
+    const std::uint64_t gen = e->gen;
+    Entry* slot = e;
+    mem_.submit(mem::ReqType::IPrefetch, target, now,
+                [this, slot, target, gen](FetchSource src, Cycle ready) {
+                  if (!slot->allocated || slot->gen != gen ||
+                      slot->line != target) {
+                    return;
+                  }
+                  slot->ready = ready;
+                  slot->valid = true;
+                  sources_.add(src);
+                });
+    prefetches_issued.add();
+  }
+}
+
+}  // namespace prestage::prefetch

@@ -1,0 +1,81 @@
+// Prefetcher interface seen by the fetch engine and the CPU loop.
+//
+// A prefetcher owns a pre-buffer (prefetch buffer for FDP, prestage buffer
+// for CLGP) that the fetch stage probes in parallel with L0/L1 (paper
+// §3.1/§3.2.4), plus an engine that scans the decoupling queue and issues
+// prefetches. "Prefetch source" statistics follow the paper's Figure 8
+// semantics: the original location of a line when a prefetch request is
+// processed (PB = already/in-flight in the pre-buffer, il1 = resident in
+// L1 — filtered by FDP, copied by CLGP — ul2/Mem = fetched from below).
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/port.hpp"
+
+namespace prestage::prefetch {
+
+/// Fetch-stage probe result for the pre-buffer.
+struct PreBufferProbe {
+  bool present = false;   ///< line allocated in the pre-buffer
+  Cycle data_ready = 0;   ///< cycle the line's data is (or will be) valid
+};
+
+class IPrefetcher {
+ public:
+  virtual ~IPrefetcher() = default;
+
+  /// Probes the pre-buffer for @p line (no side effects).
+  [[nodiscard]] virtual PreBufferProbe probe(Addr line) const = 0;
+
+  /// Pre-buffer read latency in cycles (1 for one-cycle buffers; the
+  /// pipelined 16-entry buffer takes 2-3, §5).
+  [[nodiscard]] virtual int pb_latency() const = 0;
+
+  /// Pre-buffer read port, or nullptr when there is no pre-buffer.
+  [[nodiscard]] virtual mem::LatencyPort* pb_port() = 0;
+
+  /// The fetch stage consumed @p line from the pre-buffer. FDP frees the
+  /// entry and promotes the line to L0/L1; CLGP decrements the consumers
+  /// counter and leaves the line in place.
+  virtual void on_fetch_from_pb(Addr line, Cycle now) = 0;
+
+  /// One cycle of prefetch work: scan the queue, issue prefetches.
+  virtual void tick(Cycle now) = 0;
+
+  /// Branch misprediction recovery. CLGP resets all consumers counters
+  /// (paper §3.2.3); FDP has no pre-buffer bookkeeping to undo.
+  virtual void on_recovery(Cycle now) = 0;
+
+  /// Observation hook: the fetch stage requested @p line (any source).
+  /// Used by demand-triggered schemes (next-N-line prefetching).
+  virtual void on_line_request(Addr line, Cycle now) {
+    (void)line;
+    (void)now;
+  }
+
+  /// Figure 8 statistics.
+  [[nodiscard]] virtual const SourceBreakdown& prefetch_sources() const = 0;
+
+  /// Total prefetch transfers started (reporting).
+  [[nodiscard]] virtual std::uint64_t prefetches() const { return 0; }
+};
+
+/// The no-prefetch baseline: the fetch stage sees no pre-buffer at all.
+class NonePrefetcher final : public IPrefetcher {
+ public:
+  [[nodiscard]] PreBufferProbe probe(Addr) const override { return {}; }
+  [[nodiscard]] int pb_latency() const override { return 1; }
+  [[nodiscard]] mem::LatencyPort* pb_port() override { return nullptr; }
+  void on_fetch_from_pb(Addr, Cycle) override {}
+  void tick(Cycle) override {}
+  void on_recovery(Cycle) override {}
+  [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
+    return sources_;
+  }
+
+ private:
+  SourceBreakdown sources_;
+};
+
+}  // namespace prestage::prefetch

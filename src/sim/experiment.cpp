@@ -1,0 +1,92 @@
+#include "sim/experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/prestage_assert.hpp"
+#include "workload/profiles.hpp"
+
+namespace prestage::sim {
+
+SourceBreakdown SuiteResult::fetch_sources() const {
+  SourceBreakdown total;
+  for (const auto& r : per_benchmark) {
+    for (int i = 0; i < kNumFetchSources; ++i) {
+      const auto s = static_cast<FetchSource>(i);
+      total.add(s, r.fetch_sources.count(s));
+    }
+  }
+  return total;
+}
+
+SourceBreakdown SuiteResult::prefetch_sources() const {
+  SourceBreakdown total;
+  for (const auto& r : per_benchmark) {
+    for (int i = 0; i < kNumFetchSources; ++i) {
+      const auto s = static_cast<FetchSource>(i);
+      total.add(s, r.prefetch_sources.count(s));
+    }
+  }
+  return total;
+}
+
+std::uint64_t default_instructions() {
+  if (const char* env = std::getenv("PRESTAGE_INSTRS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 120000;
+}
+
+std::vector<std::string> full_suite() {
+  std::vector<std::string> names;
+  names.reserve(workload::kNumBenchmarks);
+  for (const auto n : workload::benchmark_names()) names.emplace_back(n);
+  return names;
+}
+
+std::vector<cpu::RunResult> run_parallel(
+    const std::vector<cpu::MachineConfig>& configs) {
+  std::vector<cpu::RunResult> results(configs.size());
+  std::atomic<std::size_t> next{0};
+  const unsigned workers =
+      std::max(1U, std::thread::hardware_concurrency());
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      cpu::Cpu machine(configs[i]);
+      results[i] = machine.run();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+SuiteResult run_suite(const cpu::MachineConfig& cfg,
+                      const std::vector<std::string>& benchmarks,
+                      std::uint64_t instructions) {
+  const std::uint64_t instrs =
+      instructions > 0 ? instructions : default_instructions();
+  std::vector<cpu::MachineConfig> configs;
+  configs.reserve(benchmarks.size());
+  for (const auto& bench : benchmarks) {
+    cpu::MachineConfig c = cfg;
+    c.benchmark = bench;
+    c.max_instructions = instrs;
+    configs.push_back(c);
+  }
+  SuiteResult suite;
+  suite.per_benchmark = run_parallel(configs);
+  std::vector<double> ipcs;
+  ipcs.reserve(suite.per_benchmark.size());
+  for (const auto& r : suite.per_benchmark) ipcs.push_back(r.ipc);
+  suite.hmean_ipc = harmonic_mean(ipcs);
+  return suite;
+}
+
+}  // namespace prestage::sim

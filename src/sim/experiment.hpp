@@ -1,0 +1,46 @@
+// Experiment runner: executes machine configurations over the benchmark
+// suite, in parallel across worker threads (each simulation is an
+// independent Cpu instance), and aggregates per-benchmark results the way
+// the paper reports them (harmonic mean for IPC bars).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/config.hpp"
+#include "cpu/cpu.hpp"
+
+namespace prestage::sim {
+
+/// One simulation across the whole suite (or a subset).
+struct SuiteResult {
+  std::vector<cpu::RunResult> per_benchmark;
+  double hmean_ipc = 0.0;
+
+  /// Aggregated fetch-source distribution over the suite.
+  [[nodiscard]] SourceBreakdown fetch_sources() const;
+  /// Aggregated prefetch-source distribution over the suite.
+  [[nodiscard]] SourceBreakdown prefetch_sources() const;
+};
+
+/// Default instruction budget per benchmark run. Override with the
+/// PRESTAGE_INSTRS environment variable (bench harnesses honour it).
+[[nodiscard]] std::uint64_t default_instructions();
+
+/// Runs @p cfg (benchmark/name fields overridden per benchmark) over the
+/// named benchmarks. @p instructions of 0 selects default_instructions().
+[[nodiscard]] SuiteResult run_suite(const cpu::MachineConfig& cfg,
+                                    const std::vector<std::string>& benchmarks,
+                                    std::uint64_t instructions = 0);
+
+/// All 12 SPECint2000-like benchmark names.
+[[nodiscard]] std::vector<std::string> full_suite();
+
+/// Runs a list of independent configurations in parallel; results are
+/// returned in input order.
+[[nodiscard]] std::vector<cpu::RunResult> run_parallel(
+    const std::vector<cpu::MachineConfig>& configs);
+
+}  // namespace prestage::sim

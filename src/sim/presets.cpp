@@ -1,0 +1,84 @@
+#include "sim/presets.hpp"
+
+#include "cacti/cacti.hpp"
+#include "common/prestage_assert.hpp"
+
+namespace prestage::sim {
+
+std::string preset_name(Preset p) {
+  switch (p) {
+    case Preset::Base: return "base";
+    case Preset::BaseIdeal: return "ideal";
+    case Preset::BaseL0: return "base+L0";
+    case Preset::BasePipelined: return "base pipelined";
+    case Preset::Fdp: return "FDP";
+    case Preset::FdpL0: return "FDP+L0";
+    case Preset::FdpL0Pb16: return "FDP+L0+PB:16";
+    case Preset::Clgp: return "CLGP";
+    case Preset::ClgpL0: return "CLGP+L0";
+    case Preset::ClgpL0Pb16: return "CLGP+L0+PB:16";
+  }
+  PRESTAGE_ASSERT(false, "unknown preset");
+}
+
+std::uint32_t one_cycle_prebuffer_entries(cacti::TechNode node) {
+  const cacti::AccessTimeModel model;
+  return static_cast<std::uint32_t>(model.max_one_cycle_size(node) / 64);
+}
+
+cpu::MachineConfig make_config(Preset preset, cacti::TechNode node,
+                               std::uint64_t l1i_size) {
+  cpu::MachineConfig cfg;
+  cfg.node = node;
+  cfg.l1i_size = l1i_size;
+  cfg.prebuffer_entries = one_cycle_prebuffer_entries(node);
+
+  switch (preset) {
+    case Preset::Base:
+      break;
+    case Preset::BaseIdeal:
+      cfg.ideal_l1 = true;
+      break;
+    case Preset::BaseL0:
+      cfg.has_l0 = true;
+      break;
+    case Preset::BasePipelined:
+      cfg.l1i_pipelined = true;
+      break;
+    case Preset::Fdp:
+      cfg.prefetcher = cpu::PrefetcherKind::Fdp;
+      break;
+    case Preset::FdpL0:
+      cfg.prefetcher = cpu::PrefetcherKind::Fdp;
+      cfg.has_l0 = true;
+      break;
+    case Preset::FdpL0Pb16:
+      cfg.prefetcher = cpu::PrefetcherKind::Fdp;
+      cfg.has_l0 = true;
+      cfg.prebuffer_entries = 16;
+      cfg.prebuffer_pipelined = true;
+      break;
+    case Preset::Clgp:
+      cfg.prefetcher = cpu::PrefetcherKind::Clgp;
+      break;
+    case Preset::ClgpL0:
+      cfg.prefetcher = cpu::PrefetcherKind::Clgp;
+      cfg.has_l0 = true;
+      break;
+    case Preset::ClgpL0Pb16:
+      cfg.prefetcher = cpu::PrefetcherKind::Clgp;
+      cfg.has_l0 = true;
+      cfg.prebuffer_entries = 16;
+      cfg.prebuffer_pipelined = true;
+      break;
+  }
+  return cfg;
+}
+
+const std::vector<std::uint64_t>& paper_l1_sizes() {
+  static const std::vector<std::uint64_t> sizes = {
+      256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
+  return sizes;
+}
+
+}  // namespace prestage::sim

@@ -1,0 +1,45 @@
+// Named machine configurations matching the paper's evaluated systems.
+//
+// Pre-buffer and L0 sizes follow §5: the largest one-cycle structure at
+// each node (8 entries / 512 B at 0.09 µm, 4 entries / 256 B at 0.045 µm);
+// the 16-entry (1 KB) pre-buffer variant is pipelined (2 stages at
+// 0.09 µm, 3 at 0.045 µm — derived from the CACTI model, not hardcoded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/config.hpp"
+
+namespace prestage::sim {
+
+/// The configurations plotted in the paper's figures.
+enum class Preset : std::uint8_t {
+  Base,           ///< no prefetch, conventional (blocking) L1
+  BaseIdeal,      ///< no prefetch, L1 forced to 1 cycle (Figure 1 "ideal")
+  BaseL0,         ///< no prefetch + L0 filter cache
+  BasePipelined,  ///< no prefetch, pipelined L1
+  Fdp,            ///< FDP, one-cycle pre-buffer
+  FdpL0,          ///< FDP + L0
+  FdpL0Pb16,      ///< FDP + L0 + 16-entry pipelined pre-buffer
+  Clgp,           ///< CLGP, one-cycle prestage buffer
+  ClgpL0,         ///< CLGP + L0
+  ClgpL0Pb16,     ///< CLGP + L0 + 16-entry pipelined prestage buffer
+};
+
+[[nodiscard]] std::string preset_name(Preset p);
+
+/// Number of pre-buffer entries whose total size is one-cycle accessible
+/// at @p node (the paper's default pre-buffer: 8 at 0.09 µm, 4 at 0.045 µm).
+[[nodiscard]] std::uint32_t one_cycle_prebuffer_entries(cacti::TechNode node);
+
+/// Builds the MachineConfig for @p preset at @p node with @p l1i_size.
+[[nodiscard]] cpu::MachineConfig make_config(Preset preset,
+                                             cacti::TechNode node,
+                                             std::uint64_t l1i_size);
+
+/// The L1 I-cache sizes on the paper's X axes (256 B .. 64 KB).
+[[nodiscard]] const std::vector<std::uint64_t>& paper_l1_sizes();
+
+}  // namespace prestage::sim

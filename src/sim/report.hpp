@@ -1,0 +1,34 @@
+// Report formatting shared by the bench harnesses: IPC-vs-size series
+// tables (the paper's line charts) and source-distribution tables (the
+// paper's stacked bars), each with a CSV block for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace prestage::sim {
+
+/// One line-chart series: a label and one value per X position.
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders an IPC-vs-L1-size chart as text + CSV (sizes on rows).
+[[nodiscard]] std::string render_size_chart(
+    const std::string& title, const std::vector<std::uint64_t>& sizes,
+    const std::vector<Series>& series);
+
+/// Renders a source-distribution table (one row per size, one column per
+/// storage level, values in percent).
+[[nodiscard]] std::string render_source_chart(
+    const std::string& title, const std::vector<std::uint64_t>& sizes,
+    const std::vector<SourceBreakdown>& rows, bool include_l0);
+
+/// Percentage speedup of @p a over @p b.
+[[nodiscard]] double speedup_pct(double a, double b);
+
+}  // namespace prestage::sim

@@ -1,0 +1,31 @@
+// Synthesizes a static Program from a WorkloadProfile.
+//
+// Program shape (mirrors the phase structure of integer codes):
+//
+//   dispatcher:  loop_head -> router tree (log2 R conditional levels)
+//                -> one call block per region -> jump back to loop_head
+//   region r:    a DAG of functions fn0 -> fn1 -> ... (static call sites),
+//                each function a linear chain of basic blocks with
+//                forward "diamond" branches, loop latches (periodic trip
+//                counts), call sites and a final return.
+//
+// The dispatcher models a program's outer phase behaviour: which region
+// executes is chosen dynamically by the trace walker's sticky Markov
+// process, giving the temporal instruction locality that makes cache size
+// matter in the same way it does for the real benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/profiles.hpp"
+#include "workload/program.hpp"
+
+namespace prestage::workload {
+
+/// Builds the synthetic program for @p profile. @p seed combines with the
+/// profile's own seed so experiments can vary workload instances.
+[[nodiscard]] Program generate_program(const WorkloadProfile& profile,
+                                       std::uint64_t seed = 0);
+
+}  // namespace prestage::workload

@@ -1,0 +1,60 @@
+#include "workload/profiles.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::workload {
+
+namespace {
+
+// Calibration notes (sources: SPEC CPU2000 characterisation literature):
+//  * gzip/bzip2/mcf have tiny instruction footprints (tight loops);
+//    gcc/perlbmk/vortex/eon/gap/crafty have large ones (100s of KB).
+//  * mcf is dominated by pointer-chasing D-cache misses (working set far
+//    beyond L2), capping its IPC regardless of fetch quality.
+//  * eon (C++) and gzip have highly predictable branches; twolf/parser/
+//    gcc mispredict more.
+//  * Loop trip counts are long in compression codes and short in
+//    branchy integer codes.
+// Resulting static footprints (regions x fns x blocks x len x 4B, plus
+// ~10% dispatcher/pad overhead): gzip ~4KB, mcf ~4KB, bzip2 ~6KB,
+// vpr ~17KB, twolf ~16KB, parser ~25KB, crafty ~42KB, gap ~52KB,
+// eon ~60KB, vortex ~71KB, perlbmk ~83KB, gcc ~125KB — preserving the
+// small/medium/large ordering of the real benchmarks' active footprints.
+constexpr std::array<WorkloadProfile, kNumBenchmarks> kProfiles = {{
+    // name     reg fn  blk len  diam  call  strong  hlo   hhi   plo phi  phase    data-ws          load  store stack stream hot    hotKB          seed
+    {"gzip",    2,  6,  10, 8.0, 0.34, 0.07, 0.95,  0.40, 0.60, 16, 128, 800000,  256ULL << 10U,   0.22, 0.09, 0.40, 0.45,  0.95,  24ULL << 10U,  101},
+    {"vpr",     5,  8,  16, 6.5, 0.42, 0.09, 0.91,  0.38, 0.62, 8,  64,  120000,  1ULL << 20U,     0.26, 0.10, 0.35, 0.30,  0.92,  24ULL << 10U,  102},
+    {"gcc",     24, 12, 18, 6.0, 0.46, 0.12, 0.91,  0.28, 0.72, 6,  26,  45000,   1ULL << 20U,     0.25, 0.12, 0.40, 0.25,  0.92,  24ULL << 10U,  103},
+    {"mcf",     2,  6,  10, 7.0, 0.38, 0.08, 0.90,  0.40, 0.60, 8,  64,  500000,  96ULL << 20U,    0.35, 0.09, 0.15, 0.10,  0.95,  48ULL << 10U,  104},
+    {"crafty",  10, 10, 16, 6.5, 0.44, 0.11, 0.92,  0.30, 0.70, 6,  32,  70000,   1ULL << 20U,     0.28, 0.09, 0.40, 0.25,  0.94,  24ULL << 10U,  105},
+    {"parser",  8,  8,  16, 6.0, 0.46, 0.11, 0.89,  0.28, 0.72, 6,  26,  60000,   1ULL << 20U,     0.26, 0.11, 0.40, 0.25,  0.90,  24ULL << 10U,  106},
+    {"eon",     12, 10, 18, 7.0, 0.38, 0.12, 0.95,  0.42, 0.58, 8,  48,  90000,   512ULL << 10U,   0.24, 0.11, 0.45, 0.30,  0.95,  16ULL << 10U,  107},
+    {"perlbmk", 20, 10, 16, 6.5, 0.44, 0.12, 0.92,  0.30, 0.70, 6,  32,  50000,   1ULL << 20U,     0.25, 0.12, 0.45, 0.25,  0.93,  24ULL << 10U,  108},
+    {"gap",     14, 9,  16, 6.5, 0.42, 0.11, 0.92,  0.38, 0.62, 6,  40,  70000,   1ULL << 20U,     0.25, 0.11, 0.40, 0.30,  0.92,  24ULL << 10U,  109},
+    {"vortex",  16, 10, 17, 6.5, 0.40, 0.12, 0.94,  0.40, 0.60, 6,  48,  70000,   1536ULL << 10U,  0.27, 0.13, 0.45, 0.25,  0.92,  32ULL << 10U,  110},
+    {"bzip2",   3,  6,  11, 7.5, 0.36, 0.07, 0.92,  0.40, 0.60, 16, 96,  400000,  1ULL << 20U,     0.24, 0.10, 0.30, 0.45,  0.90,  32ULL << 10U,  111},
+    {"twolf",   5,  8,  16, 6.0, 0.47, 0.10, 0.88,  0.28, 0.72, 6,  26,  60000,   512ULL << 10U,   0.27, 0.10, 0.35, 0.30,  0.90,  16ULL << 10U,  112},
+}};
+
+constexpr std::array<std::string_view, kNumBenchmarks> kNames = {
+    "gzip", "vpr",     "gcc", "mcf",    "crafty", "parser",
+    "eon",  "perlbmk", "gap", "vortex", "bzip2",  "twolf"};
+
+}  // namespace
+
+const std::array<std::string_view, kNumBenchmarks>& benchmark_names() {
+  return kNames;
+}
+
+const std::array<WorkloadProfile, kNumBenchmarks>& all_profiles() {
+  return kProfiles;
+}
+
+const WorkloadProfile& profile_for(std::string_view name) {
+  for (const auto& p : kProfiles) {
+    if (p.name == name) return p;
+  }
+  PRESTAGE_ASSERT(false, "unknown benchmark name: " + std::string(name));
+}
+
+}  // namespace prestage::workload

@@ -1,0 +1,70 @@
+// Per-benchmark synthesis parameters calibrated to SPECint2000 behaviour.
+//
+// The paper traces the 12 SPECint2000 benchmarks. Those traces are not
+// redistributable, so each benchmark is replaced by a synthetic program
+// whose knobs are calibrated to the published characteristics that the
+// studied mechanisms are sensitive to: instruction footprint (drives
+// I-cache miss rate vs size), region/phase structure (drives temporal
+// locality), branch bias mix (drives misprediction rate), loop trip
+// counts (drive stream reuse, CLGP's consumers counter), and data working
+// set (drives back-end memory pressure, e.g. mcf's IPC ceiling).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace prestage::workload {
+
+struct WorkloadProfile {
+  std::string_view name;
+
+  // --- code shape -------------------------------------------------------
+  std::uint32_t regions = 4;          ///< hot regions the program cycles over
+  std::uint32_t fns_per_region = 4;   ///< functions per region (call DAG)
+  std::uint32_t blocks_per_fn = 12;   ///< average basic blocks per function
+  double avg_block_instrs = 7.0;      ///< mean basic-block length
+  double diamond_frac = 0.40;         ///< blocks ending in a forward branch
+  double call_frac = 0.10;            ///< blocks ending in a call
+
+  // --- branch behaviour ---------------------------------------------------
+  double strong_bias_frac = 0.80;  ///< diamonds that are strongly biased
+  double hard_bias_lo = 0.35;      ///< bias range of hard-to-predict branches
+  double hard_bias_hi = 0.65;
+  std::uint32_t loop_period_lo = 4;   ///< loop trip-count range
+  std::uint32_t loop_period_hi = 32;
+
+  // --- phase behaviour ----------------------------------------------------
+  /// Mean instructions between region (phase) switches; actual phase
+  /// lengths are exponentially distributed around this.
+  std::uint64_t phase_instrs = 100000;
+
+  // --- data side ----------------------------------------------------------
+  std::uint64_t data_ws_bytes = 1ULL << 20U;
+  double load_frac = 0.25;    ///< fraction of non-terminator instrs
+  double store_frac = 0.10;
+  double stack_site_frac = 0.35;   ///< load/store sites hitting the frame
+  double stream_site_frac = 0.35;  ///< sites streaming with fixed stride
+  /// Pointer-chase accesses land in a hot region of this size with this
+  /// probability (temporal locality); the rest roam the full working set.
+  double chase_hot_frac = 0.92;
+  std::uint64_t chase_hot_bytes = 24ULL << 10U;
+
+  std::uint64_t seed = 1;  ///< combined with the experiment seed
+};
+
+inline constexpr int kNumBenchmarks = 12;
+
+/// Names in the order of the paper's Figure 6.
+[[nodiscard]] const std::array<std::string_view, kNumBenchmarks>&
+benchmark_names();
+
+/// Profile for a SPECint2000 benchmark name (e.g. "gcc"); throws on an
+/// unknown name.
+[[nodiscard]] const WorkloadProfile& profile_for(std::string_view name);
+
+/// All 12 profiles in Figure 6 order.
+[[nodiscard]] const std::array<WorkloadProfile, kNumBenchmarks>&
+all_profiles();
+
+}  // namespace prestage::workload

@@ -1,0 +1,137 @@
+// Static program representation: the "basic block dictionary".
+//
+// The paper's simulator executes along wrong paths by consulting "a
+// separate basic block dictionary in which we have the information of all
+// static instructions (type, source/target registers)" (§4). Program is
+// exactly that dictionary: the full static CFG of a synthesized workload,
+// addressable by PC, used both by the oracle trace walker (correct path)
+// and by the front-end when it runs down mispredicted paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "common/types.hpp"
+
+namespace prestage::workload {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+
+/// How a basic block transfers control when its last instruction retires.
+enum class TermKind : std::uint8_t {
+  FallThrough,  ///< no control instruction; execution continues next block
+  CondBranch,   ///< conditional: taken_target or the next block
+  Jump,         ///< unconditional direct jump to taken_target
+  Call,         ///< call taken_target; continuation is the next block
+  Return,       ///< return to the caller's continuation block
+};
+
+/// How a conditional branch behaves dynamically.
+enum class BranchBehavior : std::uint8_t {
+  Biased,    ///< taken with fixed probability `bias`
+  Periodic,  ///< loop latch: taken (period-1) times, then not-taken once
+  Router,    ///< dispatcher tree branch steered by the region selector
+};
+
+/// Address-generation behaviour of a static load/store site.
+enum class DataSiteClass : std::uint8_t {
+  StackLocal,  ///< small frame region; effectively always cache-resident
+  Stream,      ///< sequential walk with a fixed stride over the working set
+  PointerChase,  ///< uniform-random access over the working set
+};
+
+struct DataSite {
+  DataSiteClass cls = DataSiteClass::StackLocal;
+  std::uint32_t stride = 8;  ///< bytes, for Stream sites
+};
+
+inline constexpr std::uint32_t kNoSite = static_cast<std::uint32_t>(-1);
+
+struct StaticInst {
+  OpClass op = OpClass::IntAlu;
+  RegId dst = kNoReg;
+  RegId src1 = kNoReg;
+  RegId src2 = kNoReg;
+  std::uint32_t site = kNoSite;  ///< data-site id for loads/stores
+};
+
+struct BasicBlock {
+  Addr start = 0;
+  TermKind term = TermKind::FallThrough;
+  BlockId taken_target = kNoBlock;  ///< branch/jump/call destination
+  BranchBehavior behavior = BranchBehavior::Biased;
+  double bias = 0.5;           ///< P(taken) for Biased conditionals
+  std::uint32_t period = 0;    ///< trip count for Periodic latches
+  std::uint32_t router_mid = 0;  ///< Router: taken iff region >= router_mid
+  std::vector<StaticInst> instrs;
+
+  [[nodiscard]] std::uint32_t num_instrs() const noexcept {
+    return static_cast<std::uint32_t>(instrs.size());
+  }
+  [[nodiscard]] Addr end() const noexcept {
+    return start + static_cast<Addr>(instrs.size()) * kInstrBytes;
+  }
+  [[nodiscard]] Addr last_pc() const noexcept { return end() - kInstrBytes; }
+};
+
+class Program {
+ public:
+  std::string name;
+  std::vector<BasicBlock> blocks;   ///< laid out contiguously by address
+  std::vector<DataSite> data_sites;
+  std::vector<BlockId> region_roots;  ///< entry function of each region
+  BlockId dispatcher_head = 0;        ///< loop head of the dispatcher
+  Addr base = 0x10000;
+  std::uint64_t data_ws_bytes = 1 << 20U;
+  std::uint32_t num_regions = 1;
+  std::uint64_t phase_instrs = 100000;  ///< mean instructions per phase
+  double chase_hot_frac = 0.92;         ///< see WorkloadProfile
+  std::uint64_t chase_hot_bytes = 24ULL << 10U;
+
+  /// Total static code size in bytes.
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& b : blocks) n += b.num_instrs() * kInstrBytes;
+    return n;
+  }
+
+  [[nodiscard]] Addr code_begin() const { return base; }
+  [[nodiscard]] Addr code_end() const {
+    return blocks.empty() ? base : blocks.back().end();
+  }
+  [[nodiscard]] bool contains_pc(Addr pc) const {
+    return pc >= code_begin() && pc < code_end();
+  }
+
+  /// Block holding @p pc (binary search). Precondition: contains_pc(pc).
+  [[nodiscard]] BlockId block_at(Addr pc) const {
+    PRESTAGE_ASSERT(contains_pc(pc), "PC outside program image");
+    std::size_t lo = 0;
+    std::size_t hi = blocks.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (blocks[mid].start <= pc) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<BlockId>(lo);
+  }
+
+  /// Static metadata of the instruction at @p pc.
+  [[nodiscard]] const StaticInst& static_inst_at(Addr pc) const {
+    const BasicBlock& b = blocks[block_at(pc)];
+    const auto idx = static_cast<std::size_t>((pc - b.start) / kInstrBytes);
+    PRESTAGE_ASSERT(idx < b.instrs.size());
+    return b.instrs[idx];
+  }
+
+  /// Validates structural invariants; throws SimError on violation.
+  void validate() const;
+};
+
+}  // namespace prestage::workload

@@ -1,0 +1,99 @@
+// Dynamic execution: the oracle trace walker.
+//
+// TraceGenerator interprets a synthesized Program, producing the actual
+// (committed-path) instruction sequence one stream at a time. The CPU
+// model verifies the stream predictor's output against these actual
+// streams (prediction check), feeds correct-path instructions to the
+// back-end from them, and uses the walker's live call stack to repair the
+// RAS on misprediction recovery — mirroring how the paper's trace-driven
+// simulator combines a trace with a basic-block dictionary (§4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/stream.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/program.hpp"
+
+namespace prestage::workload {
+
+/// One dynamic instruction with everything the timing model needs.
+struct DynInst {
+  Addr pc = kNoAddr;
+  OpClass op = OpClass::IntAlu;
+  RegId dst = kNoReg;
+  RegId src1 = kNoReg;
+  RegId src2 = kNoReg;
+  Addr data_addr = kNoAddr;  ///< loads/stores only
+  Addr next_pc = kNoAddr;    ///< actual successor PC
+  bool taken = false;        ///< actual direction (control only)
+  bool ends_stream = false;  ///< last instruction of an actual stream
+  std::uint64_t seq = 0;     ///< program order, from 0
+};
+
+class TraceGenerator {
+ public:
+  /// An actual stream plus its dynamic instructions.
+  struct StreamChunk {
+    bpred::Stream stream;
+    std::vector<DynInst> insts;
+  };
+
+  TraceGenerator(const Program& program, std::uint64_t seed);
+
+  /// Produces the next actual stream (1..kMaxStreamInstrs instructions).
+  [[nodiscard]] StreamChunk next_stream();
+
+  /// Total instructions emitted so far.
+  [[nodiscard]] std::uint64_t instructions() const noexcept { return seq_; }
+
+  /// Live call stack as return-continuation PCs, innermost first. Used to
+  /// repair the speculative RAS at misprediction recovery.
+  [[nodiscard]] std::vector<Addr> call_stack_pcs(std::size_t max_depth) const;
+
+  /// Region currently being executed (diagnostics / calibration tests).
+  [[nodiscard]] std::uint32_t current_region() const noexcept {
+    return region_;
+  }
+  /// Number of region switches so far (calibration tests).
+  [[nodiscard]] std::uint64_t region_switches() const noexcept {
+    return region_switches_;
+  }
+
+ private:
+  [[nodiscard]] DynInst step();
+  [[nodiscard]] bool eval_branch(BlockId id, const BasicBlock& b);
+  [[nodiscard]] Addr data_address(std::uint32_t site_id);
+  void enter_block(BlockId id);
+  void maybe_switch_region();
+  [[nodiscard]] std::uint64_t draw_phase_budget();
+
+  const Program& prog_;
+  Rng rng_;
+  BlockId cur_block_;
+  std::uint32_t cur_idx_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint32_t stream_len_ = 0;  ///< instructions in the current stream
+  std::uint32_t region_ = 0;
+  std::uint64_t region_switches_ = 0;
+  std::uint64_t phase_start_seq_ = 0;
+  std::uint64_t phase_budget_ = 0;
+  std::vector<BlockId> call_stack_;  ///< continuation blocks
+  std::unordered_map<BlockId, std::uint32_t> latch_counts_;
+  std::vector<std::uint64_t> site_cursors_;
+};
+
+/// Deterministic pseudo-random data address for a wrong-path memory
+/// instruction: wrong-path pollution must be repeatable run to run.
+[[nodiscard]] Addr wrong_path_data_addr(const Program& prog, Addr pc,
+                                        std::uint64_t salt);
+
+/// Simulated address-space anchors.
+inline constexpr Addr kStackBase = 0x7ff00000;
+inline constexpr Addr kStackBytes = 4096;
+inline constexpr Addr kHeapBase = 0x20000000;
+
+}  // namespace prestage::workload

@@ -1,0 +1,118 @@
+// Validates the analytical access-time model against the paper's tables.
+#include <gtest/gtest.h>
+
+#include "cacti/cacti.hpp"
+#include "cacti/tech.hpp"
+
+namespace prestage::cacti {
+namespace {
+
+TEST(Tech, Table1Values) {
+  EXPECT_EQ(params(TechNode::um180).year, 1999);
+  EXPECT_DOUBLE_EQ(params(TechNode::um180).cycle_ns, 2.0);
+  EXPECT_DOUBLE_EQ(params(TechNode::um130).cycle_ns, 0.59);
+  EXPECT_DOUBLE_EQ(params(TechNode::um090).cycle_ns, 0.25);
+  EXPECT_DOUBLE_EQ(params(TechNode::um090).clock_ghz, 4.0);
+  EXPECT_DOUBLE_EQ(params(TechNode::um065).cycle_ns, 0.15);
+  EXPECT_DOUBLE_EQ(params(TechNode::um045).cycle_ns, 0.087);
+  EXPECT_DOUBLE_EQ(params(TechNode::um045).clock_ghz, 11.5);
+}
+
+TEST(Tech, LogicScaleRelativeTo90nm) {
+  EXPECT_DOUBLE_EQ(logic_scale(TechNode::um090), 1.0);
+  EXPECT_DOUBLE_EQ(logic_scale(TechNode::um045), 0.5);
+  EXPECT_DOUBLE_EQ(logic_scale(TechNode::um180), 2.0);
+}
+
+// Paper Table 3: L1 I-cache and L2 latencies per size per node.
+struct Table3Case {
+  std::uint64_t size;
+  int cycles_090;
+  int cycles_045;
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Case> {};
+
+TEST_P(Table3Test, MatchesPaper) {
+  const AccessTimeModel model;
+  const auto& c = GetParam();
+  const CacheGeometry geom{.size_bytes = c.size};
+  EXPECT_EQ(model.access_cycles(geom, TechNode::um090), c.cycles_090)
+      << "size=" << c.size << " @0.09um";
+  EXPECT_EQ(model.access_cycles(geom, TechNode::um045), c.cycles_045)
+      << "size=" << c.size << " @0.045um";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable3, Table3Test,
+    ::testing::Values(Table3Case{256, 1, 1}, Table3Case{512, 1, 2},
+                      Table3Case{1024, 2, 3}, Table3Case{2048, 2, 4},
+                      Table3Case{4096, 3, 4}, Table3Case{8192, 3, 4},
+                      Table3Case{16384, 3, 4}, Table3Case{32768, 3, 4},
+                      Table3Case{65536, 3, 5},
+                      Table3Case{1ULL << 20U, 17, 24}));
+
+TEST(Cacti, OneCycleSizesMatchPaperSection5) {
+  const AccessTimeModel model;
+  // §5: "pre-buffers and L0 cache sizes that could be accessed in one
+  // cycle: 512 bytes at 0.09um and 256 bytes at 0.045um".
+  EXPECT_EQ(model.max_one_cycle_size(TechNode::um090), 512u);
+  EXPECT_EQ(model.max_one_cycle_size(TechNode::um045), 256u);
+}
+
+TEST(Cacti, PipelinedPreBufferStagesMatchPaperSection5) {
+  const AccessTimeModel model;
+  // §5: a 16-entry (1 KB) pre-buffer is "pipelined into two stages at
+  // 0.09um and into three stages at 0.045um".
+  const CacheGeometry pb16{.size_bytes = 16 * 64};
+  EXPECT_EQ(model.pipeline_stages(pb16, TechNode::um090), 2);
+  EXPECT_EQ(model.pipeline_stages(pb16, TechNode::um045), 3);
+}
+
+TEST(Cacti, AccessTimeMonotonicInSize) {
+  const AccessTimeModel model;
+  for (const TechNode node : {TechNode::um090, TechNode::um045}) {
+    double prev = 0.0;
+    for (std::uint64_t size = 256; size <= (4ULL << 20U); size *= 2) {
+      const double t = model.access_ns({.size_bytes = size}, node);
+      EXPECT_GT(t, prev) << "size=" << size;
+      prev = t;
+    }
+  }
+}
+
+TEST(Cacti, FinerNodesAreFasterInNanoseconds) {
+  const AccessTimeModel model;
+  for (std::uint64_t size = 256; size <= (1ULL << 20U); size *= 2) {
+    EXPECT_LT(model.access_ns({.size_bytes = size}, TechNode::um045),
+              model.access_ns({.size_bytes = size}, TechNode::um090));
+  }
+}
+
+TEST(Cacti, CyclesNeverBelowOne) {
+  const AccessTimeModel model;
+  for (const TechNode node : kAllNodes) {
+    EXPECT_GE(model.access_cycles({.size_bytes = 64}, node), 1);
+  }
+}
+
+TEST(Cacti, LatencyInCyclesGrowsTowardFinerNodes) {
+  // The paper's premise: the same cache costs more *cycles* at finer
+  // nodes because cycle time shrinks faster than access time.
+  const AccessTimeModel model;
+  for (std::uint64_t size : {4096ULL, 65536ULL}) {
+    EXPECT_GE(model.access_cycles({.size_bytes = size}, TechNode::um045),
+              model.access_cycles({.size_bytes = size}, TechNode::um090));
+  }
+}
+
+TEST(Cacti, RejectsDegenerateGeometry) {
+  const AccessTimeModel model;
+  EXPECT_THROW(model.access_ns({.size_bytes = 0}, TechNode::um090),
+               SimError);
+  EXPECT_THROW(model.access_ns({.size_bytes = 3000}, TechNode::um090),
+               SimError);
+}
+
+}  // namespace
+}  // namespace prestage::cacti

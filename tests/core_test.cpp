@@ -1,0 +1,314 @@
+// Unit and property tests for the paper's contribution: the prestage
+// buffer and the CLGP engine (paper §3.2).
+#include <gtest/gtest.h>
+
+#include "core/clgp.hpp"
+#include "core/prestage_buffer.hpp"
+#include "frontend/fetch_queue.hpp"
+#include "mem/ifetch_caches.hpp"
+#include "mem/memsys.hpp"
+
+namespace prestage::core {
+namespace {
+
+TEST(PrestageBuffer, AllocateSetsPaperFields) {
+  PrestageBuffer pb(4);
+  auto* e = pb.allocate(0x1000);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->line, 0x1000u);
+  EXPECT_EQ(e->consumers, 1u);  // §3.2.3: "consumers counter is set to 1"
+  EXPECT_FALSE(e->valid);       // unset until the line arrives
+}
+
+TEST(PrestageBuffer, PinnedEntriesAreNotReplaceable) {
+  PrestageBuffer pb(2);
+  auto* a = pb.allocate(0x1000);
+  auto* b = pb.allocate(0x2000);
+  ASSERT_TRUE(a && b);
+  // Both have consumers == 1: no free entry.
+  EXPECT_EQ(pb.allocate(0x3000), nullptr);
+  // Consuming line A releases it.
+  pb.on_fetch(0x1000);
+  auto* c = pb.allocate(0x3000);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->line, 0x3000u);
+  EXPECT_EQ(pb.find(0x1000), nullptr);  // A evicted
+  EXPECT_NE(pb.find(0x2000), nullptr);  // B survived (pinned)
+}
+
+TEST(PrestageBuffer, LineRemainsWhileCltqReferencesIt) {
+  // Paper §3.2.3: "a cache line remains in the prestage buffer as long as
+  // there are entries of the CLTQ which reference it."
+  PrestageBuffer pb(1);
+  auto* a = pb.allocate(0x1000);
+  a->valid = true;
+  pb.add_consumer(0x1000);  // a second CLTQ reference
+  pb.on_fetch(0x1000);      // first fetch
+  EXPECT_EQ(pb.allocate(0x3000), nullptr);  // still pinned... (1 left)
+  pb.on_fetch(0x1000);      // last use
+  EXPECT_NE(pb.allocate(0x3000), nullptr);  // now replaceable
+}
+
+TEST(PrestageBuffer, FetchAfterResetSaturatesAtZero) {
+  PrestageBuffer pb(2);
+  auto* a = pb.allocate(0x1000);
+  a->valid = true;
+  pb.reset_consumers();
+  pb.on_fetch(0x1000);  // consumers already 0: must not underflow
+  EXPECT_EQ(pb.find(0x1000)->consumers, 0u);
+}
+
+TEST(PrestageBuffer, ResetMakesAllEntriesAvailableButValidLinesRemain) {
+  // Paper §3.2.3: on a misprediction all entries become available while
+  // valid lines remain usable until reallocated.
+  PrestageBuffer pb(2);
+  auto* a = pb.allocate(0x1000);
+  a->valid = true;
+  (void)pb.allocate(0x2000);
+  pb.reset_consumers();
+  EXPECT_EQ(pb.pinned_entries(), 0u);
+  EXPECT_NE(pb.find(0x1000), nullptr);  // line still fetchable
+  auto* c = pb.allocate(0x3000);        // and replaceable
+  ASSERT_NE(c, nullptr);
+}
+
+TEST(PrestageBuffer, LruPicksLeastRecentlyUsedFreeEntry) {
+  PrestageBuffer pb(3);
+  auto* a = pb.allocate(0x1000);
+  auto* b = pb.allocate(0x2000);
+  auto* c = pb.allocate(0x3000);
+  a->valid = b->valid = c->valid = true;
+  pb.on_fetch(0x1000);
+  pb.on_fetch(0x2000);
+  pb.on_fetch(0x3000);
+  pb.on_fetch(0x1000);  // 0x2000 is now LRU among free
+  pb.on_fetch(0x3000);
+  (void)pb.allocate(0x4000);
+  EXPECT_EQ(pb.find(0x2000), nullptr);
+  EXPECT_NE(pb.find(0x1000), nullptr);
+  EXPECT_NE(pb.find(0x3000), nullptr);
+}
+
+TEST(PrestageBuffer, GenerationGuardsDistinguishReallocations) {
+  PrestageBuffer pb(1);
+  auto* a = pb.allocate(0x1000);
+  const std::uint64_t gen1 = a->gen;
+  pb.reset_consumers();
+  auto* b = pb.allocate(0x2000);  // same slot, new generation
+  EXPECT_EQ(a, b);
+  EXPECT_NE(b->gen, gen1);
+}
+
+TEST(PrestageBuffer, SettleFlipsValidOnlyAfterReadyTime) {
+  PrestageBuffer pb(2);
+  auto* a = pb.allocate(0x1000);
+  a->ready = 10;
+  pb.settle(9);
+  EXPECT_FALSE(pb.find(0x1000)->valid);
+  pb.settle(10);
+  EXPECT_TRUE(pb.find(0x1000)->valid);
+}
+
+// --- CLGP engine against real CLTQ/caches/memory ------------------------
+
+struct ClgpRig {
+  frontend::CacheLineTargetQueue cltq{8, 64};
+  mem::IFetchCaches caches;
+  mem::MemSystem mem;
+  ClgpPrestager clgp;
+
+  explicit ClgpRig(const ClgpConfig& cfg = {},
+                   bool with_l0 = false)
+      : caches(make_caches(with_l0)),
+        mem(make_mem()),
+        clgp(cfg, cltq, caches, mem) {}
+
+  static mem::IFetchCachesConfig make_caches_cfg(bool l0) {
+    mem::IFetchCachesConfig c;
+    c.l1_size_bytes = 4096;
+    c.l1_latency = 4;
+    c.has_l0 = l0;
+    return c;
+  }
+  static mem::IFetchCaches make_caches(bool l0) {
+    return mem::IFetchCaches(make_caches_cfg(l0));
+  }
+  static mem::MemSystem make_mem() {
+    mem::MemSystemConfig c;
+    c.l2_latency = 10;
+    c.mem_latency = 50;
+    return mem::MemSystem(c);
+  }
+
+  void push_line(Addr start, std::uint32_t count = 8) {
+    frontend::FetchBlock b;
+    b.start = start;
+    b.length = count;
+    b.oracle_base_seq = 0;
+    b.wrong_from = count;
+    cltq.push_block(b);
+  }
+
+  void run_cycles(Cycle from, Cycle to) {
+    for (Cycle t = from; t <= to; ++t) {
+      mem.tick(t);
+      clgp.tick(t);
+    }
+  }
+};
+
+TEST(Clgp, ScanAllocatesAndPrefetchesFromL2) {
+  ClgpRig rig;
+  rig.mem.l2().insert(0x1000);  // L2-resident: fill at L2 latency
+  rig.push_line(0x1000);
+  rig.run_cycles(0, 20);
+  const auto* e = rig.clgp.buffer().find(0x1000);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(rig.cltq.is_prefetched(0));
+  EXPECT_EQ(rig.clgp.prefetches_issued.value(), 1u);
+  EXPECT_TRUE(e->valid);  // L2 fill completed within 20 cycles
+  EXPECT_EQ(rig.clgp.prefetch_sources().count(FetchSource::L2), 1u);
+}
+
+TEST(Clgp, SecondReferenceExtendsLifetimeNoNewPrefetch) {
+  // Paper §3.2.3: a CLTQ entry matching a staged line only increments the
+  // consumers counter.
+  ClgpRig rig;
+  rig.push_line(0x1000);
+  rig.push_line(0x1000);
+  rig.run_cycles(0, 20);
+  EXPECT_EQ(rig.clgp.prefetches_issued.value(), 1u);
+  EXPECT_EQ(rig.clgp.consumer_extensions.value(), 1u);
+  EXPECT_EQ(rig.clgp.buffer().find(0x1000)->consumers, 2u);
+  EXPECT_EQ(rig.clgp.prefetch_sources().count(FetchSource::PreBuffer), 1u);
+}
+
+TEST(Clgp, NoFilteringPrefetchesL1ResidentLines) {
+  // Paper §3.2.3: "CLGP does not perform any kind of filtering" — an
+  // L1-resident line is transferred into the prestage buffer.
+  ClgpRig rig;
+  rig.caches.fill_demand(0x1000);
+  rig.push_line(0x1000);
+  rig.run_cycles(0, 10);
+  const auto* e = rig.clgp.buffer().find(0x1000);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(rig.clgp.prefetch_sources().count(FetchSource::L1), 1u);
+  EXPECT_TRUE(e->valid);  // L1 transfer at L1 latency
+}
+
+TEST(Clgp, FetchConsumptionLeavesLineResident) {
+  // Unlike FDP, a consumed line is not moved to L0/L1 and stays in the
+  // buffer (paper §3.2.3 "it is not transferred to the first level
+  // I-cache").
+  ClgpRig rig;
+  rig.push_line(0x1000);
+  rig.run_cycles(0, 20);
+  rig.clgp.on_fetch_from_pb(0x1000, 21);
+  EXPECT_NE(rig.clgp.buffer().find(0x1000), nullptr);
+  EXPECT_FALSE(rig.caches.probe_l1(0x1000));
+  EXPECT_EQ(rig.clgp.buffer().find(0x1000)->consumers, 0u);
+}
+
+TEST(Clgp, ScanStallsWhenAllEntriesPinned) {
+  ClgpConfig cfg;
+  cfg.entries = 2;
+  ClgpRig rig(cfg);
+  rig.push_line(0x1000);
+  rig.push_line(0x2000);
+  rig.push_line(0x3000);  // no room: must stall, not evict pinned lines
+  rig.run_cycles(0, 30);
+  EXPECT_EQ(rig.clgp.buffer().find(0x3000), nullptr);
+  EXPECT_GT(rig.clgp.pb_occupancy_stalls.value(), 0u);
+  EXPECT_NE(rig.clgp.buffer().find(0x1000), nullptr);
+  EXPECT_NE(rig.clgp.buffer().find(0x2000), nullptr);
+}
+
+TEST(Clgp, RecoveryResetsConsumersAndUnblocksScan) {
+  ClgpConfig cfg;
+  cfg.entries = 2;
+  ClgpRig rig(cfg);
+  rig.push_line(0x1000);
+  rig.push_line(0x2000);
+  rig.push_line(0x3000);
+  rig.run_cycles(0, 30);
+  // Misprediction: CLTQ flushes, counters reset.
+  rig.cltq.flush();
+  rig.clgp.on_recovery(31);
+  EXPECT_EQ(rig.clgp.buffer().pinned_entries(), 0u);
+  rig.push_line(0x4000);
+  rig.run_cycles(31, 60);
+  EXPECT_NE(rig.clgp.buffer().find(0x4000), nullptr);
+}
+
+TEST(Clgp, ProbeReportsInFlightThenValid) {
+  ClgpRig rig;
+  rig.mem.l2().insert(0x1000);
+  rig.push_line(0x1000);
+  rig.mem.tick(0);
+  rig.clgp.tick(0);  // allocates + submits
+  const auto probe0 = rig.clgp.probe(0x1000);
+  EXPECT_TRUE(probe0.present);
+  EXPECT_EQ(probe0.data_ready, kNoCycle);  // fill time unknown yet
+  rig.run_cycles(1, 20);
+  const auto probe1 = rig.clgp.probe(0x1000);
+  EXPECT_TRUE(probe1.present);
+  EXPECT_NE(probe1.data_ready, kNoCycle);
+}
+
+TEST(Clgp, StaleFillDoesNotCorruptReallocatedEntry) {
+  ClgpConfig cfg;
+  cfg.entries = 1;
+  ClgpRig rig(cfg);
+  rig.push_line(0x1000);
+  rig.mem.tick(0);
+  rig.clgp.tick(0);  // prefetch of 0x1000 in flight
+  rig.cltq.flush();
+  rig.clgp.on_recovery(1);  // consumers reset: entry replaceable
+  rig.push_line(0x2000);
+  rig.clgp.tick(1);  // reallocates the single entry to 0x2000
+  // Let the stale 0x1000 fill arrive; it must not mark 0x2000 valid with
+  // wrong data timing.
+  rig.run_cycles(2, 15);
+  const auto* e = rig.clgp.buffer().find(0x2000);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(rig.clgp.buffer().find(0x1000), nullptr);
+}
+
+// Ablation knobs.
+TEST(Clgp, AblationFilteringSkipsResidentLines) {
+  ClgpConfig cfg;
+  cfg.filter_resident = true;
+  ClgpRig rig(cfg);
+  rig.caches.fill_demand(0x1000);
+  rig.push_line(0x1000);
+  rig.run_cycles(0, 10);
+  EXPECT_EQ(rig.clgp.buffer().find(0x1000), nullptr);
+  EXPECT_EQ(rig.clgp.prefetches_issued.value(), 0u);
+  EXPECT_TRUE(rig.cltq.is_prefetched(0));
+}
+
+TEST(Clgp, AblationTransferOnUsePromotesToCache) {
+  ClgpConfig cfg;
+  cfg.transfer_on_use = true;
+  ClgpRig rig(cfg, /*with_l0=*/false);
+  rig.push_line(0x1000);
+  rig.run_cycles(0, 20);
+  rig.clgp.on_fetch_from_pb(0x1000, 21);
+  EXPECT_TRUE(rig.caches.probe_l1(0x1000));
+}
+
+TEST(Clgp, AblationDisableConsumersFreesOnUse) {
+  ClgpConfig cfg;
+  cfg.disable_consumers = true;
+  cfg.entries = 2;
+  ClgpRig rig(cfg);
+  rig.push_line(0x1000);
+  rig.push_line(0x1000);  // would normally pin with consumers == 2
+  rig.run_cycles(0, 20);
+  rig.clgp.on_fetch_from_pb(0x1000, 21);
+  // One use frees the entry despite the second queued reference.
+  EXPECT_EQ(rig.clgp.buffer().find(0x1000)->consumers, 0u);
+}
+
+}  // namespace
+}  // namespace prestage::core

@@ -1,0 +1,312 @@
+// Unit tests for the memory substrate: cache tags/LRU, ports, the
+// arbitrated L2 bus and MSHR-style merging.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "mem/cache.hpp"
+#include "mem/ifetch_caches.hpp"
+#include "mem/memsys.hpp"
+#include "mem/port.hpp"
+
+namespace prestage::mem {
+namespace {
+
+TEST(Cache, HitAfterInsert) {
+  SetAssocCache c(1024, 64, 2);
+  EXPECT_FALSE(c.contains(0x1000));
+  c.insert(0x1000);
+  EXPECT_TRUE(c.contains(0x1000));
+  EXPECT_TRUE(c.contains(0x103F));   // same line
+  EXPECT_FALSE(c.contains(0x1040));  // next line
+}
+
+TEST(Cache, GeometryDerivation) {
+  SetAssocCache c(4096, 64, 2);
+  EXPECT_EQ(c.num_sets(), 32u);
+  EXPECT_EQ(c.assoc(), 2u);
+  SetAssocCache full(512, 64, 0);  // fully associative
+  EXPECT_EQ(full.num_sets(), 1u);
+  EXPECT_EQ(full.assoc(), 8u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  SetAssocCache c(128, 64, 0);  // 2 lines, fully associative
+  c.insert(0x0000);
+  c.insert(0x1000);
+  EXPECT_TRUE(c.access(0x0000));  // make 0x0000 MRU
+  const auto ev = c.insert(0x2000);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0x1000u);  // LRU victim
+  EXPECT_TRUE(c.contains(0x0000));
+  EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(Cache, SetConflictsEvictWithinSet) {
+  SetAssocCache c(256, 64, 1);  // 4 direct-mapped sets
+  c.insert(0x0000);             // set 0
+  c.insert(0x0040);             // set 1
+  const auto ev = c.insert(0x0100);  // set 0 again (4 lines stride)
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0x0000u);
+  EXPECT_TRUE(c.contains(0x0040));
+}
+
+TEST(Cache, DirtyTracking) {
+  SetAssocCache c(128, 64, 0);
+  c.insert(0x0000, /*dirty=*/true);
+  c.insert(0x1000);
+  c.access(0x1000);
+  const auto ev = c.insert(0x2000);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0x0000u);
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, MarkDirtyOnlyAffectsPresentLines) {
+  SetAssocCache c(128, 64, 0);
+  c.mark_dirty(0x0000);  // miss: no-op
+  c.insert(0x0000);
+  c.mark_dirty(0x0000);
+  c.insert(0x1000);
+  c.access(0x1000);
+  const auto ev = c.insert(0x2000);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, InsertExistingRefreshesLruOnly) {
+  SetAssocCache c(128, 64, 0);
+  c.insert(0x0000);
+  c.insert(0x1000);
+  EXPECT_FALSE(c.insert(0x0000).has_value());  // refresh, no eviction
+  const auto ev = c.insert(0x2000);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0x1000u);
+}
+
+TEST(Cache, InvalidateAndClear) {
+  SetAssocCache c(256, 64, 2);
+  c.insert(0x0000);
+  c.insert(0x0040);
+  c.invalidate(0x0000);
+  EXPECT_FALSE(c.contains(0x0000));
+  EXPECT_EQ(c.valid_lines(), 1u);
+  c.clear();
+  EXPECT_EQ(c.valid_lines(), 0u);
+}
+
+TEST(Cache, CapacityNeverExceeded) {
+  SetAssocCache c(512, 64, 2);
+  for (Addr a = 0; a < 64 * 100; a += 64) c.insert(a);
+  EXPECT_LE(c.valid_lines(), 8u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(1000, 64, 2), SimError);
+  EXPECT_THROW(SetAssocCache(1024, 60, 2), SimError);
+  EXPECT_THROW(SetAssocCache(32, 64, 1), SimError);
+}
+
+TEST(Port, BlockingPortOccupancy) {
+  LatencyPort port(3, /*pipelined=*/false);
+  EXPECT_TRUE(port.can_accept(10));
+  EXPECT_EQ(port.issue(10), 13u);
+  EXPECT_FALSE(port.can_accept(11));
+  EXPECT_FALSE(port.can_accept(12));
+  EXPECT_TRUE(port.can_accept(13));
+}
+
+TEST(Port, PipelinedPortAcceptsEveryCycle) {
+  LatencyPort port(3, /*pipelined=*/true);
+  EXPECT_EQ(port.issue(10), 13u);
+  EXPECT_FALSE(port.can_accept(10));  // one per cycle
+  EXPECT_TRUE(port.can_accept(11));
+  EXPECT_EQ(port.issue(11), 14u);
+  EXPECT_EQ(port.issue(12), 15u);
+}
+
+TEST(Port, DoubleIssueSameCycleThrows) {
+  LatencyPort port(2, true);
+  port.issue(5);
+  EXPECT_THROW(port.issue(5), SimError);
+}
+
+MemSystemConfig small_config() {
+  MemSystemConfig cfg;
+  cfg.l2_size_bytes = 1 << 16U;
+  cfg.l2_latency = 10;
+  cfg.mem_latency = 50;
+  return cfg;
+}
+
+TEST(MemSystem, L2HitLatency) {
+  MemSystem ms(small_config());
+  ms.l2().insert(0x1000);
+  Cycle done = kNoCycle;
+  ms.submit(ReqType::IFetchDemand, 0x1000, 0,
+            [&](FetchSource src, Cycle ready) {
+              EXPECT_EQ(src, FetchSource::L2);
+              done = ready;
+            });
+  for (Cycle t = 0; t <= 20 && done == kNoCycle; ++t) ms.tick(t);
+  EXPECT_EQ(done, 10u);  // granted at cycle 0 + L2 latency
+  EXPECT_EQ(ms.l2_hits.value(), 1u);
+}
+
+TEST(MemSystem, MemoryMissLatencyAndL2Fill) {
+  MemSystem ms(small_config());
+  Cycle done = kNoCycle;
+  ms.submit(ReqType::IFetchDemand, 0x2000, 0,
+            [&](FetchSource src, Cycle ready) {
+              EXPECT_EQ(src, FetchSource::Memory);
+              done = ready;
+            });
+  for (Cycle t = 0; t <= 100 && done == kNoCycle; ++t) ms.tick(t);
+  EXPECT_EQ(done, 60u);  // L2 lat + memory lat
+  EXPECT_TRUE(ms.l2().contains(0x2000));  // fill installed
+}
+
+TEST(MemSystem, BusPriorityDataOverFetchOverPrefetch) {
+  MemSystem ms(small_config());
+  ms.l2().insert(0x1000);
+  ms.l2().insert(0x2000);
+  ms.l2().insert(0x3000);
+  std::vector<int> order;
+  // Submit in reverse priority order within one cycle.
+  ms.submit(ReqType::IPrefetch, 0x3000, 0,
+            [&](FetchSource, Cycle) { order.push_back(2); });
+  ms.submit(ReqType::IFetchDemand, 0x2000, 0,
+            [&](FetchSource, Cycle) { order.push_back(1); });
+  ms.submit(ReqType::Data, 0x1000, 0,
+            [&](FetchSource, Cycle) { order.push_back(0); });
+  for (Cycle t = 0; t <= 30; ++t) ms.tick(t);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);  // data granted first
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(MemSystem, OneGrantPerCycle) {
+  MemSystem ms(small_config());
+  ms.l2().insert(0x1000);
+  ms.l2().insert(0x2000);
+  Cycle first = kNoCycle;
+  Cycle second = kNoCycle;
+  ms.submit(ReqType::Data, 0x1000, 0,
+            [&](FetchSource, Cycle ready) { first = ready; });
+  ms.submit(ReqType::Data, 0x2000, 0,
+            [&](FetchSource, Cycle ready) { second = ready; });
+  for (Cycle t = 0; t <= 30; ++t) ms.tick(t);
+  EXPECT_EQ(first, 10u);   // granted cycle 0
+  EXPECT_EQ(second, 11u);  // granted cycle 1 (bus serialises)
+}
+
+TEST(MemSystem, MshrMergeSharesOneFill) {
+  MemSystem ms(small_config());
+  int fills = 0;
+  Cycle r1 = 0;
+  Cycle r2 = 0;
+  ms.submit(ReqType::IPrefetch, 0x5000, 0, [&](FetchSource, Cycle ready) {
+    ++fills;
+    r1 = ready;
+  });
+  ms.tick(0);  // prefetch granted
+  ms.submit(ReqType::IFetchDemand, 0x5008, 1,
+            [&](FetchSource, Cycle ready) {
+              ++fills;
+              r2 = ready;
+            });
+  for (Cycle t = 1; t <= 100; ++t) ms.tick(t);
+  EXPECT_EQ(fills, 2);
+  EXPECT_EQ(r1, r2);  // same transaction served both
+  EXPECT_EQ(ms.merges.value(), 1u);
+  EXPECT_EQ(ms.l2_misses.value(), 1u);
+}
+
+TEST(MemSystem, PendingMergeUpgradesPriority) {
+  MemSystemConfig cfg = small_config();
+  MemSystem ms(cfg);
+  ms.l2().insert(0x1000);
+  ms.l2().insert(0x2000);
+  ms.l2().insert(0x3000);
+  std::vector<Addr> grant_order;
+  // Occupy cycle-0 grant with a data request.
+  ms.submit(ReqType::Data, 0x1000, 0,
+            [&](FetchSource, Cycle) { grant_order.push_back(0x1000); });
+  // Prefetch queued behind...
+  ms.submit(ReqType::IPrefetch, 0x2000, 0,
+            [&](FetchSource, Cycle) { grant_order.push_back(0x2000); });
+  // ...and a second prefetch; then a demand merge upgrades line 0x3000.
+  ms.submit(ReqType::IPrefetch, 0x3000, 0,
+            [&](FetchSource, Cycle) { grant_order.push_back(0x3000); });
+  ms.submit(ReqType::IFetchDemand, 0x3000, 0, [&](FetchSource, Cycle) {});
+  for (Cycle t = 0; t <= 30; ++t) ms.tick(t);
+  ASSERT_EQ(grant_order.size(), 3u);
+  EXPECT_EQ(grant_order[1], 0x3000u);  // upgraded ahead of 0x2000
+}
+
+TEST(MemSystem, InFlightTracking) {
+  MemSystem ms(small_config());
+  EXPECT_FALSE(ms.in_flight(0x4000));
+  ms.submit(ReqType::IPrefetch, 0x4000, 0, [](FetchSource, Cycle) {});
+  EXPECT_TRUE(ms.in_flight(0x4000));
+  for (Cycle t = 0; t <= 100; ++t) ms.tick(t);
+  EXPECT_FALSE(ms.in_flight(0x4000));
+}
+
+TEST(MemSystem, WritebackOccupiesBusAndDirtiesL2) {
+  MemSystem ms(small_config());
+  ms.l2().insert(0x1000);
+  ms.submit_writeback(0x1000, 0);
+  Cycle ready = kNoCycle;
+  ms.submit(ReqType::IPrefetch, 0x1000, 0,
+            [&](FetchSource, Cycle r) { ready = r; });
+  for (Cycle t = 0; t <= 30; ++t) ms.tick(t);
+  EXPECT_EQ(ms.writebacks.value(), 1u);
+  // Prefetch granted after the writeback used the bus at cycle 0.
+  EXPECT_EQ(ready, 11u);
+}
+
+TEST(IFetchCaches, ParallelProbesAndDemandFill) {
+  IFetchCachesConfig cfg;
+  cfg.l1_size_bytes = 1024;
+  cfg.has_l0 = true;
+  cfg.l0_size_bytes = 256;
+  IFetchCaches caches(cfg);
+  EXPECT_FALSE(caches.probe_l0(0x1000));
+  EXPECT_FALSE(caches.probe_l1(0x1000));
+  caches.fill_demand(0x1000);
+  EXPECT_TRUE(caches.probe_l0(0x1000));
+  EXPECT_TRUE(caches.probe_l1(0x1000));
+}
+
+TEST(IFetchCaches, PromotedFillPrefersL0) {
+  IFetchCachesConfig cfg;
+  cfg.has_l0 = true;
+  IFetchCaches with_l0(cfg);
+  with_l0.fill_promoted(0x2000);
+  EXPECT_TRUE(with_l0.probe_l0(0x2000));
+  EXPECT_FALSE(with_l0.probe_l1(0x2000));
+
+  cfg.has_l0 = false;
+  IFetchCaches no_l0(cfg);
+  no_l0.fill_promoted(0x2000);
+  EXPECT_TRUE(no_l0.probe_l1(0x2000));
+}
+
+TEST(IFetchCaches, L0IsFullyAssociative) {
+  IFetchCachesConfig cfg;
+  cfg.has_l0 = true;
+  cfg.l0_size_bytes = 256;  // 4 lines
+  IFetchCaches caches(cfg);
+  // Same-set stride in any set-associative layout; full assoc keeps all 4.
+  for (Addr a = 0; a < 4; ++a) caches.fill_l0_only(a * 0x1000);
+  int present = 0;
+  for (Addr a = 0; a < 4; ++a) present += caches.probe_l0(a * 0x1000);
+  EXPECT_EQ(present, 4);
+}
+
+}  // namespace
+}  // namespace prestage::mem

@@ -1,0 +1,224 @@
+// Unit tests for the baseline prefetchers: FDP (paper §3.1) and
+// next-N-line (§2.1), plus the NonePrefetcher contract.
+#include <gtest/gtest.h>
+
+#include "frontend/fetch_queue.hpp"
+#include "mem/ifetch_caches.hpp"
+#include "mem/memsys.hpp"
+#include "prefetch/fdp.hpp"
+#include "prefetch/next_line.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace prestage::prefetch {
+namespace {
+
+struct FdpRig {
+  frontend::FetchTargetQueue ftq{8, 64};
+  mem::IFetchCaches caches;
+  mem::MemSystem mem;
+  FdpPrefetcher fdp;
+
+  explicit FdpRig(const FdpConfig& cfg = {}, bool with_l0 = false)
+      : caches(make_caches(with_l0)), mem(make_mem()), fdp(cfg, ftq, caches, mem) {}
+
+  static mem::IFetchCaches make_caches(bool l0) {
+    mem::IFetchCachesConfig c;
+    c.l1_size_bytes = 4096;
+    c.l1_latency = 4;
+    c.has_l0 = l0;
+    return mem::IFetchCaches(c);
+  }
+  static mem::MemSystem make_mem() {
+    mem::MemSystemConfig c;
+    c.l2_latency = 10;
+    c.mem_latency = 50;
+    return mem::MemSystem(c);
+  }
+
+  void push_block(Addr start, std::uint32_t len = 8) {
+    frontend::FetchBlock b;
+    b.start = start;
+    b.length = len;
+    b.oracle_base_seq = 0;
+    b.wrong_from = len;
+    ftq.push_block(b);
+  }
+
+  void run_cycles(Cycle from, Cycle to) {
+    for (Cycle t = from; t <= to; ++t) {
+      mem.tick(t);
+      fdp.tick(t);
+    }
+  }
+};
+
+TEST(Fdp, PrefetchesFtqLinesIntoBuffer) {
+  FdpRig rig;
+  rig.mem.l2().insert(0x1000);  // L2-resident: fill at L2 latency
+  rig.push_block(0x1000);
+  rig.run_cycles(0, 20);
+  EXPECT_TRUE(rig.fdp.probe(0x1000).present);
+  EXPECT_EQ(rig.fdp.prefetches_issued.value(), 1u);
+  EXPECT_EQ(rig.fdp.prefetch_sources().count(FetchSource::L2), 1u);
+}
+
+TEST(Fdp, EnqueueCacheProbeFilteringSkipsResidentLines) {
+  // Paper §3.1: the configuration compared in the results uses Enqueue
+  // Cache Probe Filtering against the I-cache tags.
+  FdpRig rig;
+  rig.caches.fill_demand(0x1000);
+  rig.push_block(0x1000);
+  rig.run_cycles(0, 20);
+  EXPECT_FALSE(rig.fdp.probe(0x1000).present);
+  EXPECT_EQ(rig.fdp.prefetches_issued.value(), 0u);
+  EXPECT_EQ(rig.fdp.requests_filtered.value(), 1u);
+}
+
+TEST(Fdp, WithL0FiltersOnlyAgainstL0AndPrefetchesFromL1) {
+  // Paper §3.1.1: with an L0, prefetches are served by the L1 so its
+  // multi-cycle hit latency stops hurting the fetch stage.
+  FdpConfig cfg;
+  FdpRig rig(cfg, /*with_l0=*/true);
+  rig.caches.l1().insert(0x1000);  // in L1 but not L0
+  rig.push_block(0x1000);
+  rig.run_cycles(0, 20);
+  EXPECT_TRUE(rig.fdp.probe(0x1000).present);
+  EXPECT_EQ(rig.fdp.prefetch_sources().count(FetchSource::L1), 1u);
+}
+
+TEST(Fdp, ConsumedLinePromotesAndFrees) {
+  // Paper §3.1: "when a line from the prefetch buffer is used... it is
+  // transferred to the I-cache and the entry is marked as available".
+  FdpRig rig;
+  rig.mem.l2().insert(0x1000);
+  rig.push_block(0x1000);
+  rig.run_cycles(0, 30);
+  ASSERT_TRUE(rig.fdp.probe(0x1000).present);
+  rig.fdp.on_fetch_from_pb(0x1000, 31);
+  EXPECT_FALSE(rig.fdp.probe(0x1000).present);  // entry freed
+  EXPECT_TRUE(rig.caches.probe_l1(0x1000));     // moved into L1
+}
+
+TEST(Fdp, PromotionTargetsL0WhenPresent) {
+  FdpRig rig({}, /*with_l0=*/true);
+  rig.mem.l2().insert(0x1000);
+  rig.push_block(0x1000);
+  rig.run_cycles(0, 30);
+  rig.fdp.on_fetch_from_pb(0x1000, 31);
+  EXPECT_TRUE(rig.caches.probe_l0(0x1000));
+  EXPECT_FALSE(rig.caches.probe_l1(0x1000));  // not replicated into L1
+}
+
+TEST(Fdp, ConsumeWhileInFlightPromotesOnFill) {
+  FdpRig rig;
+  rig.mem.l2().insert(0x1000);
+  rig.push_block(0x1000);
+  rig.mem.tick(0);
+  rig.fdp.tick(0);  // request in flight
+  ASSERT_TRUE(rig.fdp.probe(0x1000).present);
+  rig.fdp.on_fetch_from_pb(0x1000, 1);  // fetch wants it already
+  rig.run_cycles(1, 30);
+  EXPECT_TRUE(rig.caches.probe_l1(0x1000));
+  EXPECT_FALSE(rig.fdp.probe(0x1000).present);
+}
+
+TEST(Fdp, BufferFullStallsScan) {
+  FdpConfig cfg;
+  cfg.entries = 2;
+  FdpRig rig(cfg);
+  rig.push_block(0x1000);
+  rig.push_block(0x2000);
+  rig.push_block(0x3000);
+  rig.run_cycles(0, 5);  // fills in flight: entries not reclaimable
+  EXPECT_FALSE(rig.fdp.probe(0x3000).present);
+  EXPECT_GT(rig.fdp.pb_occupancy_stalls.value(), 0u);
+}
+
+TEST(Fdp, LruFallbackReclaimsArrivedUnusedEntries) {
+  // Wrong-path leftovers must not wedge the buffer (DESIGN.md deviation).
+  FdpConfig cfg;
+  cfg.entries = 2;
+  FdpRig rig(cfg);
+  rig.mem.l2().insert(0x1000);
+  rig.mem.l2().insert(0x2000);
+  rig.push_block(0x1000);
+  rig.push_block(0x2000);
+  rig.run_cycles(0, 30);  // both arrived, neither consumed
+  rig.push_block(0x3000);
+  rig.run_cycles(31, 99);
+  EXPECT_TRUE(rig.fdp.probe(0x3000).present);  // reclaimed an LRU entry
+}
+
+TEST(Fdp, ScanCoversMultipleBlocksInOrder) {
+  FdpRig rig;
+  rig.push_block(0x1000, 32);  // 2 lines
+  rig.push_block(0x4000, 8);   // 1 line
+  rig.run_cycles(0, 40);
+  EXPECT_TRUE(rig.fdp.probe(0x1000).present);
+  EXPECT_TRUE(rig.fdp.probe(0x1040).present);
+  EXPECT_TRUE(rig.fdp.probe(0x4000).present);
+}
+
+TEST(NonePrefetcher, NeverPresent) {
+  NonePrefetcher none;
+  EXPECT_FALSE(none.probe(0x1000).present);
+  EXPECT_EQ(none.pb_port(), nullptr);
+  EXPECT_EQ(none.prefetches(), 0u);
+}
+
+struct NlRig {
+  mem::IFetchCaches caches;
+  mem::MemSystem mem;
+  NextLinePrefetcher nl;
+
+  explicit NlRig(const NextLineConfig& cfg = {})
+      : caches(FdpRig::make_caches(false)),
+        mem(FdpRig::make_mem()),
+        nl(cfg, caches, mem) {}
+
+  void run_cycles(Cycle from, Cycle to) {
+    for (Cycle t = from; t <= to; ++t) {
+      mem.tick(t);
+      nl.tick(t);
+    }
+  }
+};
+
+TEST(NextLine, PrefetchesSequentialSuccessors) {
+  NextLineConfig cfg;
+  cfg.degree = 2;
+  NlRig rig(cfg);
+  rig.mem.l2().insert(0x1040);
+  rig.mem.l2().insert(0x1080);
+  rig.mem.tick(0);
+  rig.nl.on_line_request(0x1000, 0);
+  rig.run_cycles(1, 30);
+  EXPECT_TRUE(rig.nl.probe(0x1040).present);
+  EXPECT_TRUE(rig.nl.probe(0x1080).present);
+  EXPECT_FALSE(rig.nl.probe(0x10C0).present);  // degree 2 only
+}
+
+TEST(NextLine, SkipsResidentLines) {
+  NlRig rig;
+  rig.caches.fill_demand(0x1040);
+  rig.mem.tick(0);
+  rig.nl.on_line_request(0x1000, 0);
+  rig.run_cycles(1, 30);
+  EXPECT_FALSE(rig.nl.probe(0x1040).present);  // already in L1
+  EXPECT_TRUE(rig.nl.probe(0x1080).present);
+}
+
+TEST(NextLine, ConsumePromotesAndFrees) {
+  NlRig rig;
+  rig.mem.l2().insert(0x1040);
+  rig.mem.l2().insert(0x1080);
+  rig.mem.tick(0);
+  rig.nl.on_line_request(0x1000, 0);
+  rig.run_cycles(1, 30);
+  rig.nl.on_fetch_from_pb(0x1040, 31);
+  EXPECT_FALSE(rig.nl.probe(0x1040).present);
+  EXPECT_TRUE(rig.caches.probe_l1(0x1040));
+}
+
+}  // namespace
+}  // namespace prestage::prefetch

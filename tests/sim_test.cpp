@@ -1,0 +1,142 @@
+// Tests for the experiment harness and figure-shape properties — cheap
+// versions of the qualitative claims each paper figure makes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+
+namespace prestage::sim {
+namespace {
+
+TEST(Presets, NamesAndShapes) {
+  EXPECT_EQ(preset_name(Preset::ClgpL0Pb16), "CLGP+L0+PB:16");
+  const auto cfg =
+      make_config(Preset::ClgpL0Pb16, cacti::TechNode::um045, 8192);
+  EXPECT_EQ(cfg.prefetcher, cpu::PrefetcherKind::Clgp);
+  EXPECT_TRUE(cfg.has_l0);
+  EXPECT_EQ(cfg.prebuffer_entries, 16u);
+  EXPECT_TRUE(cfg.prebuffer_pipelined);
+  EXPECT_EQ(cfg.l1i_size, 8192u);
+}
+
+TEST(Presets, OneCyclePreBufferEntriesMatchPaperSection5) {
+  EXPECT_EQ(one_cycle_prebuffer_entries(cacti::TechNode::um090), 8u);
+  EXPECT_EQ(one_cycle_prebuffer_entries(cacti::TechNode::um045), 4u);
+}
+
+TEST(Presets, PaperSizesAxis) {
+  const auto& sizes = paper_l1_sizes();
+  ASSERT_EQ(sizes.size(), 9u);
+  EXPECT_EQ(sizes.front(), 256u);
+  EXPECT_EQ(sizes.back(), 65536u);
+}
+
+TEST(Experiment, SuiteAggregatesAndHmean) {
+  auto cfg = make_config(Preset::BaseIdeal, cacti::TechNode::um045, 4096);
+  const SuiteResult r = run_suite(cfg, {"gzip", "twolf"}, 8000);
+  ASSERT_EQ(r.per_benchmark.size(), 2u);
+  EXPECT_GT(r.hmean_ipc, 0.0);
+  EXPECT_LE(r.hmean_ipc,
+            std::max(r.per_benchmark[0].ipc, r.per_benchmark[1].ipc));
+  const auto sources = r.fetch_sources();
+  EXPECT_GT(sources.total(), 0u);
+}
+
+TEST(Experiment, RunParallelPreservesOrderAndDeterminism) {
+  std::vector<cpu::MachineConfig> configs;
+  for (const char* b : {"gzip", "mcf", "gzip"}) {
+    auto cfg = make_config(Preset::Base, cacti::TechNode::um045, 2048);
+    cfg.benchmark = b;
+    cfg.max_instructions = 6000;
+    configs.push_back(cfg);
+  }
+  const auto results = run_parallel(configs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].benchmark, "gzip");
+  EXPECT_EQ(results[1].benchmark, "mcf");
+  // Same config => identical cycle counts even across thread schedules.
+  EXPECT_EQ(results[0].cycles, results[2].cycles);
+}
+
+TEST(Report, SizeChartRendersAllSeries) {
+  const std::vector<std::uint64_t> sizes = {256, 512};
+  const std::vector<Series> series = {{"a", {1.0, 2.0}}, {"b", {3.0, 4.0}}};
+  const std::string text = render_size_chart("t", sizes, series);
+  EXPECT_NE(text.find("256B"), std::string::npos);
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("4.000"), std::string::npos);
+  EXPECT_NE(text.find("csv:"), std::string::npos);
+}
+
+TEST(Report, SourceChartIncludesL0WhenAsked) {
+  SourceBreakdown sb;
+  sb.add(FetchSource::PreBuffer, 90);
+  sb.add(FetchSource::L0, 10);
+  const std::string with_l0 =
+      render_source_chart("t", {4096}, {sb}, true);
+  EXPECT_NE(with_l0.find("il0"), std::string::npos);
+  const std::string without =
+      render_source_chart("t", {4096}, {sb}, false);
+  EXPECT_EQ(without.find("il0"), std::string::npos);
+}
+
+TEST(Report, SpeedupPct) {
+  EXPECT_NEAR(speedup_pct(1.2, 1.0), 20.0, 1e-9);
+  EXPECT_NEAR(speedup_pct(0.9, 1.0), -10.0, 1e-9);
+  EXPECT_THROW(speedup_pct(1.0, 0.0), SimError);
+}
+
+// --- figure-shape properties (cheap versions of the paper's claims) -----
+
+TEST(FigureShape, Fig1IdealDominatesAndBaseSuffersLatency) {
+  // Figure 1: ideal >= pipelined >= base at a multi-cycle size.
+  const auto node = cacti::TechNode::um045;
+  const std::vector<std::string> suite = {"eon", "gcc", "gzip"};
+  const double ideal =
+      run_suite(make_config(Preset::BaseIdeal, node, 8192), suite, 10000)
+          .hmean_ipc;
+  const double pipelined =
+      run_suite(make_config(Preset::BasePipelined, node, 8192), suite, 10000)
+          .hmean_ipc;
+  const double base =
+      run_suite(make_config(Preset::Base, node, 8192), suite, 10000)
+          .hmean_ipc;
+  EXPECT_GE(ideal, pipelined * 0.999);
+  EXPECT_GT(pipelined, base);
+}
+
+TEST(FigureShape, Fig5ClgpBeatsFdpBeatsBaseAt4KB) {
+  const auto node = cacti::TechNode::um045;
+  const std::vector<std::string> suite = {"eon", "vortex", "crafty"};
+  const double clgp =
+      run_suite(make_config(Preset::ClgpL0Pb16, node, 4096), suite, 10000)
+          .hmean_ipc;
+  const double fdp =
+      run_suite(make_config(Preset::FdpL0Pb16, node, 4096), suite, 10000)
+          .hmean_ipc;
+  const double base =
+      run_suite(make_config(Preset::BasePipelined, node, 4096), suite, 10000)
+          .hmean_ipc;
+  EXPECT_GT(clgp, fdp * 0.995);  // CLGP at least matches FDP
+  EXPECT_GT(clgp, base);         // and clearly beats no-prefetch
+}
+
+TEST(FigureShape, ClgpInsensitiveToL1Size) {
+  // Paper §5.1: "CLGP almost saturates its performance at very small L1
+  // cache sizes".
+  const auto node = cacti::TechNode::um045;
+  const std::vector<std::string> suite = {"eon", "crafty"};
+  const double small =
+      run_suite(make_config(Preset::ClgpL0, node, 1024), suite, 10000)
+          .hmean_ipc;
+  const double large =
+      run_suite(make_config(Preset::ClgpL0, node, 32768), suite, 10000)
+          .hmean_ipc;
+  EXPECT_GT(small, large * 0.85);  // within 15% across a 32x size range
+}
+
+}  // namespace
+}  // namespace prestage::sim
