@@ -3,19 +3,24 @@
 // statistics. Start here to see the public API end to end.
 //
 //   ./quickstart [benchmark] [instructions]
+//
+// Like the bench harnesses, the default instruction budget honours the
+// PRESTAGE_INSTRS environment variable via sim::default_instructions().
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "cpu/cpu.hpp"
+#include "sim/experiment.hpp"
 #include "sim/presets.hpp"
 
 int main(int argc, char** argv) {
   using namespace prestage;
 
   const std::string benchmark = argc > 1 ? argv[1] : "eon";
-  const std::uint64_t instructions =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+  const std::uint64_t instructions = argc > 2
+                                         ? std::strtoull(argv[2], nullptr, 10)
+                                         : sim::default_instructions();
 
   // Build the machine: CLGP with an L0 cache and a 16-entry pipelined
   // prestage buffer, 4 KB L1 I-cache, at the 0.045um technology node.

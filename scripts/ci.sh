@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: the exact tier-1 verify line, plus a CLI smoke run.
+#
+#   scripts/ci.sh            # configure + build + ctest + CLI smoke
+#
+# Keep the tier-1 line below byte-identical to ROADMAP.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# --- tier-1 verify ----------------------------------------------------------
+cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+# --- CLI smoke --------------------------------------------------------------
+# The ctest run above already exercises cli_test; this is the human-shaped
+# sanity check that the shipped binary works from a clean shell.
+./build/src/cli/prestage run --preset clgp-l0-pb16 --bench eon --instrs 5000
+./build/src/cli/prestage suite --preset clgp-l0-pb16 --instrs 2000 --json build/ci-suite.json
+if command -v python3 > /dev/null; then
+  python3 -m json.tool build/ci-suite.json > /dev/null
+fi
+
+echo "ci: OK"

@@ -1,0 +1,314 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "cli/json_writer.hpp"
+#include "common/table.hpp"
+#include "cpu/cpu.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/profiles.hpp"
+
+namespace prestage::cli {
+namespace {
+
+/// Checks every requested benchmark against the workload catalogue.
+bool validate_benchmarks(const std::vector<std::string>& requested) {
+  const auto& known = workload::benchmark_names();
+  for (const auto& name : requested) {
+    bool found = false;
+    for (const auto known_name : known) {
+      if (known_name == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "prestage: unknown benchmark '" << name
+                << "' (see `prestage list`)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Opens the --json sink: a file, stdout for "-", or nothing.
+class JsonSink {
+ public:
+  explicit JsonSink(const std::string& path) : path_(path) {
+    if (path_.empty() || path_ == "-") return;
+    file_.open(path_);
+    if (!file_) {
+      std::cerr << "prestage: cannot open '" << path_ << "' for writing\n";
+      failed_ = true;
+    }
+  }
+
+  [[nodiscard]] bool wanted() const { return !path_.empty(); }
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// With `--json -` the document owns stdout: human-readable output is
+  /// suppressed so the stream stays parseable (`prestage suite --json - | jq`).
+  [[nodiscard]] bool owns_stdout() const { return path_ == "-"; }
+  [[nodiscard]] std::ostream& stream() {
+    return owns_stdout() ? std::cout : file_;
+  }
+
+  /// Flushes and confirms every write landed (a full disk can fail the
+  /// stream long after open succeeded); announces the artifact on success.
+  [[nodiscard]] bool finish() {
+    stream().flush();
+    if (!stream().good()) {
+      std::cerr << "prestage: failed writing JSON to '" << path_ << "'\n";
+      return false;
+    }
+    if (!owns_stdout()) std::cout << "json: wrote " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  bool failed_ = false;
+};
+
+void write_breakdown(JsonWriter& json, const SourceBreakdown& sb) {
+  json.begin_object();
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    const auto s = static_cast<FetchSource>(i);
+    json.field(to_string(s), sb.count(s));
+  }
+  json.end_object();
+}
+
+void write_run_result(JsonWriter& json, const cpu::RunResult& r) {
+  json.begin_object();
+  json.field("benchmark", r.benchmark);
+  json.field("instructions", r.instructions);
+  json.field("cycles", r.cycles);
+  json.field("ipc", r.ipc);
+  json.field("mispredicts_per_kilo_instr", r.mispredicts_per_kilo_instr);
+  json.field("recoveries", r.recoveries);
+  json.field("lines_fetched", r.lines_fetched);
+  json.field("prefetches_issued", r.prefetches_issued);
+  json.field("l2_hits", r.l2_hits);
+  json.field("l2_misses", r.l2_misses);
+  json.key("fetch_sources");
+  write_breakdown(json, r.fetch_sources);
+  json.key("prefetch_sources");
+  write_breakdown(json, r.prefetch_sources);
+  json.end_object();
+}
+
+/// Shared document preamble: configuration echoed back for provenance.
+void write_config_fields(JsonWriter& json, const Options& opt,
+                         std::uint64_t instructions) {
+  json.field("preset", preset_cli_name(opt.preset));
+  json.field("node", cacti::to_string(opt.node));
+  json.field("l1i_size", opt.l1i_size);
+  json.field("instructions", instructions);
+}
+
+void print_machine_banner(const cpu::MachineConfig& cfg,
+                          const Options& opt) {
+  const cpu::DerivedTimings t = cpu::DerivedTimings::from(cfg);
+  std::printf("machine     : %s @ %s, L1=%s (%d cycles), L0=%s%s, "
+              "PB=%u entries (%d cycles), L2 %d cycles\n",
+              sim::preset_name(opt.preset).c_str(),
+              std::string(cacti::to_string(opt.node)).c_str(),
+              fmt_bytes(cfg.l1i_size).c_str(), t.l1i_latency,
+              fmt_bytes(t.l0_size).c_str(), cfg.has_l0 ? "" : " (disabled)",
+              cfg.prebuffer_entries, t.prebuffer_latency, t.l2_latency);
+}
+
+}  // namespace
+
+int cmd_run(const Options& opt) {
+  if (opt.benchmarks.size() > 1) {
+    std::cerr << "prestage: `run` takes a single --bench; use `suite` for "
+                 "several\n";
+    return 2;
+  }
+  const std::string benchmark =
+      opt.benchmarks.empty() ? "eon" : opt.benchmarks.front();
+  if (!validate_benchmarks({benchmark})) return 2;
+
+  const std::uint64_t instrs =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+  cpu::MachineConfig cfg =
+      sim::make_config(opt.preset, opt.node, opt.l1i_size);
+  cfg.benchmark = benchmark;
+  cfg.max_instructions = instrs;
+
+  // Open the sink up front: an unwritable path must fail before the
+  // simulation burns its budget, not after.
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+
+  if (!sink.owns_stdout()) {
+    std::printf("benchmark   : %s (synthetic SPECint2000-like)\n",
+                benchmark.c_str());
+    print_machine_banner(cfg, opt);
+  }
+
+  cpu::Cpu machine(cfg);
+  const cpu::RunResult r = machine.run();
+
+  if (!sink.owns_stdout()) {
+    std::printf("instructions: %llu committed in %llu cycles -> IPC %.3f\n",
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<unsigned long long>(r.cycles), r.ipc);
+    std::printf(
+        "fetch source: PB %s  L0 %s  L1 %s  L2 %s  Mem %s\n",
+        fmt_pct(r.fetch_sources.fraction(FetchSource::PreBuffer)).c_str(),
+        fmt_pct(r.fetch_sources.fraction(FetchSource::L0)).c_str(),
+        fmt_pct(r.fetch_sources.fraction(FetchSource::L1)).c_str(),
+        fmt_pct(r.fetch_sources.fraction(FetchSource::L2)).c_str(),
+        fmt_pct(r.fetch_sources.fraction(FetchSource::Memory)).c_str());
+    std::printf("branches    : %.2f mispredictions per kilo-instruction "
+                "(%llu recoveries)\n",
+                r.mispredicts_per_kilo_instr,
+                static_cast<unsigned long long>(r.recoveries));
+    std::printf("prefetches  : %llu issued; L2 hit/miss %llu/%llu\n",
+                static_cast<unsigned long long>(r.prefetches_issued),
+                static_cast<unsigned long long>(r.l2_hits),
+                static_cast<unsigned long long>(r.l2_misses));
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-run-v1");
+    write_config_fields(json, opt, instrs);
+    json.key("result");
+    write_run_result(json, r);
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_suite(const Options& opt) {
+  if (!validate_benchmarks(opt.benchmarks)) return 2;
+  const std::vector<std::string> benchmarks =
+      opt.benchmarks.empty() ? sim::full_suite() : opt.benchmarks;
+  const std::uint64_t instrs =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+
+  const cpu::MachineConfig cfg =
+      sim::make_config(opt.preset, opt.node, opt.l1i_size);
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  if (!sink.owns_stdout()) {
+    print_machine_banner(cfg, opt);
+    std::printf("suite       : %zu benchmarks x %llu instructions\n",
+                benchmarks.size(), static_cast<unsigned long long>(instrs));
+  }
+
+  const sim::SuiteResult suite = sim::run_suite(cfg, benchmarks, instrs);
+
+  if (!sink.owns_stdout()) {
+    Table table(
+        {"benchmark", "IPC", "MPKI", "PB", "il0", "il1", "ul2", "Mem"});
+    for (const auto& r : suite.per_benchmark) {
+      table.add_row({r.benchmark, fmt(r.ipc, 3),
+                     fmt(r.mispredicts_per_kilo_instr, 2),
+                     fmt_pct(r.fetch_sources.fraction(FetchSource::PreBuffer)),
+                     fmt_pct(r.fetch_sources.fraction(FetchSource::L0)),
+                     fmt_pct(r.fetch_sources.fraction(FetchSource::L1)),
+                     fmt_pct(r.fetch_sources.fraction(FetchSource::L2)),
+                     fmt_pct(r.fetch_sources.fraction(FetchSource::Memory))});
+    }
+    std::cout << table.to_text();
+    std::printf("hmean IPC   : %.3f\n", suite.hmean_ipc);
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-suite-v1");
+    write_config_fields(json, opt, instrs);
+    json.key("benchmarks");
+    json.begin_array();
+    for (const auto& r : suite.per_benchmark) write_run_result(json, r);
+    json.end_array();
+    json.field("hmean_ipc", suite.hmean_ipc);
+    json.key("fetch_sources");
+    write_breakdown(json, suite.fetch_sources());
+    json.key("prefetch_sources");
+    write_breakdown(json, suite.prefetch_sources());
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_sweep(const Options& opt) {
+  if (!validate_benchmarks(opt.benchmarks)) return 2;
+  const std::vector<std::string> benchmarks =
+      opt.benchmarks.empty() ? sim::full_suite() : opt.benchmarks;
+  const std::vector<std::uint64_t> sizes =
+      opt.sizes.empty() ? sim::paper_l1_sizes() : opt.sizes;
+  const std::uint64_t instrs =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+
+  sim::Series series;
+  series.label = sim::preset_name(opt.preset);
+  for (const std::uint64_t size : sizes) {
+    const cpu::MachineConfig cfg =
+        sim::make_config(opt.preset, opt.node, size);
+    series.values.push_back(
+        sim::run_suite(cfg, benchmarks, instrs).hmean_ipc);
+  }
+
+  if (!sink.owns_stdout()) {
+    std::cout << sim::render_size_chart(
+        "HMEAN IPC vs L1 size, " + sim::preset_name(opt.preset) + " @ " +
+            std::string(cacti::to_string(opt.node)),
+        sizes, {series});
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-sweep-v1");
+    json.field("preset", preset_cli_name(opt.preset));
+    json.field("node", cacti::to_string(opt.node));
+    json.field("instructions", instrs);
+    json.key("points");
+    json.begin_array();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      json.begin_object();
+      json.field("l1i_size", sizes[i]);
+      json.field("hmean_ipc", series.values[i]);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_list(const Options& opt) {
+  (void)opt;
+  std::cout << "presets:\n";
+  for (const sim::Preset p : all_presets()) {
+    std::printf("  %-16s %s\n", preset_cli_name(p).c_str(),
+                sim::preset_name(p).c_str());
+  }
+  std::cout << "nodes:\n  180 130 090 065 045\n";
+  std::cout << "benchmarks:\n ";
+  for (const auto name : workload::benchmark_names()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+}  // namespace prestage::cli

@@ -1,0 +1,23 @@
+// The `prestage` subcommands. Each returns a process exit code.
+#pragma once
+
+#include "cli/options.hpp"
+
+namespace prestage::cli {
+
+/// Simulates one benchmark on one configuration and prints the headline
+/// statistics (the quickstart flow, parameterised).
+int cmd_run(const Options& opt);
+
+/// Runs the benchmark suite (default: all 12) on one configuration and
+/// reports per-benchmark IPC plus the harmonic mean.
+int cmd_suite(const Options& opt);
+
+/// Sweeps L1 I-cache sizes (default: the paper's X axis) and reports
+/// HMEAN IPC per size.
+int cmd_sweep(const Options& opt);
+
+/// Lists presets, technology nodes and benchmarks.
+int cmd_list(const Options& opt);
+
+}  // namespace prestage::cli

@@ -1,0 +1,84 @@
+// The unified `prestage` CLI: a single entry point for simulating the
+// paper's configurations without editing any bench harness.
+//
+//   prestage run   --preset clgp-l0-pb16 --bench eon --instrs 200000
+//   prestage suite --preset clgp-l0-pb16 --json out.json
+//   prestage sweep --preset fdp-l0 --sizes 1K,4K,16K
+//   prestage list
+//
+// All subcommands honour PRESTAGE_INSTRS when --instrs is absent, like
+// the bench harnesses, and emit machine-readable JSON via --json (a file
+// path, or `-` for stdout).
+#include <exception>
+#include <iostream>
+#include <string_view>
+
+#include "cli/commands.hpp"
+#include "cli/options.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: prestage <command> [flags]\n"
+         "\n"
+         "commands:\n"
+         "  run    simulate one benchmark and print headline statistics\n"
+         "  suite  run the benchmark suite; report per-benchmark IPC + "
+         "HMEAN\n"
+         "  sweep  sweep L1 I-cache sizes; report HMEAN IPC per size\n"
+         "  list   list presets, tech nodes and benchmarks\n"
+         "\n"
+         "flags:\n"
+         "  --preset NAME   machine preset (default clgp-l0-pb16)\n"
+         "  --node NODE     tech node: 180|130|090|065|045 (default 045)\n"
+         "  --l1 BYTES      L1 I-cache size, power of two, K/M suffixes ok "
+         "(default 4096)\n"
+         "  --bench LIST    benchmark name(s), comma separated\n"
+         "  --sizes LIST    sweep sizes, comma separated (default paper "
+         "axis)\n"
+         "  --instrs N      instructions per run (default "
+         "$PRESTAGE_INSTRS or 120000)\n"
+         "  --json PATH     write a JSON report to PATH (`-` = stdout)\n"
+         "  --help          this message\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prestage::cli;
+
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+
+  const ParseResult parsed = parse_options(argc, argv, 2);
+  if (parsed.help) {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (!parsed.error.empty()) {
+    std::cerr << "prestage: " << parsed.error << "\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    if (command == "run") return cmd_run(parsed.options);
+    if (command == "suite") return cmd_suite(parsed.options);
+    if (command == "sweep") return cmd_sweep(parsed.options);
+    if (command == "list") return cmd_list(parsed.options);
+  } catch (const std::exception& e) {
+    std::cerr << "prestage: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cerr << "prestage: unknown command '" << command << "'\n\n";
+  print_usage(std::cerr);
+  return 2;
+}

@@ -1,0 +1,204 @@
+#include "cli/options.hpp"
+
+#include <cctype>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace prestage::cli {
+
+const std::vector<sim::Preset>& all_presets() {
+  static const std::vector<sim::Preset> presets = {
+      sim::Preset::Base,      sim::Preset::BaseIdeal,
+      sim::Preset::BaseL0,    sim::Preset::BasePipelined,
+      sim::Preset::Fdp,       sim::Preset::FdpL0,
+      sim::Preset::FdpL0Pb16, sim::Preset::Clgp,
+      sim::Preset::ClgpL0,    sim::Preset::ClgpL0Pb16,
+  };
+  return presets;
+}
+
+std::string preset_cli_name(sim::Preset p) {
+  switch (p) {
+    case sim::Preset::Base: return "base";
+    case sim::Preset::BaseIdeal: return "base-ideal";
+    case sim::Preset::BaseL0: return "base-l0";
+    case sim::Preset::BasePipelined: return "base-pipelined";
+    case sim::Preset::Fdp: return "fdp";
+    case sim::Preset::FdpL0: return "fdp-l0";
+    case sim::Preset::FdpL0Pb16: return "fdp-l0-pb16";
+    case sim::Preset::Clgp: return "clgp";
+    case sim::Preset::ClgpL0: return "clgp-l0";
+    case sim::Preset::ClgpL0Pb16: return "clgp-l0-pb16";
+  }
+  return "?";
+}
+
+std::optional<sim::Preset> parse_preset(std::string_view name) {
+  for (const sim::Preset p : all_presets()) {
+    if (preset_cli_name(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<cacti::TechNode> parse_node(std::string_view name) {
+  struct Alias {
+    std::string_view text;
+    cacti::TechNode node;
+  };
+  static constexpr Alias kAliases[] = {
+      {"180", cacti::TechNode::um180}, {"0.18um", cacti::TechNode::um180},
+      {"130", cacti::TechNode::um130}, {"0.13um", cacti::TechNode::um130},
+      {"090", cacti::TechNode::um090}, {"90", cacti::TechNode::um090},
+      {"0.09um", cacti::TechNode::um090},
+      {"065", cacti::TechNode::um065}, {"65", cacti::TechNode::um065},
+      {"0.065um", cacti::TechNode::um065},
+      {"045", cacti::TechNode::um045}, {"45", cacti::TechNode::um045},
+      {"0.045um", cacti::TechNode::um045},
+  };
+  for (const auto& alias : kAliases) {
+    if (alias.text == name) return alias.node;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t multiplier = 1;
+  if (text.back() == 'K' || text.back() == 'k') {
+    multiplier = 1024;
+    text.remove_suffix(1);
+  } else if (text.back() == 'M' || text.back() == 'm') {
+    multiplier = 1024 * 1024;
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    v = v * 10 + digit;
+  }
+  if (v == 0 || v > kMax / multiplier) return std::nullopt;
+  return v * multiplier;
+}
+
+std::vector<std::string> split_csv(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view token = text.substr(start, comma - start);
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(
+                                 token.front()))) {
+      token.remove_prefix(1);
+    }
+    while (!token.empty() &&
+           std::isspace(static_cast<unsigned char>(token.back()))) {
+      token.remove_suffix(1);
+    }
+    if (!token.empty()) out.emplace_back(token);
+    start = comma + 1;
+  }
+  return out;
+}
+
+ParseResult parse_options(int argc, char** argv, int first) {
+  ParseResult result;
+  Options& opt = result.options;
+
+  auto need_value = [&](int i, std::string_view flag) -> const char* {
+    if (i + 1 >= argc) {
+      result.error = std::string("missing value for ") + std::string(flag);
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      result.help = true;
+      return result;
+    }
+    if (arg == "--preset") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto preset = parse_preset(v);
+      if (!preset) {
+        result.error = std::string("unknown preset '") + v +
+                       "' (see `prestage list`)";
+        return result;
+      }
+      opt.preset = *preset;
+      ++i;
+    } else if (arg == "--node") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto node = parse_node(v);
+      if (!node) {
+        result.error = std::string("unknown tech node '") + v +
+                       "' (try 090 or 045)";
+        return result;
+      }
+      opt.node = *node;
+      ++i;
+    } else if (arg == "--l1") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto size = parse_u64(v);
+      if (!size || !is_pow2(*size)) {
+        result.error = std::string("--l1 needs a power-of-two byte count, "
+                                   "got '") + v + "'";
+        return result;
+      }
+      opt.l1i_size = *size;
+      ++i;
+    } else if (arg == "--instrs") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n) {
+        result.error = std::string("--instrs needs a positive count, got '") +
+                       v + "'";
+        return result;
+      }
+      opt.instructions = *n;
+      ++i;
+    } else if (arg == "--bench") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      for (auto& name : split_csv(v)) {
+        opt.benchmarks.push_back(std::move(name));
+      }
+      ++i;
+    } else if (arg == "--sizes") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      for (const auto& token : split_csv(v)) {
+        const auto size = parse_u64(token);
+        if (!size || !is_pow2(*size)) {
+          result.error = "--sizes needs power-of-two byte counts, got '" +
+                         token + "'";
+          return result;
+        }
+        opt.sizes.push_back(*size);
+      }
+      ++i;
+    } else if (arg == "--json") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.json_path = v;
+      ++i;
+    } else {
+      result.error = std::string("unknown flag '") + std::string(arg) + "'";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace prestage::cli

@@ -1,0 +1,59 @@
+// Command-line parsing for the `prestage` CLI.
+//
+// Presets are addressed by kebab-case names ("clgp-l0-pb16"); technology
+// nodes by their feature size ("090", "045", or the full "0.09um" form).
+// Parsing never throws: errors are reported as a std::string message so
+// main() can print usage alongside.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cacti/tech.hpp"
+#include "sim/presets.hpp"
+
+namespace prestage::cli {
+
+/// Parsed flags shared by every subcommand.
+struct Options {
+  sim::Preset preset = sim::Preset::ClgpL0Pb16;
+  cacti::TechNode node = cacti::TechNode::um045;
+  std::uint64_t l1i_size = 4096;
+  std::uint64_t instructions = 0;  ///< 0 -> sim::default_instructions()
+  std::vector<std::string> benchmarks;     ///< empty -> command default
+  std::vector<std::uint64_t> sizes;        ///< empty -> paper_l1_sizes()
+  std::string json_path;  ///< empty -> no JSON; "-" -> stdout
+};
+
+/// Result of parsing argv: options on success, message on failure.
+struct ParseResult {
+  Options options;
+  std::string error;  ///< empty on success
+  bool help = false;  ///< --help / -h was given
+};
+
+/// Parses the flags following the subcommand word.
+[[nodiscard]] ParseResult parse_options(int argc, char** argv, int first);
+
+/// Kebab-case CLI name of a preset, e.g. Preset::ClgpL0Pb16 -> "clgp-l0-pb16".
+[[nodiscard]] std::string preset_cli_name(sim::Preset p);
+
+/// All presets in declaration order (for `prestage list` and validation).
+[[nodiscard]] const std::vector<sim::Preset>& all_presets();
+
+/// Inverse of preset_cli_name(); nullopt for unknown names.
+[[nodiscard]] std::optional<sim::Preset> parse_preset(std::string_view name);
+
+/// Accepts "180".."045", "0.09um", or "90" style node names.
+[[nodiscard]] std::optional<cacti::TechNode> parse_node(std::string_view name);
+
+/// Parses a positive decimal integer (with optional K/M suffix for sizes).
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Splits "a,b,c" into trimmed non-empty tokens.
+[[nodiscard]] std::vector<std::string> split_csv(std::string_view text);
+
+}  // namespace prestage::cli

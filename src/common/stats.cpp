@@ -3,13 +3,17 @@
 namespace prestage {
 
 double harmonic_mean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
+  // Non-positive samples (a wedged or zero-IPC run) are skipped rather
+  // than asserted on: one bad benchmark must not abort a whole suite
+  // sweep. The mean is taken over the positive samples that remain.
   double inv_sum = 0.0;
+  std::size_t n = 0;
   for (double x : xs) {
-    PRESTAGE_ASSERT(x > 0.0, "harmonic mean requires positive samples");
+    if (x <= 0.0) continue;
     inv_sum += 1.0 / x;
+    ++n;
   }
-  return static_cast<double>(xs.size()) / inv_sum;
+  return n == 0 ? 0.0 : static_cast<double>(n) / inv_sum;
 }
 
 double arithmetic_mean(const std::vector<double>& xs) {

@@ -83,7 +83,8 @@ class SourceBreakdown {
 };
 
 /// Harmonic mean, the aggregate the paper reports for per-benchmark IPC
-/// (Figure 6's HMEAN bar). Zero/negative samples are rejected.
+/// (Figure 6's HMEAN bar). Zero/negative samples are skipped (the mean
+/// is over the positive samples); 0.0 when none are positive.
 [[nodiscard]] double harmonic_mean(const std::vector<double>& xs);
 
 /// Arithmetic mean.

@@ -37,7 +37,7 @@ class NextLinePrefetcher final : public IPrefetcher {
   [[nodiscard]] mem::LatencyPort* pb_port() override { return &port_; }
   void on_fetch_from_pb(Addr line, Cycle now) override;
   void on_line_request(Addr line, Cycle now) override;
-  void tick(Cycle now) override {}
+  void tick(Cycle /*now*/) override {}
   void on_recovery(Cycle now) override { (void)now; }
   [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
     return sources_;

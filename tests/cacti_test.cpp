@@ -108,9 +108,9 @@ TEST(Cacti, LatencyInCyclesGrowsTowardFinerNodes) {
 
 TEST(Cacti, RejectsDegenerateGeometry) {
   const AccessTimeModel model;
-  EXPECT_THROW(model.access_ns({.size_bytes = 0}, TechNode::um090),
+  EXPECT_THROW((void)model.access_ns({.size_bytes = 0}, TechNode::um090),
                SimError);
-  EXPECT_THROW(model.access_ns({.size_bytes = 3000}, TechNode::um090),
+  EXPECT_THROW((void)model.access_ns({.size_bytes = 3000}, TechNode::um090),
                SimError);
 }
 

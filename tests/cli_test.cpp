@@ -1,0 +1,355 @@
+// Smoke tests for the `prestage` CLI: spawns the real binary (path baked
+// in via PRESTAGE_CLI_PATH) on a short instruction budget and validates
+// the JSON reports with a minimal strict parser, so a malformed document
+// or a missing field fails loudly in CI.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON parser ---------------------------------------------------
+// Just enough of RFC 8259 to round-trip what json_writer.cpp emits:
+// objects, arrays, strings with the writer's escapes, numbers, booleans
+// and null. Any syntax error throws std::runtime_error.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.count(key) > 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (!v.object.emplace(std::move(key), parse_value()).second) {
+        fail("duplicate key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- harness ---------------------------------------------------------------
+
+std::string cli_path() { return PRESTAGE_CLI_PATH; }
+
+/// Per-test-case file path: gtest_discover_tests registers each case as
+/// its own ctest test, and `ctest -j` runs them concurrently against the
+/// same TempDir, so fixed names would let tests clobber each other.
+std::string test_file(const std::string& name) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + info->test_suite_name() + "." +
+         info->name() + "." + name;
+}
+
+/// Runs `prestage <args>`, captures stdout+stderr, returns the exit code.
+int run_cli(const std::string& args, std::string* output) {
+  const std::string out_file = test_file("cli_out.txt");
+  const std::string command =
+      cli_path() + " " + args + " > " + out_file + " 2>&1";
+  const int status = std::system(command.c_str());
+  std::ifstream in(out_file);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *output = ss.str();
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void check_breakdown(const JsonValue& sb) {
+  for (const char* source : {"PB", "il0", "il1", "ul2", "Mem"}) {
+    ASSERT_TRUE(sb.has(source)) << "missing source " << source;
+    EXPECT_EQ(sb.at(source).kind, JsonValue::Kind::Number);
+  }
+}
+
+TEST(CliSmoke, RunEmitsHeadlineStatsAndJson) {
+  const std::string json_file = test_file("run.json");
+  std::string output;
+  const int rc = run_cli(
+      "run --preset clgp-l0-pb16 --bench eon --instrs 2000 --json " +
+          json_file,
+      &output);
+  ASSERT_EQ(rc, 0) << output;
+  EXPECT_NE(output.find("IPC"), std::string::npos) << output;
+
+  const JsonValue doc = JsonParser(read_file(json_file)).parse();
+  EXPECT_EQ(doc.at("schema").string, "prestage-run-v1");
+  EXPECT_EQ(doc.at("preset").string, "clgp-l0-pb16");
+  EXPECT_EQ(doc.at("instructions").number, 2000.0);
+  const JsonValue& result = doc.at("result");
+  EXPECT_EQ(result.at("benchmark").string, "eon");
+  EXPECT_GT(result.at("ipc").number, 0.0);
+  EXPECT_GE(result.at("instructions").number, 2000.0);
+  check_breakdown(result.at("fetch_sources"));
+  check_breakdown(result.at("prefetch_sources"));
+}
+
+TEST(CliSmoke, SuiteJsonCoversAllBenchmarksWithHmean) {
+  const std::string json_file = test_file("suite.json");
+  std::string output;
+  const int rc = run_cli(
+      "suite --preset clgp-l0-pb16 --instrs 1500 --json " + json_file,
+      &output);
+  ASSERT_EQ(rc, 0) << output;
+
+  const JsonValue doc = JsonParser(read_file(json_file)).parse();
+  EXPECT_EQ(doc.at("schema").string, "prestage-suite-v1");
+  const JsonValue& benchmarks = doc.at("benchmarks");
+  ASSERT_EQ(benchmarks.kind, JsonValue::Kind::Array);
+  ASSERT_EQ(benchmarks.array.size(), 12u) << "full suite expected";
+  for (const JsonValue& r : benchmarks.array) {
+    EXPECT_FALSE(r.at("benchmark").string.empty());
+    EXPECT_GT(r.at("ipc").number, 0.0) << r.at("benchmark").string;
+    check_breakdown(r.at("fetch_sources"));
+  }
+  EXPECT_GT(doc.at("hmean_ipc").number, 0.0);
+  // The HMEAN must sit within the per-benchmark range.
+  double min_ipc = 1e9, max_ipc = 0.0;
+  for (const JsonValue& r : benchmarks.array) {
+    min_ipc = std::min(min_ipc, r.at("ipc").number);
+    max_ipc = std::max(max_ipc, r.at("ipc").number);
+  }
+  EXPECT_GE(doc.at("hmean_ipc").number, min_ipc);
+  EXPECT_LE(doc.at("hmean_ipc").number, max_ipc);
+}
+
+TEST(CliSmoke, SweepJsonHasOnePointPerSize) {
+  std::string output;
+  const int rc = run_cli(
+      "sweep --preset base --bench eon --sizes 1K,4K --instrs 1000 "
+      "--json -",
+      &output);
+  ASSERT_EQ(rc, 0) << output;
+
+  // With --json - the document owns stdout: the human chart is
+  // suppressed, so the whole capture must parse as one JSON value.
+  const JsonValue doc = JsonParser(output).parse();
+  EXPECT_EQ(doc.at("schema").string, "prestage-sweep-v1");
+  const JsonValue& points = doc.at("points");
+  ASSERT_EQ(points.array.size(), 2u);
+  EXPECT_EQ(points.array[0].at("l1i_size").number, 1024.0);
+  EXPECT_EQ(points.array[1].at("l1i_size").number, 4096.0);
+  for (const JsonValue& p : points.array) {
+    EXPECT_GT(p.at("hmean_ipc").number, 0.0);
+  }
+}
+
+TEST(CliSmoke, ListNamesEveryPreset) {
+  std::string output;
+  const int rc = run_cli("list", &output);
+  ASSERT_EQ(rc, 0) << output;
+  for (const char* name :
+       {"base", "base-ideal", "base-l0", "base-pipelined", "fdp", "fdp-l0",
+        "fdp-l0-pb16", "clgp", "clgp-l0", "clgp-l0-pb16"}) {
+    EXPECT_NE(output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliSmoke, BadInputFailsWithUsage) {
+  std::string output;
+  EXPECT_NE(run_cli("frobnicate", &output), 0);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+
+  EXPECT_NE(run_cli("run --preset no-such-preset", &output), 0);
+  EXPECT_NE(output.find("unknown preset"), std::string::npos);
+
+  EXPECT_NE(run_cli("run --bench no-such-benchmark", &output), 0);
+  EXPECT_NE(output.find("unknown benchmark"), std::string::npos);
+}
+
+}  // namespace

@@ -140,7 +140,7 @@ TEST(RingBuffer, CapacityEnforced) {
 TEST(RingBuffer, PopEmptyThrows) {
   RingBuffer<int> q(2);
   EXPECT_THROW(q.pop(), SimError);
-  EXPECT_THROW(q.front(), SimError);
+  EXPECT_THROW((void)q.front(), SimError);
 }
 
 TEST(RingBuffer, IndexingWrapsCorrectly) {
@@ -154,7 +154,7 @@ TEST(RingBuffer, IndexingWrapsCorrectly) {
   EXPECT_EQ(q.at(1), 30);
   EXPECT_EQ(q.at(2), 40);
   EXPECT_EQ(q.back(), 40);
-  EXPECT_THROW(q.at(3), SimError);
+  EXPECT_THROW((void)q.at(3), SimError);
 }
 
 TEST(RingBuffer, ClearAndPopBackN) {
@@ -211,7 +211,16 @@ TEST(Stats, HarmonicMean) {
   // HMEAN is dominated by the smallest sample.
   EXPECT_NEAR(harmonic_mean({1.0, 100.0}), 2.0 / (1.0 + 0.01), 1e-9);
   EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
-  EXPECT_THROW(harmonic_mean({1.0, 0.0}), SimError);
+}
+
+TEST(Stats, HarmonicMeanSkipsNonPositiveSamples) {
+  // Regression: a single zero-IPC run (wedged benchmark) used to abort
+  // the whole suite aggregate. Non-positive samples are now skipped and
+  // the mean is over the remaining positive ones.
+  EXPECT_NEAR(harmonic_mean({1.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(harmonic_mean({2.0, -3.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harmonic_mean({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({-1.0, 0.0}), 0.0);
 }
 
 TEST(Table, RendersAlignedText) {

@@ -86,7 +86,7 @@ TEST(Report, SourceChartIncludesL0WhenAsked) {
 TEST(Report, SpeedupPct) {
   EXPECT_NEAR(speedup_pct(1.2, 1.0), 20.0, 1e-9);
   EXPECT_NEAR(speedup_pct(0.9, 1.0), -10.0, 1e-9);
-  EXPECT_THROW(speedup_pct(1.0, 0.0), SimError);
+  EXPECT_THROW((void)speedup_pct(1.0, 0.0), SimError);
 }
 
 // --- figure-shape properties (cheap versions of the paper's claims) -----

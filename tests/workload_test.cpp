@@ -18,7 +18,7 @@ TEST(Profiles, AllTwelveBenchmarksPresent) {
   for (const auto name : benchmark_names()) {
     EXPECT_EQ(profile_for(name).name, name);
   }
-  EXPECT_THROW(profile_for("nonexistent"), SimError);
+  EXPECT_THROW((void)profile_for("nonexistent"), SimError);
 }
 
 TEST(Profiles, FootprintOrderingMatchesSpecLore) {
@@ -74,8 +74,8 @@ TEST(Program, BlockAtFindsEveryPc) {
     EXPECT_EQ(prog.block_at(b.start), id);
     EXPECT_EQ(prog.block_at(b.last_pc()), id);
   }
-  EXPECT_THROW(prog.block_at(prog.code_end()), SimError);
-  EXPECT_THROW(prog.block_at(0), SimError);
+  EXPECT_THROW((void)prog.block_at(prog.code_end()), SimError);
+  EXPECT_THROW((void)prog.block_at(0), SimError);
 }
 
 TEST(Program, StaticInstLookupMatchesBlockContents) {
