@@ -20,4 +20,27 @@ if command -v python3 > /dev/null; then
   python3 -m json.tool build/ci-suite.json > /dev/null
 fi
 
+# --- trace round-trip smoke -------------------------------------------------
+# Record a synthetic run, replay the file, and require bit-identical
+# headline statistics; then drive the checked-in ChampSim fixture through
+# the CLGP preset end to end.
+./build/src/cli/prestage trace record --preset clgp-l0-pb16 --bench eon \
+  --instrs 3000 --out build/ci-eon.pstr --json build/ci-record.json
+./build/src/cli/prestage trace info --trace build/ci-eon.pstr
+./build/src/cli/prestage trace replay --preset clgp-l0-pb16 --instrs 3000 \
+  --trace build/ci-eon.pstr --json build/ci-replay.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+rec = json.load(open("build/ci-record.json"))["result"]
+rep = json.load(open("build/ci-replay.json"))["result"]
+assert rec["ipc"] == rep["ipc"], (rec["ipc"], rep["ipc"])
+assert rec["cycles"] == rep["cycles"], (rec["cycles"], rep["cycles"])
+assert rec["fetch_sources"] == rep["fetch_sources"]
+print("trace round-trip: identical IPC, cycles and fetch sources")
+EOF
+fi
+./build/src/cli/prestage trace replay --preset clgp --instrs 1500 \
+  --trace tests/data/fixture.champsim.trace
+
 echo "ci: OK"

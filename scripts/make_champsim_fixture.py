@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerates tests/data/fixture.champsim.trace.
+
+A tiny hand-built instruction stream in the raw (uncompressed) ChampSim
+trace format: 64-byte records of
+
+    u64 ip
+    u8  is_branch, u8 branch_taken
+    u8  destination_registers[2], u8 source_registers[4]
+    u64 destination_memory[2],    u64 source_memory[4]
+
+The synthetic program is a loop with a load, a store, a conditional
+branch (taken every 4th iteration), a call/return pair and unconditional
+jumps, so the importer's whole classification matrix (Load/Store/
+Branch/Jump/Call/Return plus dense PC remapping) is exercised by one
+small checked-in file. Deterministic: re-running this script reproduces
+the fixture byte for byte.
+"""
+import struct
+import sys
+
+REG_SP = 6
+REG_FLAGS = 25
+REG_IP = 26
+
+ITERATIONS = 25
+
+
+def record(ip, is_branch=0, taken=0, dst=(), src=(), dmem=(), smem=()):
+    dst = (list(dst) + [0, 0])[:2]
+    src = (list(src) + [0, 0, 0, 0])[:4]
+    dmem = (list(dmem) + [0, 0])[:2]
+    smem = (list(smem) + [0, 0, 0, 0])[:4]
+    return struct.pack("<QBB2B4B2Q4Q", ip, is_branch, taken, *dst, *src,
+                       *dmem, *smem)
+
+
+def iteration(out, i):
+    # load r1 <- [0x600000 + 8i]
+    out.append(record(0x400000, dst=[1], src=[2], smem=[0x600000 + 8 * i]))
+    # alu r3 <- r1, r3
+    out.append(record(0x400004, dst=[3], src=[1, 3]))
+    # conditional branch, taken every 4th iteration -> 0x400020
+    taken = 1 if i % 4 == 3 else 0
+    out.append(record(0x400008, is_branch=1, taken=taken, dst=[REG_IP],
+                      src=[REG_FLAGS]))
+    if taken:
+        # alu at the taken target, then jump back to the loop head
+        out.append(record(0x400020, dst=[4], src=[3]))
+        out.append(record(0x400024, is_branch=1, taken=1, dst=[REG_IP]))
+        return
+    # store [0x601000 + 8i] <- r3
+    out.append(record(0x40000C, dst=[], src=[3, 2],
+                      dmem=[0x601000 + 8 * i]))
+    # call 0x500000 — reads IP (pushes the return address) and SP
+    out.append(record(0x400010, is_branch=1, taken=1,
+                      dst=[REG_IP, REG_SP], src=[REG_IP, REG_SP]))
+    # callee: alu; return — pops via SP, writes SP and IP, does NOT
+    # read IP (how real tracers distinguish `ret` from `call`)
+    out.append(record(0x500000, dst=[5], src=[3]))
+    out.append(record(0x500004, is_branch=1, taken=1,
+                      dst=[REG_IP, REG_SP], src=[REG_SP],
+                      smem=[0x7FF000]))
+    # continuation: jump back to the loop head
+    out.append(record(0x400014, is_branch=1, taken=1, dst=[REG_IP]))
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else \
+        "tests/data/fixture.champsim.trace"
+    out = []
+    for i in range(ITERATIONS):
+        iteration(out, i)
+    with open(path, "wb") as f:
+        f.write(b"".join(out))
+    print(f"{path}: {len(out)} records, {len(out) * 64} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,9 @@
 #include "cpu/cpu.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "workload/champsim.hpp"
 #include "workload/profiles.hpp"
+#include "workload/trace_file.hpp"
 
 namespace prestage::cli {
 namespace {
@@ -111,6 +113,33 @@ void write_config_fields(JsonWriter& json, const Options& opt,
   json.field("instructions", instructions);
 }
 
+/// Resolves --format (or sniffs the file) for `trace replay`/`trace
+/// info`; throws SimError when the file is missing or unrecognizable.
+workload::TraceFormat resolve_trace_format(const Options& opt) {
+  if (opt.trace_format == "native") return workload::TraceFormat::Native;
+  if (opt.trace_format == "champsim") {
+    return workload::TraceFormat::ChampSim;
+  }
+  return workload::detect_trace_format(opt.trace_path);
+}
+
+[[nodiscard]] const char* format_name(workload::TraceFormat f) {
+  return f == workload::TraceFormat::Native ? "native" : "champsim";
+}
+
+void print_run_summary(const cpu::RunResult& r) {
+  std::printf("instructions: %llu committed in %llu cycles -> IPC %.3f\n",
+              static_cast<unsigned long long>(r.instructions),
+              static_cast<unsigned long long>(r.cycles), r.ipc);
+  std::printf(
+      "fetch source: PB %s  L0 %s  L1 %s  L2 %s  Mem %s\n",
+      fmt_pct(r.fetch_sources.fraction(FetchSource::PreBuffer)).c_str(),
+      fmt_pct(r.fetch_sources.fraction(FetchSource::L0)).c_str(),
+      fmt_pct(r.fetch_sources.fraction(FetchSource::L1)).c_str(),
+      fmt_pct(r.fetch_sources.fraction(FetchSource::L2)).c_str(),
+      fmt_pct(r.fetch_sources.fraction(FetchSource::Memory)).c_str());
+}
+
 void print_machine_banner(const cpu::MachineConfig& cfg,
                           const Options& opt) {
   const cpu::DerivedTimings t = cpu::DerivedTimings::from(cfg);
@@ -157,16 +186,7 @@ int cmd_run(const Options& opt) {
   const cpu::RunResult r = machine.run();
 
   if (!sink.owns_stdout()) {
-    std::printf("instructions: %llu committed in %llu cycles -> IPC %.3f\n",
-                static_cast<unsigned long long>(r.instructions),
-                static_cast<unsigned long long>(r.cycles), r.ipc);
-    std::printf(
-        "fetch source: PB %s  L0 %s  L1 %s  L2 %s  Mem %s\n",
-        fmt_pct(r.fetch_sources.fraction(FetchSource::PreBuffer)).c_str(),
-        fmt_pct(r.fetch_sources.fraction(FetchSource::L0)).c_str(),
-        fmt_pct(r.fetch_sources.fraction(FetchSource::L1)).c_str(),
-        fmt_pct(r.fetch_sources.fraction(FetchSource::L2)).c_str(),
-        fmt_pct(r.fetch_sources.fraction(FetchSource::Memory)).c_str());
+    print_run_summary(r);
     std::printf("branches    : %.2f mispredictions per kilo-instruction "
                 "(%llu recoveries)\n",
                 r.mispredicts_per_kilo_instr,
@@ -289,6 +309,217 @@ int cmd_sweep(const Options& opt) {
       json.end_object();
     }
     json.end_array();
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_trace_record(const Options& opt) {
+  if (opt.benchmarks.size() > 1) {
+    std::cerr << "prestage: `trace record` takes a single --bench\n";
+    return 2;
+  }
+  const std::string benchmark =
+      opt.benchmarks.empty() ? "eon" : opt.benchmarks.front();
+  if (!validate_benchmarks({benchmark})) return 2;
+  if (opt.out_path.empty()) {
+    std::cerr << "prestage: `trace record` needs --out FILE\n";
+    return 2;
+  }
+
+  const std::uint64_t instrs =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+  cpu::MachineConfig cfg =
+      sim::make_config(opt.preset, opt.node, opt.l1i_size);
+  cfg.benchmark = benchmark;
+  cfg.max_instructions = instrs;
+  auto spec = std::make_shared<workload::RecordingWorkloadSpec>(benchmark,
+                                                                cfg.seed);
+  cfg.workload = spec;
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  if (!sink.owns_stdout()) {
+    std::printf("recording   : %s, %llu instructions -> %s\n",
+                benchmark.c_str(),
+                static_cast<unsigned long long>(instrs),
+                opt.out_path.c_str());
+    print_machine_banner(cfg, opt);
+  }
+
+  cpu::Cpu machine(cfg);
+  const cpu::RunResult r = machine.run();
+  const workload::TraceHeader header = spec->header();
+  workload::write_trace_file(opt.out_path, header, spec->recorded());
+
+  if (!sink.owns_stdout()) {
+    print_run_summary(r);
+    std::printf("trace       : wrote %llu records to %s\n",
+                static_cast<unsigned long long>(spec->recorded().size()),
+                opt.out_path.c_str());
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-trace-record-v1");
+    write_config_fields(json, opt, instrs);
+    json.key("trace");
+    json.begin_object();
+    json.field("path", opt.out_path);
+    json.field("format", "native");
+    json.field("version", workload::kTraceVersion);
+    json.field("benchmark", header.benchmark);
+    json.field("program_seed", header.program_seed);
+    json.field("trace_seed", header.trace_seed);
+    json.field("records", header.record_count);
+    json.end_object();
+    json.key("result");
+    write_run_result(json, r);
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_trace_replay(const Options& opt) {
+  if (opt.trace_path.empty()) {
+    std::cerr << "prestage: `trace replay` needs --trace FILE\n";
+    return 2;
+  }
+  const workload::TraceFormat format = resolve_trace_format(opt);
+
+  std::shared_ptr<const workload::ReplayWorkloadSpec> spec;
+  if (format == workload::TraceFormat::Native) {
+    spec = workload::load_replay_spec(opt.trace_path);
+  } else {
+    spec = workload::import_champsim_trace(opt.trace_path, opt.max_records);
+  }
+
+  const std::uint64_t instrs =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+  cpu::MachineConfig cfg =
+      sim::make_config(opt.preset, opt.node, opt.l1i_size);
+  cfg.benchmark = spec->name();
+  cfg.max_instructions = instrs;
+  cfg.workload = spec;
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  if (!sink.owns_stdout()) {
+    std::printf("replaying   : %s (%s, %llu records)\n",
+                opt.trace_path.c_str(), format_name(format),
+                static_cast<unsigned long long>(spec->records().size()));
+    print_machine_banner(cfg, opt);
+  }
+
+  cpu::Cpu machine(cfg);
+  const cpu::RunResult r = machine.run();
+
+  if (!sink.owns_stdout()) print_run_summary(r);
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-trace-replay-v1");
+    write_config_fields(json, opt, instrs);
+    json.key("trace");
+    json.begin_object();
+    json.field("path", opt.trace_path);
+    json.field("format", format_name(format));
+    json.field("records",
+               static_cast<std::uint64_t>(spec->records().size()));
+    json.field("benchmark", spec->name());
+    json.end_object();
+    json.key("result");
+    write_run_result(json, r);
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_trace_info(const Options& opt) {
+  if (opt.trace_path.empty()) {
+    std::cerr << "prestage: `trace info` needs --trace FILE\n";
+    return 2;
+  }
+  const workload::TraceFormat format = resolve_trace_format(opt);
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  JsonWriter json(sink.stream());
+
+  if (format == workload::TraceFormat::Native) {
+    const workload::TraceFile file =
+        workload::read_trace_file(opt.trace_path);
+    std::uint64_t streams = 0;
+    for (const auto& d : file.records) {
+      if (d.ends_stream) ++streams;
+    }
+    if (!sink.owns_stdout()) {
+      std::printf("trace       : %s (native, version %u)\n",
+                  opt.trace_path.c_str(), file.header.version);
+      std::printf("benchmark   : %s (program seed %llu, trace seed %llu)\n",
+                  file.header.benchmark.c_str(),
+                  static_cast<unsigned long long>(file.header.program_seed),
+                  static_cast<unsigned long long>(file.header.trace_seed));
+      std::printf("records     : %llu instructions in %llu streams\n",
+                  static_cast<unsigned long long>(file.header.record_count),
+                  static_cast<unsigned long long>(streams));
+    }
+    if (sink.wanted()) {
+      json.begin_object();
+      json.field("schema", "prestage-trace-info-v1");
+      json.field("path", opt.trace_path);
+      json.field("format", "native");
+      json.field("version", file.header.version);
+      json.field("benchmark", file.header.benchmark);
+      json.field("program_seed", file.header.program_seed);
+      json.field("trace_seed", file.header.trace_seed);
+      json.field("records", file.header.record_count);
+      json.field("streams", streams);
+      json.end_object();
+      if (!sink.finish()) return 1;
+    }
+    return 0;
+  }
+
+  workload::ChampSimImportStats st;
+  const auto spec =
+      workload::import_champsim_trace(opt.trace_path, opt.max_records, &st);
+  if (!sink.owns_stdout()) {
+    std::printf("trace       : %s (champsim)\n", opt.trace_path.c_str());
+    std::printf("records     : %llu instructions in %llu streams\n",
+                static_cast<unsigned long long>(st.records),
+                static_cast<unsigned long long>(st.streams));
+    std::printf("static      : %llu PCs (%llu branches, %llu loads, "
+                "%llu stores, %llu synthetic jumps)\n",
+                static_cast<unsigned long long>(st.unique_pcs),
+                static_cast<unsigned long long>(st.branches),
+                static_cast<unsigned long long>(st.loads),
+                static_cast<unsigned long long>(st.stores),
+                static_cast<unsigned long long>(st.synthetic_jumps));
+    std::printf("image       : %zu blocks, %s footprint\n",
+                spec->program().blocks.size(),
+                fmt_bytes(spec->program().footprint_bytes()).c_str());
+  }
+  if (sink.wanted()) {
+    json.begin_object();
+    json.field("schema", "prestage-trace-info-v1");
+    json.field("path", opt.trace_path);
+    json.field("format", "champsim");
+    json.field("records", st.records);
+    json.field("streams", st.streams);
+    json.field("unique_pcs", st.unique_pcs);
+    json.field("branches", st.branches);
+    json.field("loads", st.loads);
+    json.field("stores", st.stores);
+    json.field("synthetic_jumps", st.synthetic_jumps);
+    json.field("image_blocks",
+               static_cast<std::uint64_t>(spec->program().blocks.size()));
+    json.field("image_bytes", spec->program().footprint_bytes());
     json.end_object();
     if (!sink.finish()) return 1;
   }

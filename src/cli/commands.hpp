@@ -20,4 +20,14 @@ int cmd_sweep(const Options& opt);
 /// Lists presets, technology nodes and benchmarks.
 int cmd_list(const Options& opt);
 
+/// Records a synthetic benchmark run to a versioned trace file (--out).
+int cmd_trace_record(const Options& opt);
+
+/// Replays a trace file (native or ChampSim, sniffed or forced with
+/// --format) through the full pipeline.
+int cmd_trace_replay(const Options& opt);
+
+/// Prints a trace file's header and import summary without simulating.
+int cmd_trace_info(const Options& opt);
+
 }  // namespace prestage::cli

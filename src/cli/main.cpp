@@ -5,6 +5,9 @@
 //   prestage suite --preset clgp-l0-pb16 --json out.json
 //   prestage sweep --preset fdp-l0 --sizes 1K,4K,16K
 //   prestage list
+//   prestage trace record --bench eon --out eon.pstr
+//   prestage trace replay --trace eon.pstr --preset clgp-l0-pb16
+//   prestage trace info   --trace server.champsim.trace
 //
 // All subcommands honour PRESTAGE_INSTRS when --instrs is absent, like
 // the bench harnesses, and emit machine-readable JSON via --json (a file
@@ -27,6 +30,10 @@ void print_usage(std::ostream& out) {
          "HMEAN\n"
          "  sweep  sweep L1 I-cache sizes; report HMEAN IPC per size\n"
          "  list   list presets, tech nodes and benchmarks\n"
+         "  trace  record | replay | info — capture a run to a trace "
+         "file,\n"
+         "         replay a trace (native or raw ChampSim) through any\n"
+         "         preset, or inspect a trace file\n"
          "\n"
          "flags:\n"
          "  --preset NAME   machine preset (default clgp-l0-pb16)\n"
@@ -39,6 +46,14 @@ void print_usage(std::ostream& out) {
          "  --instrs N      instructions per run (default "
          "$PRESTAGE_INSTRS or 120000)\n"
          "  --json PATH     write a JSON report to PATH (`-` = stdout)\n"
+         "\n"
+         "trace flags:\n"
+         "  --out PATH      trace record: output trace file\n"
+         "  --trace PATH    trace replay/info: input trace file\n"
+         "  --format F      auto|native|champsim (default: sniff the "
+         "file)\n"
+         "  --max-records N cap on imported ChampSim records (default "
+         "all)\n"
          "  --help          this message\n";
 }
 
@@ -55,6 +70,41 @@ int main(int argc, char** argv) {
   if (command == "--help" || command == "-h" || command == "help") {
     print_usage(std::cout);
     return 0;
+  }
+
+  if (command == "trace") {
+    if (argc < 3) {
+      std::cerr << "prestage: `trace` needs a subcommand "
+                   "(record | replay | info)\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    const std::string_view sub = argv[2];
+    if (sub == "--help" || sub == "-h" || sub == "help") {
+      print_usage(std::cout);
+      return 0;
+    }
+    const ParseResult parsed = parse_options(argc, argv, 3);
+    if (parsed.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (!parsed.error.empty()) {
+      std::cerr << "prestage: " << parsed.error << "\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    try {
+      if (sub == "record") return cmd_trace_record(parsed.options);
+      if (sub == "replay") return cmd_trace_replay(parsed.options);
+      if (sub == "info") return cmd_trace_info(parsed.options);
+    } catch (const std::exception& e) {
+      std::cerr << "prestage: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "prestage: unknown trace subcommand '" << sub << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
   }
 
   const ParseResult parsed = parse_options(argc, argv, 2);

@@ -193,6 +193,39 @@ ParseResult parse_options(int argc, char** argv, int first) {
       if (!v) return result;
       opt.json_path = v;
       ++i;
+    } else if (arg == "--trace") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.trace_path = v;
+      ++i;
+    } else if (arg == "--out") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.out_path = v;
+      ++i;
+    } else if (arg == "--format") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const std::string_view format = v;
+      if (format != "auto" && format != "native" && format != "champsim") {
+        result.error = std::string("--format must be auto, native or "
+                                   "champsim, got '") + v + "'";
+        return result;
+      }
+      opt.trace_format = format;
+      ++i;
+    } else if (arg == "--max-records") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n) {
+        result.error =
+            std::string("--max-records needs a positive count, got '") + v +
+            "'";
+        return result;
+      }
+      opt.max_records = *n;
+      ++i;
     } else {
       result.error = std::string("unknown flag '") + std::string(arg) + "'";
       return result;

@@ -26,6 +26,12 @@ struct Options {
   std::vector<std::string> benchmarks;     ///< empty -> command default
   std::vector<std::uint64_t> sizes;        ///< empty -> paper_l1_sizes()
   std::string json_path;  ///< empty -> no JSON; "-" -> stdout
+
+  // --- trace subcommands ------------------------------------------------
+  std::string trace_path;    ///< --trace: input file (replay/info)
+  std::string out_path;      ///< --out: output file (record)
+  std::string trace_format;  ///< --format: auto|native|champsim
+  std::uint64_t max_records = 0;  ///< --max-records: import cap (0 = all)
 };
 
 /// Result of parsing argv: options on success, message on failure.

@@ -4,10 +4,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cacti/cacti.hpp"
 #include "cacti/tech.hpp"
+
+namespace prestage::workload {
+class WorkloadSpec;
+}  // namespace prestage::workload
 
 namespace prestage::cpu {
 
@@ -34,6 +39,10 @@ struct MachineConfig {
   std::uint64_t seed = 1;
   std::uint64_t max_instructions = 100000;
   std::uint64_t warmup_instructions = 0;
+  /// Workload override (trace replay, external imports): when set, the
+  /// program image and trace source come from the spec and `benchmark` is
+  /// only a report label.
+  std::shared_ptr<const workload::WorkloadSpec> workload{};
 
   // --- technology -------------------------------------------------------
   cacti::TechNode node = cacti::TechNode::um045;

@@ -6,6 +6,7 @@
 #include "prefetch/next_line.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
+#include "workload/spec.hpp"
 
 namespace prestage::cpu {
 
@@ -50,10 +51,17 @@ StatSnapshot take_snapshot(const frontend::FetchEngine& fe,
 Cpu::Cpu(const MachineConfig& config)
     : cfg_(config),
       timings_(DerivedTimings::from(config)),
-      program_(workload::generate_program(
-          workload::profile_for(config.benchmark), config.seed)),
+      program_(config.workload
+                   ? config.workload->program()
+                   : workload::generate_program(
+                         workload::profile_for(config.benchmark),
+                         config.seed)),
       predictor_({.l1_entries = 1024, .l2_entries = 6144, .l2_assoc = 4}) {
-  oracle_ = std::make_unique<Oracle>(program_, cfg_.seed + 17);
+  oracle_ = std::make_unique<Oracle>(
+      cfg_.workload
+          ? cfg_.workload->make_source(cfg_.seed + 17)
+          : std::make_unique<workload::TraceGenerator>(program_,
+                                                       cfg_.seed + 17));
 
   mem::MemSystemConfig mem_cfg;
   mem_cfg.l2_latency = timings_.l2_latency;

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "bpred/stream.hpp"
@@ -24,10 +26,17 @@ namespace prestage::cpu {
 
 class Oracle {
  public:
-  Oracle(const workload::Program& program, std::uint64_t seed)
-      : walker_(program, seed) {
+  /// Takes any dynamic instruction source: the synthetic walker, a
+  /// replayed trace file, or an imported external trace.
+  explicit Oracle(std::unique_ptr<workload::TraceSource> source)
+      : walker_(std::move(source)) {
+    PRESTAGE_ASSERT(walker_ != nullptr);
     advance_chunk();
   }
+
+  /// Convenience: synthetic walker over @p program.
+  Oracle(const workload::Program& program, std::uint64_t seed)
+      : Oracle(std::make_unique<workload::TraceGenerator>(program, seed)) {}
 
   /// The actual stream from the current position: start PC, remaining
   /// length, and the successor of the underlying stream.
@@ -77,19 +86,19 @@ class Oracle {
   }
 
   [[nodiscard]] std::uint64_t instructions_generated() const {
-    return walker_.instructions();
+    return walker_->instructions();
   }
 
  private:
   void advance_chunk() {
-    stack_snapshot_ = walker_.call_stack_pcs(8);
-    chunk_ = walker_.next_stream();
+    stack_snapshot_ = walker_->call_stack_pcs(8);
+    chunk_ = walker_->next_stream();
     offset_ = 0;
     for (const auto& d : chunk_.insts) window_.push_back(d);
   }
 
-  workload::TraceGenerator walker_;
-  workload::TraceGenerator::StreamChunk chunk_;
+  std::unique_ptr<workload::TraceSource> walker_;
+  workload::StreamChunk chunk_;
   std::uint32_t offset_ = 0;
   std::deque<workload::DynInst> window_;
   std::uint64_t base_seq_ = 0;

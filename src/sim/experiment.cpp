@@ -47,11 +47,12 @@ std::vector<std::string> full_suite() {
 }
 
 std::vector<cpu::RunResult> run_parallel(
-    const std::vector<cpu::MachineConfig>& configs) {
+    const std::vector<cpu::MachineConfig>& configs, unsigned workers) {
   std::vector<cpu::RunResult> results(configs.size());
   std::atomic<std::size_t> next{0};
-  const unsigned workers =
-      std::max(1U, std::thread::hardware_concurrency());
+  if (workers == 0) {
+    workers = std::max(1U, std::thread::hardware_concurrency());
+  }
   auto work = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);

@@ -39,8 +39,10 @@ struct SuiteResult {
 [[nodiscard]] std::vector<std::string> full_suite();
 
 /// Runs a list of independent configurations in parallel; results are
-/// returned in input order.
+/// returned in input order and are identical for any worker count
+/// (each simulation is a fully independent Cpu instance). @p workers of
+/// 0 selects the hardware concurrency.
 [[nodiscard]] std::vector<cpu::RunResult> run_parallel(
-    const std::vector<cpu::MachineConfig>& configs);
+    const std::vector<cpu::MachineConfig>& configs, unsigned workers = 0);
 
 }  // namespace prestage::sim

@@ -1,0 +1,62 @@
+// ChampSim trace import: maps raw ChampSim instruction records onto this
+// simulator's DynInst streams and synthesizes the basic-block dictionary
+// the pipeline needs, so external (e.g. server-class) instruction traces
+// drive the full CLGP/FDP machinery.
+//
+// A ChampSim record is 64 bytes (little-endian):
+//
+//   u64 ip
+//   u8  is_branch, u8 branch_taken
+//   u8  destination_registers[2]
+//   u8  source_registers[4]
+//   u64 destination_memory[2]
+//   u64 source_memory[4]
+//
+// Import pipeline:
+//  1. decode records (optionally capped);
+//  2. remap the sparse variable-length x86 PCs onto this simulator's
+//     dense fixed-4-byte image (unique PCs sorted by address keep their
+//     spatial order, so straight-line x86 code stays straight-line);
+//  3. classify each static PC (branch kind via ChampSim's register
+//     conventions; loads/stores via the memory operand slots). A
+//     non-branch whose fall-through successor is not adjacent after
+//     remapping becomes a synthetic unconditional jump — the property is
+//     static, so the classification stays consistent;
+//  4. chunk the dynamic sequence into fetch streams (taken transfer or
+//     kMaxStreamInstrs, exactly like the synthetic walker);
+//  5. build contiguous basic blocks (leader algorithm) for the Program.
+//
+// Only raw, uncompressed traces are supported; decompress .xz/.gz traces
+// before importing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/trace_file.hpp"
+
+namespace prestage::workload {
+
+inline constexpr std::uint64_t kChampSimRecordBytes = 64;
+
+/// Import summary for reports and `prestage trace info`.
+struct ChampSimImportStats {
+  std::uint64_t records = 0;      ///< dynamic instructions imported
+  std::uint64_t unique_pcs = 0;   ///< static instructions discovered
+  std::uint64_t branches = 0;     ///< static control instructions
+  std::uint64_t loads = 0;        ///< static loads
+  std::uint64_t stores = 0;       ///< static stores
+  std::uint64_t synthetic_jumps = 0;  ///< remap-gap jump reclassifications
+  std::uint64_t streams = 0;      ///< fetch streams in one trace lap
+};
+
+/// Reads a raw ChampSim trace and builds a replayable workload. Reads at
+/// most @p max_records records (0 = unlimited). Throws SimError on a
+/// missing file, an empty file, or a size that is not a whole number of
+/// records.
+[[nodiscard]] std::shared_ptr<const ReplayWorkloadSpec>
+import_champsim_trace(const std::string& path, std::uint64_t max_records = 0,
+                      ChampSimImportStats* stats = nullptr);
+
+}  // namespace prestage::workload

@@ -34,25 +34,54 @@ struct DynInst {
   std::uint64_t seq = 0;     ///< program order, from 0
 };
 
-class TraceGenerator {
+/// An actual stream plus its dynamic instructions.
+struct StreamChunk {
+  bpred::Stream stream;
+  std::vector<DynInst> insts;
+};
+
+/// Where dynamic (committed-path) instructions come from.
+///
+/// The CPU model is agnostic to the trace's origin: the synthetic walker
+/// (TraceGenerator), a recorded trace file replayed from disk, or an
+/// imported external trace (e.g. ChampSim) all present the same stream of
+/// StreamChunks. A source is conceptually infinite — next_stream() must
+/// always return a non-empty stream (file-backed sources wrap around).
+class TraceSource {
  public:
-  /// An actual stream plus its dynamic instructions.
-  struct StreamChunk {
-    bpred::Stream stream;
-    std::vector<DynInst> insts;
-  };
+  virtual ~TraceSource() = default;
+
+  /// Produces the next actual stream (1..kMaxStreamInstrs instructions).
+  [[nodiscard]] virtual StreamChunk next_stream() = 0;
+
+  /// Total instructions emitted so far.
+  [[nodiscard]] virtual std::uint64_t instructions() const = 0;
+
+  /// Live call stack as return-continuation PCs, innermost first. Used to
+  /// repair the speculative RAS at misprediction recovery.
+  [[nodiscard]] virtual std::vector<Addr> call_stack_pcs(
+      std::size_t max_depth) const = 0;
+};
+
+class TraceGenerator final : public TraceSource {
+ public:
+  /// Compatibility alias: StreamChunk predates the TraceSource interface.
+  using StreamChunk = workload::StreamChunk;
 
   TraceGenerator(const Program& program, std::uint64_t seed);
 
   /// Produces the next actual stream (1..kMaxStreamInstrs instructions).
-  [[nodiscard]] StreamChunk next_stream();
+  [[nodiscard]] StreamChunk next_stream() override;
 
   /// Total instructions emitted so far.
-  [[nodiscard]] std::uint64_t instructions() const noexcept { return seq_; }
+  [[nodiscard]] std::uint64_t instructions() const noexcept override {
+    return seq_;
+  }
 
   /// Live call stack as return-continuation PCs, innermost first. Used to
   /// repair the speculative RAS at misprediction recovery.
-  [[nodiscard]] std::vector<Addr> call_stack_pcs(std::size_t max_depth) const;
+  [[nodiscard]] std::vector<Addr> call_stack_pcs(
+      std::size_t max_depth) const override;
 
   /// Region currently being executed (diagnostics / calibration tests).
   [[nodiscard]] std::uint32_t current_region() const noexcept {

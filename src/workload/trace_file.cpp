@@ -1,0 +1,312 @@
+#include "workload/trace_file.hpp"
+
+#include <cstddef>
+#include <fstream>
+
+#include "common/prestage_assert.hpp"
+#include "workload/champsim.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace prestage::workload {
+namespace {
+
+constexpr std::size_t kRecordBytes = 29;
+
+[[noreturn]] void file_error(const std::string& path,
+                             const std::string& what) {
+  throw SimError("trace file '" + path + "': " + what);
+}
+
+// Little-endian field encoding, independent of host byte order.
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+class ByteCursor {
+ public:
+  ByteCursor(const std::string& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] std::string chars(std::size_t n) {
+    need(n);
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) file_error(path_, "truncated");
+  }
+
+  const std::string& bytes_;
+  const std::string& path_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) file_error(path, "cannot open");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) file_error(path, "read failed");
+  return bytes;
+}
+
+TraceHeader parse_header(ByteCursor& cur, const std::string& path) {
+  const std::string magic = cur.chars(4);
+  if (magic != std::string(kTraceMagic, 4)) file_error(path, "bad magic");
+  TraceHeader h;
+  h.version = cur.u32();
+  if (h.version != kTraceVersion) {
+    file_error(path, "unsupported trace version " +
+                         std::to_string(h.version) + " (expected " +
+                         std::to_string(kTraceVersion) + ")");
+  }
+  h.record_count = cur.u64();
+  h.program_seed = cur.u64();
+  h.trace_seed = cur.u64();
+  const std::uint8_t name_len = cur.u8();
+  h.benchmark = cur.chars(name_len);
+  return h;
+}
+
+}  // namespace
+
+void write_trace_file(const std::string& path, const TraceHeader& header,
+                      const std::vector<DynInst>& records) {
+  PRESTAGE_ASSERT(header.benchmark.size() <= 255,
+                  "trace benchmark name too long");
+  std::string bytes;
+  bytes.reserve(64 + records.size() * kRecordBytes);
+  bytes.append(kTraceMagic, 4);
+  put_u32(bytes, kTraceVersion);
+  put_u64(bytes, records.size());
+  put_u64(bytes, header.program_seed);
+  put_u64(bytes, header.trace_seed);
+  bytes.push_back(static_cast<char>(header.benchmark.size()));
+  bytes.append(header.benchmark);
+  for (const DynInst& d : records) {
+    put_u64(bytes, d.pc);
+    put_u64(bytes, d.data_addr);
+    put_u64(bytes, d.next_pc);
+    bytes.push_back(static_cast<char>(d.op));
+    bytes.push_back(static_cast<char>(d.dst));
+    bytes.push_back(static_cast<char>(d.src1));
+    bytes.push_back(static_cast<char>(d.src2));
+    const std::uint8_t flags = (d.taken ? 1U : 0U) |
+                               (d.ends_stream ? 2U : 0U);
+    bytes.push_back(static_cast<char>(flags));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) file_error(path, "cannot open for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) file_error(path, "write failed");
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  const std::string bytes = read_all(path);
+  ByteCursor cur(bytes, path);
+  TraceFile file;
+  file.header = parse_header(cur, path);
+  if (file.header.record_count == 0) file_error(path, "no records");
+  // Division (not multiplication) so a crafted record_count cannot wrap
+  // the check via u64 overflow and reach the reserve() below.
+  if (cur.remaining() % kRecordBytes != 0 ||
+      file.header.record_count != cur.remaining() / kRecordBytes) {
+    file_error(path, "truncated");
+  }
+  file.records.reserve(file.header.record_count);
+  for (std::uint64_t i = 0; i < file.header.record_count; ++i) {
+    DynInst d;
+    d.pc = cur.u64();
+    d.data_addr = cur.u64();
+    d.next_pc = cur.u64();
+    d.op = static_cast<OpClass>(cur.u8());
+    d.dst = cur.u8();
+    d.src1 = cur.u8();
+    d.src2 = cur.u8();
+    const std::uint8_t flags = cur.u8();
+    d.taken = (flags & 1U) != 0;
+    d.ends_stream = (flags & 2U) != 0;
+    d.seq = i;
+    file.records.push_back(d);
+  }
+  if (!file.records.back().ends_stream) {
+    file_error(path, "last record does not end a stream");
+  }
+  return file;
+}
+
+TraceHeader read_trace_header(const std::string& path) {
+  const std::string bytes = read_all(path);
+  ByteCursor cur(bytes, path);
+  return parse_header(cur, path);
+}
+
+TraceFormat detect_trace_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) file_error(path, "cannot open");
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  char magic[4] = {};
+  if (size >= 4) in.read(magic, 4);
+  if (size >= 4 && std::string(magic, 4) == std::string(kTraceMagic, 4)) {
+    return TraceFormat::Native;
+  }
+  if (size > 0 && size % kChampSimRecordBytes == 0) {
+    return TraceFormat::ChampSim;
+  }
+  file_error(path, "unrecognized format (neither PSTR nor raw ChampSim)");
+}
+
+// --- ReplayTraceSource ------------------------------------------------------
+
+ReplayTraceSource::ReplayTraceSource(
+    std::shared_ptr<const std::vector<DynInst>> records)
+    : records_(std::move(records)) {
+  PRESTAGE_ASSERT(records_ != nullptr && !records_->empty(),
+                  "replay source needs at least one record");
+}
+
+StreamChunk ReplayTraceSource::next_stream() {
+  const std::vector<DynInst>& recs = *records_;
+  if (pos_ == recs.size()) {
+    // The source is conceptually infinite: start the next lap. Laps can
+    // only begin at a stream boundary (the format guarantees the final
+    // record ends a stream), so replaying exactly the recorded run never
+    // alters a chunk.
+    pos_ = 0;
+    ++wraps_;
+  }
+  StreamChunk chunk;
+  chunk.insts.reserve(16);
+  chunk.stream.start = recs[pos_].pc;
+  for (;;) {
+    DynInst d = recs[pos_++];
+    d.seq = emitted_++;
+    // Maintain the call stack the recorded walker had: a call's
+    // continuation is the instruction after it (blocks are contiguous),
+    // and a return pops it. Defensive pop: an imported trace can start
+    // mid-function.
+    if (d.op == OpClass::Call && d.taken) {
+      call_stack_.push_back(d.pc + kInstrBytes);
+    } else if (d.op == OpClass::Return && d.taken && !call_stack_.empty()) {
+      call_stack_.pop_back();
+    }
+    chunk.insts.push_back(d);
+    PRESTAGE_ASSERT(chunk.insts.size() <= bpred::kMaxStreamInstrs,
+                    "replayed stream exceeds the maximum stream length");
+    if (d.ends_stream) {
+      chunk.stream.length = static_cast<std::uint32_t>(chunk.insts.size());
+      chunk.stream.next_start = d.next_pc;
+      return chunk;
+    }
+    PRESTAGE_ASSERT(pos_ < recs.size(),
+                    "trace ends mid-stream (missing ends_stream flag)");
+  }
+}
+
+std::vector<Addr> ReplayTraceSource::call_stack_pcs(
+    std::size_t max_depth) const {
+  std::vector<Addr> pcs;
+  const std::size_t n = std::min(max_depth, call_stack_.size());
+  pcs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pcs.push_back(call_stack_[call_stack_.size() - 1 - i]);
+  }
+  return pcs;
+}
+
+// --- RecordingWorkloadSpec --------------------------------------------------
+
+RecordingWorkloadSpec::RecordingWorkloadSpec(const std::string& benchmark,
+                                             std::uint64_t program_seed)
+    : benchmark_(benchmark),
+      program_seed_(program_seed),
+      program_(generate_program(profile_for(benchmark), program_seed)) {}
+
+std::unique_ptr<TraceSource> RecordingWorkloadSpec::make_source(
+    std::uint64_t seed) const {
+  trace_seed_ = seed;
+  recorded_.clear();
+  return std::make_unique<RecordingTraceSource>(program_, seed, &recorded_);
+}
+
+TraceHeader RecordingWorkloadSpec::header() const {
+  TraceHeader h;
+  h.benchmark = benchmark_;
+  h.program_seed = program_seed_;
+  h.trace_seed = trace_seed_;
+  h.record_count = recorded_.size();
+  return h;
+}
+
+// --- ReplayWorkloadSpec -----------------------------------------------------
+
+ReplayWorkloadSpec::ReplayWorkloadSpec(TraceHeader header,
+                                       std::vector<DynInst> records,
+                                       Program program, std::string name)
+    : header_(std::move(header)),
+      records_(std::make_shared<const std::vector<DynInst>>(
+          std::move(records))),
+      program_(std::move(program)),
+      name_(std::move(name)) {}
+
+std::unique_ptr<TraceSource> ReplayWorkloadSpec::make_source(
+    std::uint64_t seed) const {
+  (void)seed;  // a replay is fully determined by its records
+  return std::make_unique<ReplayTraceSource>(records_);
+}
+
+std::shared_ptr<const ReplayWorkloadSpec> load_replay_spec(
+    const std::string& path) {
+  TraceFile file = read_trace_file(path);
+  Program program = generate_program(profile_for(file.header.benchmark),
+                                     file.header.program_seed);
+  const std::string name = file.header.benchmark;
+  return std::make_shared<const ReplayWorkloadSpec>(
+      std::move(file.header), std::move(file.records), std::move(program),
+      name);
+}
+
+}  // namespace prestage::workload

@@ -1,0 +1,185 @@
+// The on-disk trace format and its sources: record any run to disk and
+// replay it bit-identically.
+//
+// Format "PSTR" version 1 (all integers little-endian):
+//
+//   header:
+//     char[4]  magic            'P' 'S' 'T' 'R'
+//     u32      version          1
+//     u64      record_count
+//     u64      program_seed     regenerates the Program for native replays
+//     u64      trace_seed       seed of the recorded walker (provenance)
+//     u8       name_len
+//     char[n]  benchmark name   (n == name_len, no terminator)
+//   records (record_count x 29 bytes):
+//     u64 pc, u64 data_addr, u64 next_pc,
+//     u8 op, u8 dst, u8 src1, u8 src2,
+//     u8 flags                  bit0 = taken, bit1 = ends_stream
+//
+// Sequence numbers are positional and not stored. A replayed source wraps
+// to the first record when the file is exhausted (trace sources are
+// conceptually infinite); recordings made by `prestage trace record`
+// always cover the full run, so a same-configuration replay never wraps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/spec.hpp"
+#include "workload/trace.hpp"
+
+namespace prestage::workload {
+
+inline constexpr char kTraceMagic[4] = {'P', 'S', 'T', 'R'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  std::uint32_t version = kTraceVersion;
+  std::string benchmark;           ///< source benchmark (<= 255 chars)
+  std::uint64_t program_seed = 0;  ///< MachineConfig seed of the recording
+  std::uint64_t trace_seed = 0;    ///< walker seed used while recording
+  std::uint64_t record_count = 0;
+};
+
+/// A fully-loaded trace file.
+struct TraceFile {
+  TraceHeader header;
+  std::vector<DynInst> records;  ///< seq fields normalised to 0..n-1
+};
+
+/// Writes a trace file; throws SimError on I/O failure.
+void write_trace_file(const std::string& path, const TraceHeader& header,
+                      const std::vector<DynInst>& records);
+
+/// Reads and validates a trace file; throws SimError on a missing file,
+/// bad magic, unsupported version, or truncated record section.
+[[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+/// Reads only the header (for `prestage trace info`).
+[[nodiscard]] TraceHeader read_trace_header(const std::string& path);
+
+/// How the bytes of a trace file should be interpreted.
+enum class TraceFormat : std::uint8_t {
+  Native,    ///< this simulator's PSTR format
+  ChampSim,  ///< raw (uncompressed) ChampSim instruction records
+};
+
+/// Sniffs @p path: PSTR magic selects Native; otherwise a file whose size
+/// is a positive multiple of the ChampSim record size is ChampSim. Throws
+/// SimError when neither matches (or the file cannot be read).
+[[nodiscard]] TraceFormat detect_trace_format(const std::string& path);
+
+/// Replays an in-memory record vector as a TraceSource. The call stack
+/// for RAS repair is reconstructed from the replayed calls/returns, which
+/// reproduces the recorded walker's stack exactly (a call's continuation
+/// is always the instruction after it).
+class ReplayTraceSource final : public TraceSource {
+ public:
+  explicit ReplayTraceSource(
+      std::shared_ptr<const std::vector<DynInst>> records);
+
+  [[nodiscard]] StreamChunk next_stream() override;
+  [[nodiscard]] std::uint64_t instructions() const noexcept override {
+    return emitted_;
+  }
+  [[nodiscard]] std::vector<Addr> call_stack_pcs(
+      std::size_t max_depth) const override;
+
+  /// Times the cursor wrapped back to record 0 (0 for a faithful replay).
+  [[nodiscard]] std::uint64_t wraps() const noexcept { return wraps_; }
+
+ private:
+  std::shared_ptr<const std::vector<DynInst>> records_;
+  std::size_t pos_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t wraps_ = 0;
+  std::vector<Addr> call_stack_;  ///< return-continuation PCs
+};
+
+/// Tees every stream produced by a synthetic walker into a record buffer
+/// (the `prestage trace record` capture path).
+class RecordingTraceSource final : public TraceSource {
+ public:
+  RecordingTraceSource(const Program& program, std::uint64_t seed,
+                       std::vector<DynInst>* sink)
+      : inner_(program, seed), sink_(sink) {}
+
+  [[nodiscard]] StreamChunk next_stream() override {
+    StreamChunk chunk = inner_.next_stream();
+    sink_->insert(sink_->end(), chunk.insts.begin(), chunk.insts.end());
+    return chunk;
+  }
+  [[nodiscard]] std::uint64_t instructions() const noexcept override {
+    return inner_.instructions();
+  }
+  [[nodiscard]] std::vector<Addr> call_stack_pcs(
+      std::size_t max_depth) const override {
+    return inner_.call_stack_pcs(max_depth);
+  }
+
+ private:
+  TraceGenerator inner_;
+  std::vector<DynInst>* sink_;
+};
+
+/// Workload spec that records a synthetic benchmark run. Single-run only:
+/// make_source() resets the capture buffer, so do not share one instance
+/// across run_parallel workers.
+class RecordingWorkloadSpec final : public WorkloadSpec {
+ public:
+  RecordingWorkloadSpec(const std::string& benchmark,
+                        std::uint64_t program_seed);
+
+  [[nodiscard]] const Program& program() const override { return program_; }
+  [[nodiscard]] std::string name() const override { return benchmark_; }
+  [[nodiscard]] std::unique_ptr<TraceSource> make_source(
+      std::uint64_t seed) const override;
+
+  /// Header + records of the capture (valid after the run finishes).
+  [[nodiscard]] TraceHeader header() const;
+  [[nodiscard]] const std::vector<DynInst>& recorded() const {
+    return recorded_;
+  }
+
+ private:
+  std::string benchmark_;
+  std::uint64_t program_seed_;
+  Program program_;
+  mutable std::uint64_t trace_seed_ = 0;
+  mutable std::vector<DynInst> recorded_;
+};
+
+/// Workload spec replaying a fixed record vector over a given program
+/// image. Covers both native trace files (program regenerated from the
+/// header's benchmark + seed) and imported external traces (program
+/// synthesized by the importer). Thread-safe: each make_source() gets an
+/// independent cursor over the shared immutable records.
+class ReplayWorkloadSpec final : public WorkloadSpec {
+ public:
+  ReplayWorkloadSpec(TraceHeader header, std::vector<DynInst> records,
+                     Program program, std::string name);
+
+  [[nodiscard]] const Program& program() const override { return program_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<TraceSource> make_source(
+      std::uint64_t seed) const override;
+
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+  [[nodiscard]] const std::vector<DynInst>& records() const {
+    return *records_;
+  }
+
+ private:
+  TraceHeader header_;
+  std::shared_ptr<const std::vector<DynInst>> records_;
+  Program program_;
+  std::string name_;
+};
+
+/// Loads a native trace file and regenerates its program image.
+[[nodiscard]] std::shared_ptr<const ReplayWorkloadSpec> load_replay_spec(
+    const std::string& path);
+
+}  // namespace prestage::workload

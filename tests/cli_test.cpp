@@ -352,4 +352,141 @@ TEST(CliSmoke, BadInputFailsWithUsage) {
   EXPECT_NE(output.find("unknown benchmark"), std::string::npos);
 }
 
+// --- trace subcommands ------------------------------------------------------
+
+std::string fixture_path() {
+  return std::string(PRESTAGE_TEST_DATA_DIR) + "/fixture.champsim.trace";
+}
+
+TEST(CliTrace, RecordThenReplayReportsIdenticalStats) {
+  const std::string trace_file_path = test_file("roundtrip.pstr");
+  const std::string record_json = test_file("record.json");
+  const std::string replay_json = test_file("replay.json");
+  std::string output;
+
+  int rc = run_cli("trace record --preset clgp-l0-pb16 --bench eon "
+                   "--instrs 3000 --out " + trace_file_path + " --json " +
+                       record_json,
+                   &output);
+  ASSERT_EQ(rc, 0) << output;
+  EXPECT_NE(output.find("wrote"), std::string::npos) << output;
+
+  rc = run_cli("trace replay --preset clgp-l0-pb16 --instrs 3000 --trace " +
+                   trace_file_path + " --json " + replay_json,
+               &output);
+  ASSERT_EQ(rc, 0) << output;
+
+  const JsonValue rec = JsonParser(read_file(record_json)).parse();
+  const JsonValue rep = JsonParser(read_file(replay_json)).parse();
+  EXPECT_EQ(rec.at("schema").string, "prestage-trace-record-v1");
+  EXPECT_EQ(rep.at("schema").string, "prestage-trace-replay-v1");
+  EXPECT_EQ(rec.at("trace").at("format").string, "native");
+  EXPECT_EQ(rep.at("trace").at("format").string, "native");
+  EXPECT_GT(rec.at("trace").at("records").number, 3000.0);
+
+  // Bit-identical replay: IPC, cycles and every fetch-source count match.
+  const JsonValue& a = rec.at("result");
+  const JsonValue& b = rep.at("result");
+  EXPECT_EQ(a.at("ipc").number, b.at("ipc").number);
+  EXPECT_EQ(a.at("cycles").number, b.at("cycles").number);
+  check_breakdown(a.at("fetch_sources"));
+  for (const char* source : {"PB", "il0", "il1", "ul2", "Mem"}) {
+    EXPECT_EQ(a.at("fetch_sources").at(source).number,
+              b.at("fetch_sources").at(source).number)
+        << source;
+  }
+}
+
+TEST(CliTrace, InfoDescribesANativeTrace) {
+  const std::string trace_file_path = test_file("info.pstr");
+  std::string output;
+  ASSERT_EQ(run_cli("trace record --bench gzip --instrs 1000 --out " +
+                        trace_file_path,
+                    &output),
+            0)
+      << output;
+
+  ASSERT_EQ(run_cli("trace info --trace " + trace_file_path + " --json -",
+                    &output),
+            0)
+      << output;
+  const JsonValue doc = JsonParser(output).parse();
+  EXPECT_EQ(doc.at("schema").string, "prestage-trace-info-v1");
+  EXPECT_EQ(doc.at("format").string, "native");
+  EXPECT_EQ(doc.at("version").number, 1.0);
+  EXPECT_EQ(doc.at("benchmark").string, "gzip");
+  EXPECT_GT(doc.at("records").number, 1000.0);
+  EXPECT_GT(doc.at("streams").number, 0.0);
+}
+
+TEST(CliTrace, ChampSimFixtureReplaysAndDescribes) {
+  std::string output;
+  ASSERT_EQ(run_cli("trace info --trace " + fixture_path() + " --json -",
+                    &output),
+            0)
+      << output;
+  const JsonValue info = JsonParser(output).parse();
+  EXPECT_EQ(info.at("format").string, "champsim");
+  EXPECT_EQ(info.at("records").number, 182.0);
+  EXPECT_EQ(info.at("unique_pcs").number, 10.0);
+
+  ASSERT_EQ(run_cli("trace replay --preset clgp --instrs 1500 --trace " +
+                        fixture_path() + " --json -",
+                    &output),
+            0)
+      << output;
+  const JsonValue doc = JsonParser(output).parse();
+  EXPECT_EQ(doc.at("schema").string, "prestage-trace-replay-v1");
+  EXPECT_EQ(doc.at("trace").at("format").string, "champsim");
+  EXPECT_GT(doc.at("result").at("ipc").number, 0.0);
+  check_breakdown(doc.at("result").at("fetch_sources"));
+}
+
+TEST(CliTrace, ErrorPathsFailLoudly) {
+  std::string output;
+  // Missing subcommand / unknown subcommand.
+  EXPECT_EQ(run_cli("trace", &output), 2);
+  EXPECT_NE(output.find("subcommand"), std::string::npos);
+  EXPECT_EQ(run_cli("trace frobnicate", &output), 2);
+
+  // record needs --out; replay/info need --trace.
+  EXPECT_EQ(run_cli("trace record --bench eon --instrs 100", &output), 2);
+  EXPECT_NE(output.find("--out"), std::string::npos);
+  EXPECT_EQ(run_cli("trace replay", &output), 2);
+  EXPECT_NE(output.find("--trace"), std::string::npos);
+  EXPECT_EQ(run_cli("trace info", &output), 2);
+
+  // Missing file.
+  EXPECT_EQ(run_cli("trace replay --trace " + test_file("gone.pstr"),
+                    &output),
+            1);
+  EXPECT_NE(output.find("cannot open"), std::string::npos) << output;
+
+  // Bad magic (not a multiple of the ChampSim record size either).
+  const std::string bad_magic = test_file("bad_magic.pstr");
+  { std::ofstream(bad_magic) << "this is not a trace"; }
+  EXPECT_EQ(run_cli("trace replay --trace " + bad_magic, &output), 1);
+  EXPECT_NE(output.find("unrecognized format"), std::string::npos)
+      << output;
+  EXPECT_EQ(run_cli("trace info --format native --trace " + bad_magic,
+                    &output),
+            1);
+  EXPECT_NE(output.find("bad magic"), std::string::npos) << output;
+
+  // Unsupported version.
+  const std::string bad_version = test_file("bad_version.pstr");
+  {
+    std::ofstream out(bad_version, std::ios::binary);
+    const char bytes[] = {'P', 'S', 'T', 'R', 9, 0, 0, 0};
+    out.write(bytes, sizeof(bytes));
+  }
+  EXPECT_EQ(run_cli("trace info --trace " + bad_version, &output), 1);
+  EXPECT_NE(output.find("unsupported trace version"), std::string::npos)
+      << output;
+
+  // Bad --format value is a usage error.
+  EXPECT_EQ(run_cli("trace info --trace x --format tar", &output), 2);
+  EXPECT_NE(output.find("--format"), std::string::npos);
+}
+
 }  // namespace

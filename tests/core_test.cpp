@@ -2,6 +2,9 @@
 // buffer and the CLGP engine (paper §3.2).
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.hpp"
 #include "core/clgp.hpp"
 #include "core/prestage_buffer.hpp"
 #include "frontend/fetch_queue.hpp"
@@ -295,6 +298,127 @@ TEST(Clgp, AblationTransferOnUsePromotesToCache) {
   rig.run_cycles(0, 20);
   rig.clgp.on_fetch_from_pb(0x1000, 21);
   EXPECT_TRUE(rig.caches.probe_l1(0x1000));
+}
+
+// --- property/invariant layer (paper §3.2.2/§3.2.4) ---------------------
+//
+// A long random operation sequence against the buffer, with the paper's
+// structural invariants checked after every step:
+//  * the consumers counter never underflows (it saturates at zero);
+//  * an entry with consumers > 0 is never evicted by an allocation;
+//  * consumption does not free an entry (the line stays resident).
+
+TEST(PrestageBufferProperty, RandomOperationSequenceKeepsInvariants) {
+  Rng rng(0xC0FFEE);
+  constexpr std::uint32_t kEntries = 8;
+  PrestageBuffer pb(kEntries);
+  std::vector<Addr> universe;
+  for (Addr i = 0; i < 24; ++i) universe.push_back(0x1000 + 0x40 * i);
+  const auto pick_resident = [&]() -> Addr {
+    std::vector<Addr> resident;
+    for (const auto& e : pb.entries()) {
+      if (e.allocated) resident.push_back(e.line);
+    }
+    if (resident.empty()) return kNoAddr;
+    return resident[rng.below(resident.size())];
+  };
+
+  for (std::uint64_t iter = 0; iter < 20000; ++iter) {
+    switch (rng.below(6)) {
+      case 0: {  // allocate an absent line
+        const Addr line = universe[rng.below(universe.size())];
+        if (pb.find(line) != nullptr) break;
+        const std::vector<PrestageBuffer::Entry> before = pb.entries();
+        PrestageBuffer::Entry* e = pb.allocate(line);
+        if (e == nullptr) {
+          // Refusal is only legal when every entry is pinned.
+          for (const auto& b : before) {
+            EXPECT_TRUE(b.allocated && b.consumers > 0);
+          }
+        } else {
+          EXPECT_EQ(e->line, line);
+          EXPECT_EQ(e->consumers, 1u);
+          EXPECT_FALSE(e->valid);
+          // The displaced slot must have been free or unpinned.
+          const auto slot = static_cast<std::size_t>(e - pb.entries().data());
+          EXPECT_TRUE(!before[slot].allocated ||
+                      before[slot].consumers == 0u)
+              << "evicted a pinned entry at slot " << slot;
+        }
+        break;
+      }
+      case 1: {  // extend an existing entry's lifetime
+        const Addr line = pick_resident();
+        if (line == kNoAddr) break;
+        const std::uint32_t before = pb.find(line)->consumers;
+        pb.add_consumer(line);
+        EXPECT_GE(pb.find(line)->consumers, before);
+        break;
+      }
+      case 2: {  // consume: decrements, saturates, never frees
+        const Addr line = pick_resident();
+        if (line == kNoAddr) break;
+        const std::uint32_t before = pb.find(line)->consumers;
+        pb.on_fetch(line);
+        const PrestageBuffer::Entry* e = pb.find(line);
+        ASSERT_NE(e, nullptr) << "consumption freed the entry";
+        EXPECT_EQ(e->consumers, before == 0 ? 0 : before - 1);
+        break;
+      }
+      case 3:
+        pb.reset_consumers();
+        EXPECT_EQ(pb.pinned_entries(), 0u);
+        break;
+      case 4: {  // a fill completes
+        const Addr line = pick_resident();
+        if (line == kNoAddr) break;
+        pb.find(line)->ready = iter;
+        break;
+      }
+      case 5:
+        pb.settle(iter);
+        break;
+    }
+    // Global invariants after every operation. An underflow through the
+    // saturating decrement would wrap to ~4e9 and trip instantly.
+    std::uint32_t pinned = 0;
+    for (const auto& e : pb.entries()) {
+      if (!e.allocated) continue;
+      EXPECT_LT(e.consumers, 1000000u) << "consumers counter underflowed";
+      pinned += e.consumers > 0;
+    }
+    EXPECT_EQ(pinned, pb.pinned_entries());
+  }
+}
+
+TEST(ClgpProperty, StagedLinesAreNeverReplicatedIntoL1OrL0) {
+  // Paper §3.2.4: CLGP keeps exactly one copy — consuming a staged line
+  // must not install it into L0/L1 (the transfer_on_use ablation is the
+  // deliberate exception, covered above).
+  ClgpConfig cfg;
+  ClgpRig rig(cfg, /*with_l0=*/true);
+  Rng rng(42);
+  std::vector<Addr> lines;
+  for (Addr i = 0; i < 6; ++i) lines.push_back(0x2000 + 0x40 * i);
+  Cycle now = 0;
+  for (int round = 0; round < 200; ++round) {
+    const Addr line = lines[rng.below(lines.size())];
+    rig.push_line(line);
+    const Cycle end = now + 1 + rng.below(30);
+    rig.run_cycles(now, end);
+    now = end + 1;
+    if (rig.clgp.buffer().find(line) != nullptr) {
+      rig.clgp.on_fetch_from_pb(line, now);
+    }
+    if (rng.chance(0.2)) rig.clgp.on_recovery(now);
+    // No line the prestager touched may ever appear in the caches: every
+    // line entered through the prestage path, never the demand path.
+    for (const Addr l : lines) {
+      EXPECT_FALSE(rig.caches.probe_l1(l)) << "staged line copied to L1";
+      EXPECT_FALSE(rig.caches.probe_l0(l)) << "staged line copied to L0";
+    }
+    while (!rig.cltq.empty()) rig.cltq.consume_line();
+  }
 }
 
 TEST(Clgp, AblationDisableConsumersFreesOnUse) {

@@ -1,0 +1,82 @@
+// Golden-number regression tests: pinned simulator outputs so silent
+// drift in any subsystem fails CTest loudly.
+//
+// The pins cover the three preset families the paper compares (base,
+// FDP, CLGP) over a fixed 3-benchmark subset at a small instruction
+// budget. The simulator is fully deterministic, so IPC is pinned to 1e-9
+// and fetch-source counters exactly.
+//
+// If a change INTENTIONALLY alters simulated behaviour (new timing
+// model, calibration fix), re-pin by running this binary with
+// --gtest_filter='Golden.*' and copying the reported actual values —
+// and say so in the commit message. Refactors, parallelism changes and
+// I/O work must NOT move these numbers.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+
+namespace prestage::sim {
+namespace {
+
+constexpr std::uint64_t kInstrs = 6000;
+const std::vector<std::string> kBenchmarks = {"eon", "gzip", "mcf"};
+
+struct GoldenSources {
+  std::uint64_t pb = 0;
+  std::uint64_t l0 = 0;
+  std::uint64_t l1 = 0;
+  std::uint64_t l2 = 0;
+  std::uint64_t mem = 0;
+};
+
+struct Golden {
+  Preset preset;
+  double hmean_ipc = 0.0;
+  double ipc[3] = {0.0, 0.0, 0.0};  ///< eon, gzip, mcf
+  GoldenSources fetch;
+};
+
+void check(const Golden& g) {
+  const auto cfg = make_config(g.preset, cacti::TechNode::um045, 4096);
+  const SuiteResult r = run_suite(cfg, kBenchmarks, kInstrs);
+  ASSERT_EQ(r.per_benchmark.size(), kBenchmarks.size());
+  EXPECT_NEAR(r.hmean_ipc, g.hmean_ipc, 1e-9);
+  for (std::size_t i = 0; i < kBenchmarks.size(); ++i) {
+    EXPECT_NEAR(r.per_benchmark[i].ipc, g.ipc[i], 1e-9)
+        << kBenchmarks[i];
+  }
+  const SourceBreakdown sources = r.fetch_sources();
+  EXPECT_EQ(sources.count(FetchSource::PreBuffer), g.fetch.pb);
+  EXPECT_EQ(sources.count(FetchSource::L0), g.fetch.l0);
+  EXPECT_EQ(sources.count(FetchSource::L1), g.fetch.l1);
+  EXPECT_EQ(sources.count(FetchSource::L2), g.fetch.l2);
+  EXPECT_EQ(sources.count(FetchSource::Memory), g.fetch.mem);
+}
+
+TEST(Golden, BasePreset) {
+  check({.preset = Preset::Base,
+         .hmean_ipc = 0.4047629004248976,
+         .ipc = {0.37584565271861686, 0.56494728915662651,
+                 0.33545754374196435},
+         .fetch = {.pb = 0, .l0 = 0, .l1 = 2249, .l2 = 14, .mem = 26}});
+}
+
+TEST(Golden, FdpPreset) {
+  check({.preset = Preset::Fdp,
+         .hmean_ipc = 0.43780590540863101,
+         .ipc = {0.40581670612106863, 0.66570541259982252,
+                 0.34649806570818176},
+         .fetch = {.pb = 17, .l0 = 0, .l1 = 2254, .l2 = 24, .mem = 4}});
+}
+
+TEST(Golden, ClgpPreset) {
+  check({.preset = Preset::Clgp,
+         .hmean_ipc = 0.44540963860235305,
+         .ipc = {0.41359343765078926, 0.69195296287756514,
+                 0.34814642919301503},
+         .fetch = {.pb = 2444, .l0 = 0, .l1 = 24, .l2 = 17, .mem = 4}});
+}
+
+}  // namespace
+}  // namespace prestage::sim
