@@ -1,36 +1,7 @@
 // Reproduces paper Figure 1: effect of the L1 I-cache access latency on
-// processor performance at 0.045um — IPC (harmonic mean over the suite)
-// vs L1 size for: ideal (1-cycle), pipelined, base+L0, and base.
-#include <cstdio>
+// processor performance at 0.045um. The grid is the "fig1" campaign in
+// bench/figures.cpp; `prestage campaign run --name fig1` runs the same
+// experiment with a resumable store.
+#include "bench/figures.hpp"
 
-#include "sim/experiment.hpp"
-#include "sim/presets.hpp"
-#include "sim/report.hpp"
-
-int main() {
-  using namespace prestage;
-  using namespace prestage::sim;
-  const auto& sizes = paper_l1_sizes();
-  const auto suite = full_suite();
-
-  const Preset presets[] = {Preset::BaseIdeal, Preset::BasePipelined,
-                            Preset::BaseL0, Preset::Base};
-  std::vector<Series> series;
-  for (const Preset p : presets) {
-    Series s;
-    s.label = preset_name(p);
-    for (const std::uint64_t size : sizes) {
-      const auto result =
-          run_suite(make_config(p, cacti::TechNode::um045, size), suite);
-      s.values.push_back(result.hmean_ipc);
-    }
-    std::fprintf(stderr, "fig1: %s done\n", s.label.c_str());
-    series.push_back(std::move(s));
-  }
-  std::printf("%s\n",
-              render_size_chart(
-                  "Figure 1: L1 I-cache latency effect (0.045um, HMEAN IPC)",
-                  sizes, series)
-                  .c_str());
-  return 0;
-}
+int main() { return prestage::figures::run_and_print("fig1"); }

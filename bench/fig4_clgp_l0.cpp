@@ -1,34 +1,6 @@
 // Reproduces paper Figure 4(b): CLGP with and without an L0 cache across
-// L1 sizes at 0.045um (HMEAN IPC).
-#include <cstdio>
+// L1 sizes at 0.045um. The grid is the "fig4" campaign in
+// bench/figures.cpp.
+#include "bench/figures.hpp"
 
-#include "sim/experiment.hpp"
-#include "sim/presets.hpp"
-#include "sim/report.hpp"
-
-int main() {
-  using namespace prestage;
-  using namespace prestage::sim;
-  const auto& sizes = paper_l1_sizes();
-  const auto suite = full_suite();
-
-  const Preset presets[] = {Preset::ClgpL0, Preset::Clgp};
-  std::vector<Series> series;
-  for (const Preset p : presets) {
-    Series s;
-    s.label = preset_name(p);
-    for (const std::uint64_t size : sizes) {
-      s.values.push_back(
-          run_suite(make_config(p, cacti::TechNode::um045, size), suite)
-              .hmean_ipc);
-    }
-    std::fprintf(stderr, "fig4: %s done\n", s.label.c_str());
-    series.push_back(std::move(s));
-  }
-  std::printf(
-      "%s\n",
-      render_size_chart("Figure 4(b): CLGP with/without L0 (0.045um)",
-                        sizes, series)
-          .c_str());
-  return 0;
-}
+int main() { return prestage::figures::run_and_print("fig4"); }

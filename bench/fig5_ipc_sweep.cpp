@@ -1,74 +1,45 @@
-// Reproduces paper Figure 5 (a: 0.09um, b: 0.045um): HMEAN IPC vs L1 size
-// for the six headline configurations, plus the §5.1 speedup claims at a
-// 4 KB L1 and the 6.4x cache-budget equivalence example.
+// Reproduces paper Figure 5 (a: 0.09um, b: 0.045um): HMEAN IPC vs L1
+// size for the six headline configurations, plus the §5.1 speedup claims
+// at a 4 KB L1 and the 6.4x cache-budget equivalence example. The grid
+// is the "fig5" campaign in bench/figures.cpp; this main adds the
+// headline analysis on top of the shared grid.
 #include <cstdio>
-#include <map>
 
-#include "sim/experiment.hpp"
-#include "sim/presets.hpp"
+#include "bench/figures.hpp"
 #include "sim/report.hpp"
 
 using namespace prestage;
-using namespace prestage::sim;
+using campaign::ResultGrid;
+using sim::Preset;
 
 namespace {
 
-const Preset kPresets[] = {Preset::ClgpL0Pb16, Preset::ClgpL0,
-                           Preset::FdpL0Pb16,  Preset::FdpL0,
-                           Preset::BasePipelined, Preset::BaseL0};
-
-std::map<Preset, Series> sweep(cacti::TechNode node) {
-  const auto& sizes = paper_l1_sizes();
-  const auto suite = full_suite();
-  std::map<Preset, Series> out;
-  for (const Preset p : kPresets) {
-    Series s;
-    s.label = preset_name(p);
-    for (const std::uint64_t size : sizes) {
-      s.values.push_back(
-          run_suite(make_config(p, node, size), suite).hmean_ipc);
-    }
-    std::fprintf(stderr, "fig5 %s: %s done\n",
-                 std::string(cacti::to_string(node)).c_str(),
-                 s.label.c_str());
-    out.emplace(p, std::move(s));
-  }
-  return out;
-}
-
-double at_size(const std::map<Preset, Series>& m, Preset p,
-               std::uint64_t size) {
-  const auto& sizes = paper_l1_sizes();
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    if (sizes[i] == size) return m.at(p).values[i];
-  }
-  return 0.0;
-}
-
-void headline(const std::map<Preset, Series>& m, const char* node_name,
-              double paper_vs_fdp, double paper_vs_pipe) {
-  const double clgp = at_size(m, Preset::ClgpL0Pb16, 4096);
-  const double fdp = at_size(m, Preset::FdpL0Pb16, 4096);
-  const double pipe = at_size(m, Preset::BasePipelined, 4096);
-  const double clgp_l0 = at_size(m, Preset::ClgpL0, 4096);
-  const double fdp_l0 = at_size(m, Preset::FdpL0, 4096);
-  const double base_l0 = at_size(m, Preset::BaseL0, 4096);
+void headline(const ResultGrid& grid, cacti::TechNode node,
+              const char* node_name, double paper_vs_fdp,
+              double paper_vs_pipe) {
+  const auto at = [&](Preset p) { return grid.hmean_ipc(p, node, 4096); };
+  const double clgp = at(Preset::ClgpL0Pb16);
+  const double fdp = at(Preset::FdpL0Pb16);
+  const double pipe = at(Preset::BasePipelined);
   std::printf(
       "Headline speedups at 4KB L1, %s (paper values in brackets):\n"
       "  CLGP+L0+PB:16 over FDP+L0+PB:16 : %+.1f%%  [paper %+.1f%%]\n"
       "  CLGP+L0+PB:16 over base pipelined: %+.1f%%  [paper %+.1f%%]\n"
       "  CLGP+L0 over FDP+L0             : %+.1f%%\n"
       "  CLGP+L0 over base+L0            : %+.1f%%\n\n",
-      node_name, speedup_pct(clgp, fdp), paper_vs_fdp,
-      speedup_pct(clgp, pipe), paper_vs_pipe, speedup_pct(clgp_l0, fdp_l0),
-      speedup_pct(clgp_l0, base_l0));
+      node_name, sim::speedup_pct(clgp, fdp), paper_vs_fdp,
+      sim::speedup_pct(clgp, pipe), paper_vs_pipe,
+      sim::speedup_pct(at(Preset::ClgpL0), at(Preset::FdpL0)),
+      sim::speedup_pct(at(Preset::ClgpL0), at(Preset::BaseL0)));
 }
 
-void budget_claim(const std::map<Preset, Series>& m) {
+void budget_claim(const ResultGrid& grid) {
   // §5.1: CLGP with L0 + 16-entry pipelined PB + 1KB L1 (~2.5KB budget)
   // vs a 16KB pipelined L1 without prefetching (6.4x the budget).
-  const double clgp_small = at_size(m, Preset::ClgpL0Pb16, 1024);
-  const double pipe_16k = at_size(m, Preset::BasePipelined, 16384);
+  const double clgp_small =
+      grid.hmean_ipc(Preset::ClgpL0Pb16, cacti::TechNode::um090, 1024);
+  const double pipe_16k =
+      grid.hmean_ipc(Preset::BasePipelined, cacti::TechNode::um090, 16384);
   std::printf(
       "Budget equivalence at 0.09um (paper §5.1):\n"
       "  CLGP+L0+PB:16 with 1KB L1 (2.5KB budget): IPC %.3f\n"
@@ -82,25 +53,13 @@ void budget_claim(const std::map<Preset, Series>& m) {
 }  // namespace
 
 int main() {
-  const auto& sizes = paper_l1_sizes();
+  const campaign::CampaignSpec& spec = *figures::find("fig5");
+  const campaign::ResultStore store = figures::run_in_memory(spec);
+  const ResultGrid grid(spec, store);
+  std::fputs(figures::render_text(grid).c_str(), stdout);
 
-  const auto m090 = sweep(cacti::TechNode::um090);
-  std::vector<Series> s090;
-  for (const Preset p : kPresets) s090.push_back(m090.at(p));
-  std::printf("%s\n", render_size_chart(
-                          "Figure 5(a): 0.09um, 8-entry pre-buffer", sizes,
-                          s090)
-                          .c_str());
-  headline(m090, "0.09um", 3.5, 39.0);
-  budget_claim(m090);
-
-  const auto m045 = sweep(cacti::TechNode::um045);
-  std::vector<Series> s045;
-  for (const Preset p : kPresets) s045.push_back(m045.at(p));
-  std::printf("%s\n", render_size_chart(
-                          "Figure 5(b): 0.045um, 4-entry pre-buffer", sizes,
-                          s045)
-                          .c_str());
-  headline(m045, "0.045um", 12.5, 48.0);
+  headline(grid, cacti::TechNode::um090, "0.09um", 3.5, 39.0);
+  budget_claim(grid);
+  headline(grid, cacti::TechNode::um045, "0.045um", 12.5, 48.0);
   return 0;
 }

@@ -1,47 +1,31 @@
 // Reproduces paper Figure 6: per-benchmark IPC with an 8 KB L1 at 0.045um
-// for the best configurations: base pipelined, FDP+L0+PB:16 and
-// CLGP+L0+PB:16, plus the harmonic mean bar.
+// for the best configurations, plus the harmonic mean bar. The grid is
+// the "fig6" campaign in bench/figures.cpp; this main adds the
+// CLGP-vs-FDP win count the paper calls out.
 #include <cstdio>
 
-#include "sim/experiment.hpp"
-#include "sim/presets.hpp"
-#include "sim/report.hpp"
+#include "bench/figures.hpp"
+
+using namespace prestage;
+using sim::Preset;
 
 int main() {
-  using namespace prestage;
-  using namespace prestage::sim;
-  const auto suite = full_suite();
+  const campaign::CampaignSpec& spec = *figures::find("fig6");
+  const campaign::ResultStore store = figures::run_in_memory(spec);
+  const campaign::ResultGrid grid(spec, store);
+  std::fputs(figures::render_text(grid).c_str(), stdout);
+
+  const auto node = cacti::TechNode::um045;
   constexpr std::uint64_t kL1 = 8192;
-
-  const Preset presets[] = {Preset::BasePipelined, Preset::FdpL0Pb16,
-                            Preset::ClgpL0Pb16};
-  std::vector<SuiteResult> results;
-  for (const Preset p : presets) {
-    results.push_back(
-        run_suite(make_config(p, cacti::TechNode::um045, kL1), suite));
-    std::fprintf(stderr, "fig6: %s done\n", preset_name(p).c_str());
-  }
-
-  Table t({"benchmark", preset_name(presets[0]), preset_name(presets[1]),
-           preset_name(presets[2])});
-  for (std::size_t b = 0; b < suite.size(); ++b) {
-    t.add_row({suite[b], fmt(results[0].per_benchmark[b].ipc, 3),
-               fmt(results[1].per_benchmark[b].ipc, 3),
-               fmt(results[2].per_benchmark[b].ipc, 3)});
-  }
-  t.add_row({"HMEAN", fmt(results[0].hmean_ipc, 3),
-             fmt(results[1].hmean_ipc, 3), fmt(results[2].hmean_ipc, 3)});
-  std::printf(
-      "== Figure 6: per-benchmark IPC (8KB L1, 0.045um) ==\n%s\ncsv:\n%s\n",
-      t.to_text().c_str(), t.to_csv().c_str());
-
   int clgp_wins = 0;
-  for (std::size_t b = 0; b < suite.size(); ++b) {
-    if (results[2].per_benchmark[b].ipc >= results[1].per_benchmark[b].ipc)
+  for (const std::string& bench : grid.benchmarks()) {
+    if (grid.at(Preset::ClgpL0Pb16, node, kL1, bench)->result.ipc >=
+        grid.at(Preset::FdpL0Pb16, node, kL1, bench)->result.ipc) {
       ++clgp_wins;
+    }
   }
   std::printf("CLGP best-or-equal vs FDP on %d of %zu benchmarks "
               "(paper: all but gzip).\n",
-              clgp_wins, suite.size());
+              clgp_wins, grid.benchmarks().size());
   return 0;
 }

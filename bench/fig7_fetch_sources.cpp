@@ -1,41 +1,6 @@
 // Reproduces paper Figure 7: distribution of fetch sources across L1
-// sizes at 0.045um — (a) FDP and CLGP with a 4-entry pre-buffer, and
-// (b) the same with an L0 cache.
-#include <cstdio>
+// sizes at 0.045um for FDP and CLGP, with and without an L0 cache. The
+// grid is the "fig7" campaign in bench/figures.cpp.
+#include "bench/figures.hpp"
 
-#include "sim/experiment.hpp"
-#include "sim/presets.hpp"
-#include "sim/report.hpp"
-
-int main() {
-  using namespace prestage;
-  using namespace prestage::sim;
-  const auto& sizes = paper_l1_sizes();
-  const auto suite = full_suite();
-
-  struct Panel {
-    Preset preset;
-    const char* title;
-    bool l0;
-  };
-  const Panel panels[] = {
-      {Preset::Fdp, "Figure 7(a) FDP: fetch sources (no L0)", false},
-      {Preset::Clgp, "Figure 7(a) CLGP: fetch sources (no L0)", false},
-      {Preset::FdpL0, "Figure 7(b) FDP+L0: fetch sources", true},
-      {Preset::ClgpL0, "Figure 7(b) CLGP+L0: fetch sources", true},
-  };
-  for (const Panel& panel : panels) {
-    std::vector<SourceBreakdown> rows;
-    for (const std::uint64_t size : sizes) {
-      rows.push_back(
-          run_suite(make_config(panel.preset, cacti::TechNode::um045, size),
-                    suite)
-              .fetch_sources());
-    }
-    std::printf("%s\n",
-                render_source_chart(panel.title, sizes, rows, panel.l0)
-                    .c_str());
-    std::fprintf(stderr, "fig7: %s done\n", panel.title);
-  }
-  return 0;
-}
+int main() { return prestage::figures::run_and_print("fig7"); }

@@ -1,32 +1,14 @@
 // Reproduces paper Figure 8: distribution of prefetch sources (the
 // original location of a line when its prefetch request is processed)
-// for FDP and CLGP across L1 sizes at 0.045um, 4-entry pre-buffer.
+// for FDP and CLGP across L1 sizes at 0.045um. The grid is the "fig8"
+// campaign in bench/figures.cpp.
 #include <cstdio>
 
-#include "sim/experiment.hpp"
-#include "sim/presets.hpp"
-#include "sim/report.hpp"
+#include "bench/figures.hpp"
 
 int main() {
-  using namespace prestage;
-  using namespace prestage::sim;
-  const auto& sizes = paper_l1_sizes();
-  const auto suite = full_suite();
-
-  for (const Preset preset : {Preset::Fdp, Preset::Clgp}) {
-    std::vector<SourceBreakdown> rows;
-    for (const std::uint64_t size : sizes) {
-      rows.push_back(
-          run_suite(make_config(preset, cacti::TechNode::um045, size),
-                    suite)
-              .prefetch_sources());
-    }
-    const std::string title =
-        "Figure 8 " + preset_name(preset) + ": prefetch sources (0.045um)";
-    std::printf("%s\n",
-                render_source_chart(title, sizes, rows, false).c_str());
-    std::fprintf(stderr, "fig8: %s done\n", title.c_str());
-  }
+  const int rc = prestage::figures::run_and_print("fig8");
+  if (rc != 0) return rc;
   std::printf(
       "Paper reference (averages): FDP PB 21.5%%, L2 37%%, Mem 12.5%%; "
       "CLGP PB 28%%, L2 32%%, Mem 10.5%% (rest il1).\n");

@@ -1,0 +1,203 @@
+#include "bench/figures.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace prestage::figures {
+
+using campaign::CampaignSpec;
+using campaign::ReportKind;
+using campaign::ResultGrid;
+using campaign::ResultStore;
+using sim::Preset;
+
+const std::vector<CampaignSpec>& all_campaigns() {
+  static const std::vector<CampaignSpec> campaigns = [] {
+    std::vector<CampaignSpec> c;
+    const std::vector<cacti::TechNode> far{cacti::TechNode::um045};
+    const auto& sizes = sim::paper_l1_sizes();
+
+    const auto make = [&c](std::string name, std::string title,
+                           ReportKind kind, std::vector<Preset> presets,
+                           std::vector<cacti::TechNode> nodes,
+                           std::vector<std::uint64_t> l1_sizes,
+                           std::vector<std::string> benchmarks = {}) {
+      CampaignSpec spec;
+      spec.name = std::move(name);
+      spec.title = std::move(title);
+      spec.kind = kind;
+      spec.presets = std::move(presets);
+      spec.nodes = std::move(nodes);
+      spec.l1_sizes = std::move(l1_sizes);
+      spec.benchmarks = std::move(benchmarks);
+      c.push_back(std::move(spec));
+    };
+
+    make("fig1", "Figure 1: L1 I-cache latency effect (0.045um, HMEAN IPC)",
+         ReportKind::IpcVsSize,
+         {Preset::BaseIdeal, Preset::BasePipelined, Preset::BaseL0,
+          Preset::Base},
+         far, sizes);
+    make("fig2", "Figure 2(b): FDP with/without L0 (0.045um)",
+         ReportKind::IpcVsSize, {Preset::FdpL0, Preset::Fdp}, far, sizes);
+    make("fig4", "Figure 4(b): CLGP with/without L0 (0.045um)",
+         ReportKind::IpcVsSize, {Preset::ClgpL0, Preset::Clgp}, far,
+         sizes);
+    make("fig5", "Figure 5: HMEAN IPC vs L1 size, six configurations",
+         ReportKind::IpcVsSize,
+         {Preset::ClgpL0Pb16, Preset::ClgpL0, Preset::FdpL0Pb16,
+          Preset::FdpL0, Preset::BasePipelined, Preset::BaseL0},
+         {cacti::TechNode::um090, cacti::TechNode::um045}, sizes);
+    make("fig6", "Figure 6: per-benchmark IPC (8KB L1, 0.045um)",
+         ReportKind::PerBenchmark,
+         {Preset::BasePipelined, Preset::FdpL0Pb16, Preset::ClgpL0Pb16},
+         far, {8192});
+    make("fig7", "Figure 7: fetch sources (0.045um)",
+         ReportKind::FetchSources,
+         {Preset::Fdp, Preset::Clgp, Preset::FdpL0, Preset::ClgpL0}, far,
+         sizes);
+    make("fig8", "Figure 8: prefetch sources (0.045um)",
+         ReportKind::PrefetchSources, {Preset::Fdp, Preset::Clgp}, far,
+         sizes);
+    // Small grid for CI and tests: exercises the whole campaign path
+    // (run, resume, compare, report) in seconds at low budgets.
+    make("smoke", "CI smoke grid", ReportKind::IpcVsSize,
+         {Preset::Base, Preset::ClgpL0}, far, {1024, 4096},
+         {"eon", "gzip"});
+    return c;
+  }();
+  return campaigns;
+}
+
+const CampaignSpec* find(std::string_view name) {
+  for (const CampaignSpec& spec : all_campaigns()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+ResultStore run_in_memory(const CampaignSpec& spec, unsigned jobs) {
+  const auto points = campaign::expand(spec);
+  const std::size_t step = std::max<std::size_t>(1, points.size() / 8);
+  const auto progress = [&](std::size_t done, std::size_t total) {
+    if (done % step == 0 || done == total) {
+      std::fprintf(stderr, "%s: %zu/%zu points\n", spec.name.c_str(), done,
+                   total);
+    }
+  };
+  ResultStore store;
+  for (auto& r : campaign::run_points(points, jobs, progress)) {
+    store.insert(std::move(r));
+  }
+  return store;
+}
+
+namespace {
+
+std::string node_suffix(const CampaignSpec& spec, cacti::TechNode node) {
+  if (spec.nodes.size() <= 1) return "";
+  return " @ " + std::string(cacti::to_string(node));
+}
+
+std::string render_ipc_vs_size(const ResultGrid& grid) {
+  const CampaignSpec& spec = grid.spec();
+  std::ostringstream out;
+  for (const cacti::TechNode node : spec.nodes) {
+    std::vector<sim::Series> series;
+    for (const Preset p : spec.presets) {
+      sim::Series s;
+      s.label = sim::preset_name(p);
+      for (const std::uint64_t size : spec.l1_sizes) {
+        s.values.push_back(grid.hmean_ipc(p, node, size));
+      }
+      series.push_back(std::move(s));
+    }
+    out << sim::render_size_chart(spec.title + node_suffix(spec, node),
+                                  spec.l1_sizes, series)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string render_per_benchmark(const ResultGrid& grid) {
+  const CampaignSpec& spec = grid.spec();
+  std::ostringstream out;
+  for (const cacti::TechNode node : spec.nodes) {
+    for (const std::uint64_t size : spec.l1_sizes) {
+      std::vector<std::string> headers = {"benchmark"};
+      for (const Preset p : spec.presets) {
+        headers.push_back(sim::preset_name(p));
+      }
+      Table t(std::move(headers));
+      for (const std::string& bench : grid.benchmarks()) {
+        std::vector<std::string> row = {bench};
+        for (const Preset p : spec.presets) {
+          row.push_back(fmt(grid.at(p, node, size, bench)->result.ipc, 3));
+        }
+        t.add_row(std::move(row));
+      }
+      std::vector<std::string> hmean_row = {"HMEAN"};
+      for (const Preset p : spec.presets) {
+        hmean_row.push_back(fmt(grid.hmean_ipc(p, node, size), 3));
+      }
+      t.add_row(std::move(hmean_row));
+      out << "== " << spec.title << node_suffix(spec, node) << " ==\n"
+          << t.to_text() << "\ncsv:\n"
+          << t.to_csv() << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_sources(const ResultGrid& grid, bool prefetch) {
+  const CampaignSpec& spec = grid.spec();
+  std::ostringstream out;
+  for (const Preset p : spec.presets) {
+    for (const cacti::TechNode node : spec.nodes) {
+      std::vector<SourceBreakdown> rows;
+      for (const std::uint64_t size : spec.l1_sizes) {
+        rows.push_back(prefetch ? grid.prefetch_sources(p, node, size)
+                                : grid.fetch_sources(p, node, size));
+      }
+      const bool has_l0 =
+          sim::make_config(p, node, spec.l1_sizes.front()).has_l0;
+      out << sim::render_source_chart(
+                 spec.title + " — " + sim::preset_name(p) +
+                     node_suffix(spec, node),
+                 spec.l1_sizes, rows, has_l0)
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_text(const ResultGrid& grid) {
+  switch (grid.spec().kind) {
+    case ReportKind::IpcVsSize: return render_ipc_vs_size(grid);
+    case ReportKind::PerBenchmark: return render_per_benchmark(grid);
+    case ReportKind::FetchSources: return render_sources(grid, false);
+    case ReportKind::PrefetchSources: return render_sources(grid, true);
+  }
+  return "";
+}
+
+int run_and_print(std::string_view name) {
+  const CampaignSpec* spec = find(name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown campaign '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    return 2;
+  }
+  const ResultStore store = run_in_memory(*spec);
+  const ResultGrid grid(*spec, store);
+  std::fputs(render_text(grid).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace prestage::figures

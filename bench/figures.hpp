@@ -1,0 +1,38 @@
+// Registry of the paper's figure grids as declarative campaigns.
+//
+// Each figure the paper plots (Figures 1/2/4/5/6/7/8) is one
+// CampaignSpec here; the per-figure bench mains and the `prestage
+// campaign` CLI subcommands both resolve campaigns from this registry,
+// so a figure is defined exactly once. A small "smoke" grid rides along
+// for CI and tests (2 presets x 2 sizes x 2 benchmarks).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+
+namespace prestage::figures {
+
+/// All built-in campaigns, figure order then "smoke".
+[[nodiscard]] const std::vector<campaign::CampaignSpec>& all_campaigns();
+
+/// Lookup by campaign name ("fig5", "smoke", ...); nullptr if unknown.
+[[nodiscard]] const campaign::CampaignSpec* find(std::string_view name);
+
+/// Simulates the whole grid in memory (jobs 0 = auto), with progress
+/// lines on stderr, and returns a store holding every point.
+[[nodiscard]] campaign::ResultStore run_in_memory(
+    const campaign::CampaignSpec& spec, unsigned jobs = 0);
+
+/// Renders the paper's text charts (tables + CSV blocks) for the
+/// campaign's ReportKind from a complete grid.
+[[nodiscard]] std::string render_text(const campaign::ResultGrid& grid);
+
+/// Whole thin-main body: resolve @p name, run it, print the charts.
+/// Returns a process exit code.
+int run_and_print(std::string_view name);
+
+}  // namespace prestage::figures

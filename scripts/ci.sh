@@ -43,4 +43,55 @@ fi
 ./build/src/cli/prestage trace replay --preset clgp --instrs 1500 \
   --trace tests/data/fixture.champsim.trace
 
+# --- campaign end-to-end ----------------------------------------------------
+# Run the smoke grid, kill-and-resume it (drop the second half of the
+# store, as a killed run would), require byte-identical healing without
+# recomputing surviving points, self-compare for zero regressions, and
+# emit + parse the figure report.
+CAMPAIGN="--name smoke --instrs 1200 --store build/ci-smoke.jsonl"
+rm -f build/ci-smoke.jsonl
+./build/src/cli/prestage campaign run $CAMPAIGN -j 2 \
+  --json build/ci-campaign-run.json
+cp build/ci-smoke.jsonl build/ci-smoke-full.jsonl
+head -n 4 build/ci-smoke-full.jsonl > build/ci-smoke.jsonl
+./build/src/cli/prestage campaign resume $CAMPAIGN -j 2 \
+  --json build/ci-campaign-resume.json
+cmp build/ci-smoke.jsonl build/ci-smoke-full.jsonl
+echo "campaign: kill-and-resume reproduced the store byte-identically"
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+resume = json.load(open("build/ci-campaign-resume.json"))
+assert resume["reused"] == 4, resume
+assert resume["executed"] == 4, resume
+print("campaign: resume reused 4 surviving points, recomputed 4")
+EOF
+fi
+./build/src/cli/prestage campaign compare \
+  --baseline build/ci-smoke-full.jsonl --store build/ci-smoke.jsonl \
+  --threshold 0.5
+./build/src/cli/prestage campaign status $CAMPAIGN
+./build/src/cli/prestage campaign report $CAMPAIGN --out BENCH_smoke.json
+
+# The fig5 headline grid at a small budget: the full 1296-point campaign
+# exercises every preset at both nodes and produces the BENCH_fig5.json
+# perf-trajectory artifact.
+rm -f build/ci-fig5.jsonl
+./build/src/cli/prestage campaign run --name fig5 --instrs 1000 \
+  --store build/ci-fig5.jsonl -j 0 --json build/ci-campaign-fig5.json
+./build/src/cli/prestage campaign report --name fig5 --instrs 1000 \
+  --store build/ci-fig5.jsonl --out BENCH_fig5.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+for name in ("BENCH_smoke.json", "BENCH_fig5.json"):
+    doc = json.load(open(name))
+    assert doc["schema"] == "prestage-campaign-report-v1", name
+    assert doc["series"], name
+    for series in doc["series"]:
+        assert all(v > 0 for v in series["hmean_ipc"]), (name, series)
+print("campaign: BENCH_smoke.json and BENCH_fig5.json parse and are sane")
+EOF
+fi
+
 echo "ci: OK"

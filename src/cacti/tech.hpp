@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "common/prestage_assert.hpp"
@@ -52,6 +53,30 @@ struct TechParams {
     case TechNode::um045: return "0.045um";
   }
   return "?";
+}
+
+/// Accepts "180".."045", bare "90"/"65"/"45", or the full "0.09um" form
+/// (the aliases the CLI and campaign specs use); nullopt when unknown.
+[[nodiscard]] constexpr std::optional<TechNode> parse_node(
+    std::string_view name) {
+  struct Alias {
+    std::string_view text;
+    TechNode node;
+  };
+  constexpr Alias kAliases[] = {
+      {"180", TechNode::um180}, {"0.18um", TechNode::um180},
+      {"130", TechNode::um130}, {"0.13um", TechNode::um130},
+      {"090", TechNode::um090}, {"90", TechNode::um090},
+      {"0.09um", TechNode::um090},
+      {"065", TechNode::um065}, {"65", TechNode::um065},
+      {"0.065um", TechNode::um065},
+      {"045", TechNode::um045}, {"45", TechNode::um045},
+      {"0.045um", TechNode::um045},
+  };
+  for (const auto& alias : kAliases) {
+    if (alias.text == name) return alias.node;
+  }
+  return std::nullopt;
 }
 
 /// Logic-delay scaling factor relative to the 0.09 µm node (transistor

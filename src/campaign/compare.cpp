@@ -1,0 +1,66 @@
+#include "campaign/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prestage::campaign {
+
+namespace {
+
+double ipc_delta_pct(double baseline, double candidate) {
+  if (baseline <= 0.0) {
+    // A zero-IPC baseline point carries no speedup information; any
+    // positive candidate is an improvement of unbounded magnitude, which
+    // we clamp to a recognizable sentinel rather than emitting inf.
+    return candidate > 0.0 ? 100.0 : 0.0;
+  }
+  return (candidate / baseline - 1.0) * 100.0;
+}
+
+}  // namespace
+
+CompareResult compare_stores(const ResultStore& baseline,
+                             const ResultStore& candidate,
+                             double threshold_pct) {
+  CompareResult out;
+  for (const PointResult& b : baseline.entries()) {
+    const PointResult* c = candidate.find(b.key);
+    if (!c) {
+      ++out.baseline_only;
+      continue;
+    }
+    ++out.common;
+    Delta d;
+    d.key = b.key;
+    d.preset = b.preset;
+    d.node = b.node;
+    d.benchmark = b.benchmark;
+    d.l1i_size = b.l1i_size;
+    d.ipc_baseline = b.result.ipc;
+    d.ipc_candidate = c->result.ipc;
+    d.delta_pct = ipc_delta_pct(d.ipc_baseline, d.ipc_candidate);
+    if (d.delta_pct < -threshold_pct) {
+      out.max_regression_pct =
+          std::max(out.max_regression_pct, -d.delta_pct);
+      out.regressions.push_back(std::move(d));
+    } else if (d.delta_pct > threshold_pct) {
+      out.improvements.push_back(std::move(d));
+    }
+  }
+  out.candidate_only = candidate.size() - out.common;
+
+  const auto by_delta_asc = [](const Delta& a, const Delta& b) {
+    return a.delta_pct != b.delta_pct ? a.delta_pct < b.delta_pct
+                                      : a.key < b.key;
+  };
+  const auto by_delta_desc = [](const Delta& a, const Delta& b) {
+    return a.delta_pct != b.delta_pct ? a.delta_pct > b.delta_pct
+                                      : a.key < b.key;
+  };
+  std::sort(out.regressions.begin(), out.regressions.end(), by_delta_asc);
+  std::sort(out.improvements.begin(), out.improvements.end(),
+            by_delta_desc);
+  return out;
+}
+
+}  // namespace prestage::campaign

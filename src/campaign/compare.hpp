@@ -1,0 +1,48 @@
+// Baseline comparison and regression detection between two result
+// stores.
+//
+// Points pair up by content-hash key (identical preset/node/L1/
+// benchmark/budget/seed), so any two stores that ran overlapping grids
+// are comparable, whatever order their lines are in. IPC deltas beyond
+// the threshold are classed as regressions (slower candidate) or
+// improvements (faster candidate); this is how a simulator change is
+// checked against the previous trajectory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/store.hpp"
+
+namespace prestage::campaign {
+
+/// One paired point whose IPC moved beyond the threshold.
+struct Delta {
+  std::string key;
+  std::string preset;
+  std::string node;
+  std::string benchmark;
+  std::uint64_t l1i_size = 0;
+  double ipc_baseline = 0.0;
+  double ipc_candidate = 0.0;
+  double delta_pct = 0.0;  ///< (candidate/baseline - 1) * 100
+};
+
+struct CompareResult {
+  std::size_t common = 0;          ///< keys present in both stores
+  std::size_t baseline_only = 0;   ///< keys missing from the candidate
+  std::size_t candidate_only = 0;  ///< keys missing from the baseline
+  std::vector<Delta> regressions;   ///< worst (most negative) first
+  std::vector<Delta> improvements;  ///< best (most positive) first
+  double max_regression_pct = 0.0;  ///< magnitude of the worst regression
+};
+
+/// Diffs @p candidate against @p baseline; a point regresses when its
+/// IPC drops by more than @p threshold_pct percent. Output ordering is
+/// deterministic (sorted by delta, then key).
+[[nodiscard]] CompareResult compare_stores(const ResultStore& baseline,
+                                           const ResultStore& candidate,
+                                           double threshold_pct);
+
+}  // namespace prestage::campaign

@@ -1,0 +1,99 @@
+#include "campaign/engine.hpp"
+
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/parallel.hpp"
+
+namespace prestage::campaign {
+
+PointResult simulate(const RunPoint& point) {
+  cpu::Cpu machine(point.config());
+  PointResult r;
+  r.key = point.key();
+  r.preset = sim::preset_cli_name(point.preset);
+  r.node = cacti::to_string(point.node);
+  r.benchmark = point.benchmark;
+  r.l1i_size = point.l1i_size;
+  r.instructions = point.instructions;
+  r.seed = point.seed;
+  r.result = machine.run();
+  return r;
+}
+
+namespace {
+
+/// Runs @p points across the pool, handing each finished result to
+/// @p sink in strict index order (under one lock, so sinks need no
+/// locking of their own).
+void run_ordered(const std::vector<const RunPoint*>& points, unsigned jobs,
+                 const std::function<void(PointResult)>& sink,
+                 const Progress& progress) {
+  std::vector<std::optional<PointResult>> slots(points.size());
+  std::mutex mutex;
+  std::size_t next_flush = 0;
+  std::size_t completed = 0;
+  parallel_for_indexed(points.size(), jobs, [&](std::size_t i) {
+    PointResult r = simulate(*points[i]);
+    const std::lock_guard<std::mutex> lock(mutex);
+    slots[i] = std::move(r);
+    ++completed;
+    while (next_flush < slots.size() && slots[next_flush]) {
+      // Detach the record and advance before calling the sink: if it
+      // throws (full disk), another worker re-entering this loop must
+      // see consistent state, not a still-engaged moved-from slot it
+      // would flush again.
+      PointResult out = std::move(*slots[next_flush]);
+      slots[next_flush].reset();
+      ++next_flush;
+      sink(std::move(out));
+    }
+    if (progress) progress(completed, slots.size());
+  });
+}
+
+}  // namespace
+
+RunOutcome run_campaign(const CampaignSpec& spec,
+                        const std::string& store_path, unsigned jobs,
+                        const Progress& progress) {
+  const std::vector<RunPoint> points = expand(spec);
+  const ResultStore store = ResultStore::load(store_path);
+
+  RunOutcome outcome;
+  outcome.total = points.size();
+  outcome.corrupt_dropped = store.load_stats().skipped;
+
+  std::vector<const RunPoint*> todo;
+  todo.reserve(points.size());
+  for (const RunPoint& p : points) {
+    if (!store.contains(p.key())) todo.push_back(&p);
+  }
+  outcome.reused = points.size() - todo.size();
+  outcome.executed = todo.size();
+  if (todo.empty()) return outcome;
+
+  StoreAppender appender(store_path);
+  run_ordered(
+      todo, jobs,
+      [&appender](PointResult r) { appender.append(r); }, progress);
+  return outcome;
+}
+
+std::vector<PointResult> run_points(const std::vector<RunPoint>& points,
+                                    unsigned jobs,
+                                    const Progress& progress) {
+  std::vector<const RunPoint*> refs;
+  refs.reserve(points.size());
+  for (const RunPoint& p : points) refs.push_back(&p);
+  std::vector<PointResult> results;
+  results.reserve(points.size());
+  run_ordered(
+      refs, jobs,
+      [&results](PointResult r) { results.push_back(std::move(r)); },
+      progress);
+  return results;
+}
+
+}  // namespace prestage::campaign

@@ -1,0 +1,52 @@
+// Campaign execution: expands a spec, drops every point whose key is
+// already in the store, and simulates the rest across a work-stealing
+// worker pool (common/parallel.hpp — jobs of 0 means one worker per
+// hardware thread).
+//
+// Results are appended to the store strictly in grid-expansion order —
+// a completed point is held until every earlier point has been written —
+// so the store file is byte-identical for any worker count, and a fresh
+// run and a kill-then-resume of the same grid produce the same bytes.
+// Because lines are flushed as the ordered prefix completes, a killed
+// run still persists everything that finished before the gap.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+
+namespace prestage::campaign {
+
+/// What a run did: total grid size vs. reused (already stored) vs.
+/// freshly executed points, plus how many store lines were dropped as
+/// corrupt at load (those points are recomputed).
+struct RunOutcome {
+  std::size_t total = 0;
+  std::size_t reused = 0;
+  std::size_t executed = 0;
+  std::size_t corrupt_dropped = 0;
+};
+
+/// Progress callback: (newly completed points, points to execute).
+using Progress = std::function<void(std::size_t, std::size_t)>;
+
+/// Simulates one run point (used by the engine workers and tests).
+[[nodiscard]] PointResult simulate(const RunPoint& point);
+
+/// Runs every point of @p spec that @p store_path does not already
+/// contain; appends the new results (in expansion order) to the store.
+RunOutcome run_campaign(const CampaignSpec& spec,
+                        const std::string& store_path, unsigned jobs,
+                        const Progress& progress = {});
+
+/// In-memory variant for the bench harnesses: simulates the whole grid
+/// (no store involved) and returns results in expansion order.
+[[nodiscard]] std::vector<PointResult> run_points(
+    const std::vector<RunPoint>& points, unsigned jobs,
+    const Progress& progress = {});
+
+}  // namespace prestage::campaign

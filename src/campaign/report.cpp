@@ -1,0 +1,190 @@
+#include "campaign/report.hpp"
+
+#include "common/prestage_assert.hpp"
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace prestage::campaign {
+
+ResultGrid::ResultGrid(const CampaignSpec& spec, const ResultStore& store)
+    : spec_(&spec), store_(&store) {
+  benchmarks_ = spec.resolved_benchmarks();
+  instructions_ = spec.resolved_instructions();
+  for (const RunPoint& p : expand(spec)) {
+    ++total_;
+    if (!store.contains(p.key())) ++missing_;
+  }
+}
+
+const PointResult* ResultGrid::at(sim::Preset preset, cacti::TechNode node,
+                                  std::uint64_t l1i_size,
+                                  const std::string& benchmark) const {
+  const RunPoint point{.preset = preset,
+                       .node = node,
+                       .l1i_size = l1i_size,
+                       .benchmark = benchmark,
+                       .instructions = instructions_,
+                       .seed = spec_->seed};
+  return store_->find(point.key());
+}
+
+double ResultGrid::hmean_ipc(sim::Preset preset, cacti::TechNode node,
+                             std::uint64_t l1i_size) const {
+  std::vector<double> ipcs;
+  ipcs.reserve(benchmarks_.size());
+  for (const std::string& bench : benchmarks_) {
+    const PointResult* r = at(preset, node, l1i_size, bench);
+    PRESTAGE_ASSERT(r != nullptr, "grid cell missing from store");
+    ipcs.push_back(r->result.ipc);
+  }
+  return harmonic_mean(ipcs);
+}
+
+SourceBreakdown ResultGrid::fetch_sources(sim::Preset preset,
+                                          cacti::TechNode node,
+                                          std::uint64_t l1i_size) const {
+  SourceBreakdown total;
+  for (const std::string& bench : benchmarks_) {
+    const PointResult* r = at(preset, node, l1i_size, bench);
+    PRESTAGE_ASSERT(r != nullptr, "grid cell missing from store");
+    for (int i = 0; i < kNumFetchSources; ++i) {
+      const auto s = static_cast<FetchSource>(i);
+      total.add(s, r->result.fetch_sources.count(s));
+    }
+  }
+  return total;
+}
+
+SourceBreakdown ResultGrid::prefetch_sources(sim::Preset preset,
+                                             cacti::TechNode node,
+                                             std::uint64_t l1i_size) const {
+  SourceBreakdown total;
+  for (const std::string& bench : benchmarks_) {
+    const PointResult* r = at(preset, node, l1i_size, bench);
+    PRESTAGE_ASSERT(r != nullptr, "grid cell missing from store");
+    for (int i = 0; i < kNumFetchSources; ++i) {
+      const auto s = static_cast<FetchSource>(i);
+      total.add(s, r->result.prefetch_sources.count(s));
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void write_ipc_vs_size(JsonWriter& json, const ResultGrid& grid) {
+  const CampaignSpec& spec = grid.spec();
+  json.key("series");
+  json.begin_array();
+  for (const sim::Preset preset : spec.presets) {
+    for (const cacti::TechNode node : spec.nodes) {
+      json.begin_object();
+      json.field("preset", sim::preset_cli_name(preset));
+      json.field("label", sim::preset_name(preset));
+      json.field("node", cacti::to_string(node));
+      json.key("hmean_ipc");
+      json.begin_array();
+      for (const std::uint64_t size : spec.l1_sizes) {
+        json.value(grid.hmean_ipc(preset, node, size));
+      }
+      json.end_array();
+      json.end_object();
+    }
+  }
+  json.end_array();
+}
+
+void write_per_benchmark(JsonWriter& json, const ResultGrid& grid) {
+  const CampaignSpec& spec = grid.spec();
+  json.key("groups");
+  json.begin_array();
+  for (const sim::Preset preset : spec.presets) {
+    for (const cacti::TechNode node : spec.nodes) {
+      for (const std::uint64_t size : spec.l1_sizes) {
+        json.begin_object();
+        json.field("preset", sim::preset_cli_name(preset));
+        json.field("node", cacti::to_string(node));
+        json.field("l1i_size", size);
+        json.key("ipc");
+        json.begin_object();
+        for (const std::string& bench : grid.benchmarks()) {
+          json.field(bench, grid.at(preset, node, size, bench)->result.ipc);
+        }
+        json.end_object();
+        json.field("hmean_ipc", grid.hmean_ipc(preset, node, size));
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+}
+
+void write_sources(JsonWriter& json, const ResultGrid& grid,
+                   bool prefetch) {
+  const CampaignSpec& spec = grid.spec();
+  json.key("rows");
+  json.begin_array();
+  for (const sim::Preset preset : spec.presets) {
+    for (const cacti::TechNode node : spec.nodes) {
+      for (const std::uint64_t size : spec.l1_sizes) {
+        const SourceBreakdown sb =
+            prefetch ? grid.prefetch_sources(preset, node, size)
+                     : grid.fetch_sources(preset, node, size);
+        json.begin_object();
+        json.field("preset", sim::preset_cli_name(preset));
+        json.field("node", cacti::to_string(node));
+        json.field("l1i_size", size);
+        json.key("counts");
+        write_source_counts(json, sb);
+        json.key("fractions");
+        write_source_fractions(json, sb);
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+void write_report(JsonWriter& json, const ResultGrid& grid) {
+  const CampaignSpec& spec = grid.spec();
+  PRESTAGE_ASSERT(grid.missing() == 0, "cannot report an incomplete grid");
+  json.begin_object();
+  json.field("schema", "prestage-campaign-report-v1");
+  json.field("campaign", spec.name);
+  json.field("title", spec.title);
+  json.field("kind", to_string(spec.kind));
+  json.field("instructions", grid.instructions());
+  json.field("seed", spec.seed);
+  json.key("presets");
+  json.begin_array();
+  for (const sim::Preset p : spec.presets) {
+    json.value(sim::preset_cli_name(p));
+  }
+  json.end_array();
+  json.key("nodes");
+  json.begin_array();
+  for (const cacti::TechNode n : spec.nodes) {
+    json.value(cacti::to_string(n));
+  }
+  json.end_array();
+  json.key("l1_sizes");
+  json.begin_array();
+  for (const std::uint64_t s : spec.l1_sizes) json.value(s);
+  json.end_array();
+  json.key("benchmarks");
+  json.begin_array();
+  for (const std::string& b : grid.benchmarks()) json.value(b);
+  json.end_array();
+
+  switch (spec.kind) {
+    case ReportKind::IpcVsSize: write_ipc_vs_size(json, grid); break;
+    case ReportKind::PerBenchmark: write_per_benchmark(json, grid); break;
+    case ReportKind::FetchSources: write_sources(json, grid, false); break;
+    case ReportKind::PrefetchSources: write_sources(json, grid, true); break;
+  }
+  json.end_object();
+}
+
+}  // namespace prestage::campaign

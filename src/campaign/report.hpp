@@ -1,0 +1,67 @@
+// Figure reports over a campaign store: ResultGrid gives shaped access
+// to a store through the axes of a spec (lookups by preset/node/size/
+// benchmark, harmonic-mean IPC and source aggregation per grid cell),
+// and write_report() emits the versioned BENCH_*.json document for the
+// campaign's ReportKind. Reports are pure functions of (spec, store) —
+// no timestamps, no environment — so an identical store always yields a
+// byte-identical report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "common/json_writer.hpp"
+
+namespace prestage::campaign {
+
+class ResultGrid {
+ public:
+  /// Binds @p spec's axes to @p store. Both must outlive the grid.
+  ResultGrid(const CampaignSpec& spec, const ResultStore& store);
+
+  [[nodiscard]] const CampaignSpec& spec() const { return *spec_; }
+  /// Benchmark axis with an empty spec list resolved to the full suite.
+  [[nodiscard]] const std::vector<std::string>& benchmarks() const {
+    return benchmarks_;
+  }
+  /// Per-point budget with 0 resolved to sim::default_instructions().
+  [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+  /// Grid points that have no result in the store.
+  [[nodiscard]] std::size_t missing() const { return missing_; }
+  [[nodiscard]] std::size_t total_points() const { return total_; }
+
+  /// The stored result for one grid cell; nullptr when absent.
+  [[nodiscard]] const PointResult* at(sim::Preset preset,
+                                      cacti::TechNode node,
+                                      std::uint64_t l1i_size,
+                                      const std::string& benchmark) const;
+
+  /// Harmonic-mean IPC over the benchmark axis (asserts completeness).
+  [[nodiscard]] double hmean_ipc(sim::Preset preset, cacti::TechNode node,
+                                 std::uint64_t l1i_size) const;
+
+  /// Aggregated source distributions over the benchmark axis.
+  [[nodiscard]] SourceBreakdown fetch_sources(sim::Preset preset,
+                                              cacti::TechNode node,
+                                              std::uint64_t l1i_size) const;
+  [[nodiscard]] SourceBreakdown prefetch_sources(
+      sim::Preset preset, cacti::TechNode node,
+      std::uint64_t l1i_size) const;
+
+ private:
+  const CampaignSpec* spec_;
+  const ResultStore* store_;
+  std::vector<std::string> benchmarks_;
+  std::uint64_t instructions_ = 0;
+  std::size_t missing_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Writes the `prestage-campaign-report-v1` document for the campaign's
+/// ReportKind. The grid must be complete (callers gate on missing()).
+void write_report(JsonWriter& json, const ResultGrid& grid);
+
+}  // namespace prestage::campaign

@@ -1,0 +1,91 @@
+// Declarative experiment campaigns: a named grid over machine presets,
+// technology nodes, L1 I-cache capacities and benchmarks, expanded into
+// individually addressable run points.
+//
+// A run point is keyed by a content hash of its canonical descriptor
+// (preset/node/L1/benchmark/instructions/seed), so a result store can
+// tell whether a point has already been simulated regardless of the
+// order campaigns ran in, and a changed budget or seed never aliases an
+// old result. The figure grids of the paper (Figures 1/4/5/7/8) are
+// campaigns over these axes — see bench/figures.cpp for the registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cacti/tech.hpp"
+#include "cpu/config.hpp"
+#include "sim/presets.hpp"
+
+namespace prestage::campaign {
+
+/// What `campaign report` builds from a finished grid — which of the
+/// paper's plot shapes the campaign reproduces.
+enum class ReportKind : std::uint8_t {
+  IpcVsSize,        ///< HMEAN IPC line per (preset, node) over L1 sizes
+  PerBenchmark,     ///< per-benchmark IPC bars at fixed size (Figure 6)
+  FetchSources,     ///< fetch-source distribution per size (Figure 7)
+  PrefetchSources,  ///< prefetch-source distribution per size (Figure 8)
+};
+
+[[nodiscard]] std::string_view to_string(ReportKind k);
+
+/// A declarative experiment grid. Expansion order (and therefore store
+/// and report order) is preset-major: preset, then node, then L1 size,
+/// then benchmark.
+struct CampaignSpec {
+  std::string name;   ///< CLI handle; default store/report file stem
+  std::string title;  ///< human chart title
+  ReportKind kind = ReportKind::IpcVsSize;
+
+  std::vector<sim::Preset> presets;
+  std::vector<cacti::TechNode> nodes;
+  std::vector<std::uint64_t> l1_sizes;
+  std::vector<std::string> benchmarks;  ///< empty -> the full 12 SPEC suite
+
+  std::uint64_t instructions = 0;  ///< 0 -> sim::default_instructions()
+  std::uint64_t seed = 1;
+
+  /// The benchmark axis with the empty-list default resolved to the full
+  /// suite. Run-point keys embed the resolved values, so every consumer
+  /// (expansion, status, report) must resolve through these two — never
+  /// by hand.
+  [[nodiscard]] std::vector<std::string> resolved_benchmarks() const;
+  /// The per-point budget with 0 resolved to sim::default_instructions().
+  [[nodiscard]] std::uint64_t resolved_instructions() const;
+
+  /// Grid size after expansion (resolving empty benchmark lists).
+  [[nodiscard]] std::size_t point_count() const;
+};
+
+/// One fully resolved simulation of a campaign grid.
+struct RunPoint {
+  sim::Preset preset = sim::Preset::Base;
+  cacti::TechNode node = cacti::TechNode::um045;
+  std::uint64_t l1i_size = 4096;
+  std::string benchmark;
+  std::uint64_t instructions = 0;  ///< always resolved (never 0)
+  std::uint64_t seed = 1;
+
+  /// Canonical text form, e.g.
+  /// "preset=clgp-l0-pb16|node=0.045um|l1=4096|bench=eon|instrs=2000|seed=1".
+  [[nodiscard]] std::string descriptor() const;
+
+  /// Content-hash key: 16 hex digits of FNV-1a 64 over descriptor().
+  [[nodiscard]] std::string key() const;
+
+  /// The machine configuration this point simulates.
+  [[nodiscard]] cpu::MachineConfig config() const;
+};
+
+/// Expands the grid; benchmarks default to the full suite and an
+/// instruction budget of 0 resolves to sim::default_instructions() (so
+/// keys always embed the actual budget).
+[[nodiscard]] std::vector<RunPoint> expand(const CampaignSpec& spec);
+
+/// FNV-1a 64-bit content hash (run-point keys; stable across platforms).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+}  // namespace prestage::campaign

@@ -1,0 +1,178 @@
+#include "campaign/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/json_writer.hpp"
+#include "common/prestage_assert.hpp"
+
+namespace prestage::campaign {
+
+namespace {
+
+SourceBreakdown read_breakdown(const json::Value& v) {
+  SourceBreakdown sb;
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    const auto s = static_cast<FetchSource>(i);
+    sb.add(s, static_cast<std::uint64_t>(
+                  v.at(std::string(to_string(s))).as_number()));
+  }
+  return sb;
+}
+
+std::uint64_t read_u64(const json::Value& v, const char* field) {
+  return static_cast<std::uint64_t>(v.at(field).as_number());
+}
+
+/// Doubles round-trip through the writer's `%.10g` (and NaN/Inf become
+/// null); a null reads back as 0.0 so stores with degenerate stats stay
+/// loadable.
+double read_double(const json::Value& v, const char* field) {
+  const json::Value& f = v.at(field);
+  return f.is_null() ? 0.0 : f.as_number();
+}
+
+}  // namespace
+
+std::string encode_line(const PointResult& r) {
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::Compact);
+  json.begin_object();
+  json.field("key", r.key);
+  json.field("preset", r.preset);
+  json.field("node", r.node);
+  json.field("l1i_size", r.l1i_size);
+  json.field("benchmark", r.benchmark);
+  json.field("instructions", r.instructions);
+  json.field("seed", r.seed);
+  json.key("result");
+  json.begin_object();
+  json.field("instructions", r.result.instructions);
+  json.field("cycles", r.result.cycles);
+  json.field("ipc", r.result.ipc);
+  json.field("mispredicts_per_kilo_instr",
+             r.result.mispredicts_per_kilo_instr);
+  json.field("recoveries", r.result.recoveries);
+  json.field("blocks_predicted", r.result.blocks_predicted);
+  json.field("lines_fetched", r.result.lines_fetched);
+  json.field("prefetches_issued", r.result.prefetches_issued);
+  json.field("l2_hits", r.result.l2_hits);
+  json.field("l2_misses", r.result.l2_misses);
+  json.field("dcache_misses", r.result.dcache_misses);
+  json.key("fetch_sources");
+  write_source_counts(json, r.result.fetch_sources);
+  json.key("prefetch_sources");
+  write_source_counts(json, r.result.prefetch_sources);
+  json.end_object();
+  json.end_object();
+  return out.str();
+}
+
+PointResult decode_line(std::string_view line) {
+  const json::Value doc = json::parse(line);
+  PointResult r;
+  r.key = doc.at("key").as_string();
+  if (r.key.empty()) throw json::JsonError("empty result key");
+  r.preset = doc.at("preset").as_string();
+  r.node = doc.at("node").as_string();
+  r.benchmark = doc.at("benchmark").as_string();
+  r.l1i_size = read_u64(doc, "l1i_size");
+  r.instructions = read_u64(doc, "instructions");
+  r.seed = read_u64(doc, "seed");
+
+  const json::Value& res = doc.at("result");
+  r.result.benchmark = r.benchmark;
+  r.result.instructions = read_u64(res, "instructions");
+  r.result.cycles = read_u64(res, "cycles");
+  r.result.ipc = read_double(res, "ipc");
+  r.result.mispredicts_per_kilo_instr =
+      read_double(res, "mispredicts_per_kilo_instr");
+  r.result.recoveries = read_u64(res, "recoveries");
+  r.result.blocks_predicted = read_u64(res, "blocks_predicted");
+  r.result.lines_fetched = read_u64(res, "lines_fetched");
+  r.result.prefetches_issued = read_u64(res, "prefetches_issued");
+  r.result.l2_hits = read_u64(res, "l2_hits");
+  r.result.l2_misses = read_u64(res, "l2_misses");
+  r.result.dcache_misses = read_u64(res, "dcache_misses");
+  r.result.fetch_sources = read_breakdown(res.at("fetch_sources"));
+  r.result.prefetch_sources = read_breakdown(res.at("prefetch_sources"));
+  return r;
+}
+
+ResultStore ResultStore::load(const std::string& path) {
+  ResultStore store;
+  std::ifstream in(path);
+  if (!in) return store;  // no store yet: nothing recorded
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      store.insert(decode_line(line));
+      ++store.stats_.loaded;
+    } catch (const json::JsonError&) {
+      ++store.stats_.skipped;  // truncated tail or corrupt line: recompute
+    }
+  }
+  return store;
+}
+
+void ResultStore::insert(PointResult r) {
+  const auto [it, fresh] = index_.emplace(r.key, entries_.size());
+  (void)it;
+  if (!fresh) return;  // first record for a key wins
+  entries_.push_back(std::move(r));
+}
+
+const PointResult* ResultStore::find(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+struct StoreAppender::Impl {
+  std::string path;
+  std::ofstream out;
+};
+
+StoreAppender::StoreAppender(const std::string& path)
+    : impl_(new Impl{path, {}}) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // open() reports errors
+  }
+  // A run killed mid-append can leave a torn final line with no newline.
+  // load() already drops that line, but appending straight onto it would
+  // corrupt the first recomputed record too — so terminate it first.
+  bool torn_tail = false;
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = '\n';
+      torn_tail = probe.get(last) && last != '\n';
+    }
+  }
+  impl_->out.open(path, std::ios::app);
+  if (!impl_->out) {
+    const std::string message =
+        "cannot open result store '" + path + "' for appending";
+    delete impl_;
+    impl_ = nullptr;
+    throw SimError(message);
+  }
+  if (torn_tail) impl_->out << '\n';
+}
+
+StoreAppender::~StoreAppender() { delete impl_; }
+
+void StoreAppender::append(const PointResult& r) {
+  impl_->out << encode_line(r) << '\n';
+  impl_->out.flush();
+  PRESTAGE_ASSERT(impl_->out.good(),
+                  "write to result store '" + impl_->path + "' failed");
+}
+
+}  // namespace prestage::campaign

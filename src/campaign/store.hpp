@@ -1,0 +1,95 @@
+// Append-only JSONL result store: one run point per line, keyed by the
+// point's content hash, which is what makes campaigns resumable —
+// rerunning a campaign skips every key that already has a line.
+//
+// Loading is deliberately forgiving: a line that fails to parse (a run
+// killed mid-write leaves a truncated tail; disk corruption can garble
+// the middle) is counted and skipped, never fatal. The engine then
+// simply recomputes the dropped points, so a damaged store heals on the
+// next `campaign resume`. Appends flush line-by-line for the same
+// reason: everything written before a crash is a complete, loadable
+// record.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+
+namespace prestage::campaign {
+
+/// One stored simulation: the point's identity (denormalized for
+/// human-readable stores and cross-store comparison) plus the full
+/// RunResult.
+struct PointResult {
+  std::string key;        ///< RunPoint::key() content hash
+  std::string preset;     ///< kebab-case preset name
+  std::string node;       ///< "0.045um" style node name
+  std::string benchmark;
+  std::uint64_t l1i_size = 0;
+  std::uint64_t instructions = 0;  ///< configured budget (not committed)
+  std::uint64_t seed = 1;
+  cpu::RunResult result;
+};
+
+/// Serializes to one compact JSON line (no trailing newline).
+[[nodiscard]] std::string encode_line(const PointResult& r);
+
+/// Parses one store line; throws json::JsonError on any malformed or
+/// incomplete record.
+[[nodiscard]] PointResult decode_line(std::string_view line);
+
+class ResultStore {
+ public:
+  struct LoadStats {
+    std::size_t loaded = 0;   ///< well-formed records
+    std::size_t skipped = 0;  ///< corrupt/truncated lines dropped
+  };
+
+  /// Reads @p path; a missing file yields an empty store (a campaign's
+  /// first run starts from nothing). Corrupt lines are dropped into
+  /// load_stats().skipped. Duplicate keys keep the first record (append
+  /// order: the original result wins; later duplicates are no-ops).
+  [[nodiscard]] static ResultStore load(const std::string& path);
+
+  /// In-memory insert (bench harnesses, tests). First key wins, like load.
+  void insert(PointResult r);
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return index_.count(key) > 0;
+  }
+  /// nullptr when the key is absent.
+  [[nodiscard]] const PointResult* find(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<PointResult>& entries() const {
+    return entries_;  // file order
+  }
+  [[nodiscard]] const LoadStats& load_stats() const { return stats_; }
+
+ private:
+  std::vector<PointResult> entries_;
+  std::map<std::string, std::size_t> index_;
+  LoadStats stats_;
+};
+
+/// Append-only writer. Creates parent directories and the file on open;
+/// append() writes one line plus '\n' and flushes, throwing SimError if
+/// the write does not land (full disk must not be mistaken for progress).
+class StoreAppender {
+ public:
+  explicit StoreAppender(const std::string& path);
+  ~StoreAppender();
+  StoreAppender(const StoreAppender&) = delete;
+  StoreAppender& operator=(const StoreAppender&) = delete;
+
+  void append(const PointResult& r);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace prestage::campaign

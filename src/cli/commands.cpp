@@ -5,7 +5,9 @@
 #include <iostream>
 #include <optional>
 
-#include "cli/json_writer.hpp"
+#include "bench/figures.hpp"
+#include "cli/json_sink.hpp"
+#include "common/json_writer.hpp"
 #include "common/table.hpp"
 #include "cpu/cpu.hpp"
 #include "sim/experiment.hpp"
@@ -37,54 +39,6 @@ bool validate_benchmarks(const std::vector<std::string>& requested) {
   return true;
 }
 
-/// Opens the --json sink: a file, stdout for "-", or nothing.
-class JsonSink {
- public:
-  explicit JsonSink(const std::string& path) : path_(path) {
-    if (path_.empty() || path_ == "-") return;
-    file_.open(path_);
-    if (!file_) {
-      std::cerr << "prestage: cannot open '" << path_ << "' for writing\n";
-      failed_ = true;
-    }
-  }
-
-  [[nodiscard]] bool wanted() const { return !path_.empty(); }
-  [[nodiscard]] bool failed() const { return failed_; }
-  /// With `--json -` the document owns stdout: human-readable output is
-  /// suppressed so the stream stays parseable (`prestage suite --json - | jq`).
-  [[nodiscard]] bool owns_stdout() const { return path_ == "-"; }
-  [[nodiscard]] std::ostream& stream() {
-    return owns_stdout() ? std::cout : file_;
-  }
-
-  /// Flushes and confirms every write landed (a full disk can fail the
-  /// stream long after open succeeded); announces the artifact on success.
-  [[nodiscard]] bool finish() {
-    stream().flush();
-    if (!stream().good()) {
-      std::cerr << "prestage: failed writing JSON to '" << path_ << "'\n";
-      return false;
-    }
-    if (!owns_stdout()) std::cout << "json: wrote " << path_ << "\n";
-    return true;
-  }
-
- private:
-  std::string path_;
-  std::ofstream file_;
-  bool failed_ = false;
-};
-
-void write_breakdown(JsonWriter& json, const SourceBreakdown& sb) {
-  json.begin_object();
-  for (int i = 0; i < kNumFetchSources; ++i) {
-    const auto s = static_cast<FetchSource>(i);
-    json.field(to_string(s), sb.count(s));
-  }
-  json.end_object();
-}
-
 void write_run_result(JsonWriter& json, const cpu::RunResult& r) {
   json.begin_object();
   json.field("benchmark", r.benchmark);
@@ -98,9 +52,9 @@ void write_run_result(JsonWriter& json, const cpu::RunResult& r) {
   json.field("l2_hits", r.l2_hits);
   json.field("l2_misses", r.l2_misses);
   json.key("fetch_sources");
-  write_breakdown(json, r.fetch_sources);
+  write_source_counts(json, r.fetch_sources);
   json.key("prefetch_sources");
-  write_breakdown(json, r.prefetch_sources);
+  write_source_counts(json, r.prefetch_sources);
   json.end_object();
 }
 
@@ -227,7 +181,8 @@ int cmd_suite(const Options& opt) {
                 benchmarks.size(), static_cast<unsigned long long>(instrs));
   }
 
-  const sim::SuiteResult suite = sim::run_suite(cfg, benchmarks, instrs);
+  const sim::SuiteResult suite =
+      sim::run_suite(cfg, benchmarks, instrs, opt.jobs);
 
   if (!sink.owns_stdout()) {
     Table table(
@@ -256,9 +211,9 @@ int cmd_suite(const Options& opt) {
     json.end_array();
     json.field("hmean_ipc", suite.hmean_ipc);
     json.key("fetch_sources");
-    write_breakdown(json, suite.fetch_sources());
+    write_source_counts(json, suite.fetch_sources());
     json.key("prefetch_sources");
-    write_breakdown(json, suite.prefetch_sources());
+    write_source_counts(json, suite.prefetch_sources());
     json.end_object();
     if (!sink.finish()) return 1;
   }
@@ -283,7 +238,7 @@ int cmd_sweep(const Options& opt) {
     const cpu::MachineConfig cfg =
         sim::make_config(opt.preset, opt.node, size);
     series.values.push_back(
-        sim::run_suite(cfg, benchmarks, instrs).hmean_ipc);
+        sim::run_suite(cfg, benchmarks, instrs, opt.jobs).hmean_ipc);
   }
 
   if (!sink.owns_stdout()) {
@@ -539,6 +494,11 @@ int cmd_list(const Options& opt) {
     std::cout << ' ' << name;
   }
   std::cout << '\n';
+  std::cout << "campaigns:\n";
+  for (const auto& spec : figures::all_campaigns()) {
+    std::printf("  %-8s %zu points  %s\n", spec.name.c_str(),
+                spec.point_count(), spec.title.c_str());
+  }
   return 0;
 }
 

@@ -30,4 +30,20 @@ int cmd_trace_replay(const Options& opt);
 /// Prints a trace file's header and import summary without simulating.
 int cmd_trace_info(const Options& opt);
 
+/// Runs (or resumes) a registered campaign grid against its JSONL result
+/// store, skipping points whose key is already stored. @p resume
+/// additionally requires the store to exist.
+int cmd_campaign_run(const Options& opt, bool resume);
+
+/// Reports how much of a campaign grid the store covers.
+int cmd_campaign_status(const Options& opt);
+
+/// Diffs a candidate store against a baseline store and flags IPC
+/// regressions beyond --threshold. Exit 3 when regressions are found.
+int cmd_campaign_compare(const Options& opt);
+
+/// Emits the campaign's figure report (BENCH_<name>.json by default)
+/// from a complete store.
+int cmd_campaign_report(const Options& opt);
+
 }  // namespace prestage::cli

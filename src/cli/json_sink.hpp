@@ -1,0 +1,49 @@
+// The --json output sink shared by every subcommand implementation:
+// a file path, stdout for "-", or nothing when --json was not given.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace prestage::cli {
+
+class JsonSink {
+ public:
+  explicit JsonSink(const std::string& path) : path_(path) {
+    if (path_.empty() || path_ == "-") return;
+    file_.open(path_);
+    if (!file_) {
+      std::cerr << "prestage: cannot open '" << path_ << "' for writing\n";
+      failed_ = true;
+    }
+  }
+
+  [[nodiscard]] bool wanted() const { return !path_.empty(); }
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// With `--json -` the document owns stdout: human-readable output is
+  /// suppressed so the stream stays parseable (`prestage suite --json - | jq`).
+  [[nodiscard]] bool owns_stdout() const { return path_ == "-"; }
+  [[nodiscard]] std::ostream& stream() {
+    return owns_stdout() ? std::cout : file_;
+  }
+
+  /// Flushes and confirms every write landed (a full disk can fail the
+  /// stream long after open succeeded); announces the artifact on success.
+  [[nodiscard]] bool finish() {
+    stream().flush();
+    if (!stream().good()) {
+      std::cerr << "prestage: failed writing JSON to '" << path_ << "'\n";
+      return false;
+    }
+    if (!owns_stdout()) std::cout << "json: wrote " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  bool failed_ = false;
+};
+
+}  // namespace prestage::cli

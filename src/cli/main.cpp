@@ -8,6 +8,8 @@
 //   prestage trace record --bench eon --out eon.pstr
 //   prestage trace replay --trace eon.pstr --preset clgp-l0-pb16
 //   prestage trace info   --trace server.champsim.trace
+//   prestage campaign run --name fig5 -j 4
+//   prestage campaign report --name fig5
 //
 // All subcommands honour PRESTAGE_INSTRS when --instrs is absent, like
 // the bench harnesses, and emit machine-readable JSON via --json (a file
@@ -34,6 +36,14 @@ void print_usage(std::ostream& out) {
          "file,\n"
          "         replay a trace (native or raw ChampSim) through any\n"
          "         preset, or inspect a trace file\n"
+         "  campaign  run | resume | status | compare | report — execute "
+         "a\n"
+         "         declarative figure grid against a resumable JSONL "
+         "store\n"
+         "         (`prestage list` names the campaigns), check its\n"
+         "         coverage, diff two stores for IPC regressions, or "
+         "emit\n"
+         "         the BENCH_<name>.json figure report\n"
          "\n"
          "flags:\n"
          "  --preset NAME   machine preset (default clgp-l0-pb16)\n"
@@ -46,6 +56,7 @@ void print_usage(std::ostream& out) {
          "  --instrs N      instructions per run (default "
          "$PRESTAGE_INSTRS or 120000)\n"
          "  --json PATH     write a JSON report to PATH (`-` = stdout)\n"
+         "  --jobs N, -j N  worker threads (0 = all cores; default 0)\n"
          "\n"
          "trace flags:\n"
          "  --out PATH      trace record: output trace file\n"
@@ -54,6 +65,18 @@ void print_usage(std::ostream& out) {
          "file)\n"
          "  --max-records N cap on imported ChampSim records (default "
          "all)\n"
+         "\n"
+         "campaign flags:\n"
+         "  --name NAME     campaign from the registry (see `prestage "
+         "list`)\n"
+         "  --store PATH    result store (default campaigns/<name>.jsonl;"
+         "\n"
+         "                  compare: the candidate store)\n"
+         "  --baseline PATH compare: the reference store\n"
+         "  --threshold PCT compare: regression bound in percent "
+         "(default 2)\n"
+         "  --out PATH      report: output file (default "
+         "BENCH_<name>.json)\n"
          "  --help          this message\n";
 }
 
@@ -103,6 +126,44 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "prestage: unknown trace subcommand '" << sub << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (command == "campaign") {
+    if (argc < 3) {
+      std::cerr << "prestage: `campaign` needs a subcommand "
+                   "(run | resume | status | compare | report)\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    const std::string_view sub = argv[2];
+    if (sub == "--help" || sub == "-h" || sub == "help") {
+      print_usage(std::cout);
+      return 0;
+    }
+    const ParseResult parsed = parse_options(argc, argv, 3);
+    if (parsed.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (!parsed.error.empty()) {
+      std::cerr << "prestage: " << parsed.error << "\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    try {
+      if (sub == "run") return cmd_campaign_run(parsed.options, false);
+      if (sub == "resume") return cmd_campaign_run(parsed.options, true);
+      if (sub == "status") return cmd_campaign_status(parsed.options);
+      if (sub == "compare") return cmd_campaign_compare(parsed.options);
+      if (sub == "report") return cmd_campaign_report(parsed.options);
+    } catch (const std::exception& e) {
+      std::cerr << "prestage: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "prestage: unknown campaign subcommand '" << sub
+              << "'\n\n";
     print_usage(std::cerr);
     return 2;
   }

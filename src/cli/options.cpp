@@ -1,66 +1,13 @@
 #include "cli/options.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "common/types.hpp"
 
 namespace prestage::cli {
-
-const std::vector<sim::Preset>& all_presets() {
-  static const std::vector<sim::Preset> presets = {
-      sim::Preset::Base,      sim::Preset::BaseIdeal,
-      sim::Preset::BaseL0,    sim::Preset::BasePipelined,
-      sim::Preset::Fdp,       sim::Preset::FdpL0,
-      sim::Preset::FdpL0Pb16, sim::Preset::Clgp,
-      sim::Preset::ClgpL0,    sim::Preset::ClgpL0Pb16,
-  };
-  return presets;
-}
-
-std::string preset_cli_name(sim::Preset p) {
-  switch (p) {
-    case sim::Preset::Base: return "base";
-    case sim::Preset::BaseIdeal: return "base-ideal";
-    case sim::Preset::BaseL0: return "base-l0";
-    case sim::Preset::BasePipelined: return "base-pipelined";
-    case sim::Preset::Fdp: return "fdp";
-    case sim::Preset::FdpL0: return "fdp-l0";
-    case sim::Preset::FdpL0Pb16: return "fdp-l0-pb16";
-    case sim::Preset::Clgp: return "clgp";
-    case sim::Preset::ClgpL0: return "clgp-l0";
-    case sim::Preset::ClgpL0Pb16: return "clgp-l0-pb16";
-  }
-  return "?";
-}
-
-std::optional<sim::Preset> parse_preset(std::string_view name) {
-  for (const sim::Preset p : all_presets()) {
-    if (preset_cli_name(p) == name) return p;
-  }
-  return std::nullopt;
-}
-
-std::optional<cacti::TechNode> parse_node(std::string_view name) {
-  struct Alias {
-    std::string_view text;
-    cacti::TechNode node;
-  };
-  static constexpr Alias kAliases[] = {
-      {"180", cacti::TechNode::um180}, {"0.18um", cacti::TechNode::um180},
-      {"130", cacti::TechNode::um130}, {"0.13um", cacti::TechNode::um130},
-      {"090", cacti::TechNode::um090}, {"90", cacti::TechNode::um090},
-      {"0.09um", cacti::TechNode::um090},
-      {"065", cacti::TechNode::um065}, {"65", cacti::TechNode::um065},
-      {"0.065um", cacti::TechNode::um065},
-      {"045", cacti::TechNode::um045}, {"45", cacti::TechNode::um045},
-      {"0.045um", cacti::TechNode::um045},
-  };
-  for (const auto& alias : kAliases) {
-    if (alias.text == name) return alias.node;
-  }
-  return std::nullopt;
-}
 
 std::optional<std::uint64_t> parse_u64(std::string_view text) {
   if (text.empty()) return std::nullopt;
@@ -192,6 +139,50 @@ ParseResult parse_options(int argc, char** argv, int first) {
       const char* v = need_value(i, arg);
       if (!v) return result;
       opt.json_path = v;
+      ++i;
+    } else if (arg == "--jobs" || arg == "-j") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      // 0 is meaningful here (auto-detect), so parse_u64 (which rejects
+      // zero) only handles the positive values.
+      if (std::string_view(v) == "0") {
+        opt.jobs = 0;
+      } else {
+        const auto n = parse_u64(v);
+        if (!n || *n > 1024) {
+          result.error = std::string("--jobs needs a count in 0..1024 "
+                                     "(0 = all cores), got '") + v + "'";
+          return result;
+        }
+        opt.jobs = static_cast<unsigned>(*n);
+      }
+      ++i;
+    } else if (arg == "--name") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.campaign = v;
+      ++i;
+    } else if (arg == "--store") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.store_path = v;
+      ++i;
+    } else if (arg == "--baseline") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.baseline_path = v;
+      ++i;
+    } else if (arg == "--threshold") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      char* end = nullptr;
+      const double t = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(t) || t < 0.0) {
+        result.error = std::string("--threshold needs a non-negative "
+                                   "percentage, got '") + v + "'";
+        return result;
+      }
+      opt.threshold_pct = t;
       ++i;
     } else if (arg == "--trace") {
       const char* v = need_value(i, arg);

@@ -26,12 +26,19 @@ struct Options {
   std::vector<std::string> benchmarks;     ///< empty -> command default
   std::vector<std::uint64_t> sizes;        ///< empty -> paper_l1_sizes()
   std::string json_path;  ///< empty -> no JSON; "-" -> stdout
+  unsigned jobs = 0;      ///< --jobs/-j: worker threads (0 = all cores)
 
   // --- trace subcommands ------------------------------------------------
   std::string trace_path;    ///< --trace: input file (replay/info)
-  std::string out_path;      ///< --out: output file (record)
+  std::string out_path;      ///< --out: output file (record, report)
   std::string trace_format;  ///< --format: auto|native|champsim
   std::uint64_t max_records = 0;  ///< --max-records: import cap (0 = all)
+
+  // --- campaign subcommands ---------------------------------------------
+  std::string campaign;       ///< --name: campaign from the registry
+  std::string store_path;     ///< --store: result store (JSONL)
+  std::string baseline_path;  ///< --baseline: compare reference store
+  double threshold_pct = 2.0;  ///< --threshold: regression bound (%)
 };
 
 /// Result of parsing argv: options on success, message on failure.
@@ -44,17 +51,13 @@ struct ParseResult {
 /// Parses the flags following the subcommand word.
 [[nodiscard]] ParseResult parse_options(int argc, char** argv, int first);
 
-/// Kebab-case CLI name of a preset, e.g. Preset::ClgpL0Pb16 -> "clgp-l0-pb16".
-[[nodiscard]] std::string preset_cli_name(sim::Preset p);
-
-/// All presets in declaration order (for `prestage list` and validation).
-[[nodiscard]] const std::vector<sim::Preset>& all_presets();
-
-/// Inverse of preset_cli_name(); nullopt for unknown names.
-[[nodiscard]] std::optional<sim::Preset> parse_preset(std::string_view name);
-
-/// Accepts "180".."045", "0.09um", or "90" style node names.
-[[nodiscard]] std::optional<cacti::TechNode> parse_node(std::string_view name);
+// Preset/node naming lives with the preset and tech definitions (the
+// campaign layer keys run points with the same names); re-exported here
+// for the CLI's existing call sites.
+using cacti::parse_node;
+using sim::all_presets;
+using sim::parse_preset;
+using sim::preset_cli_name;
 
 /// Parses a positive decimal integer (with optional K/M suffix for sizes).
 [[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);

@@ -1,13 +1,14 @@
-#include "cli/json_writer.hpp"
+#include "common/json_writer.hpp"
 
 #include <cmath>
 #include <cstdio>
 
 #include "common/prestage_assert.hpp"
 
-namespace prestage::cli {
+namespace prestage {
 
-JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+JsonWriter::JsonWriter(std::ostream& out, Style style)
+    : out_(out), style_(style) {}
 
 void JsonWriter::before_value() {
   PRESTAGE_ASSERT(!root_done_, "JSON document already complete");
@@ -22,7 +23,14 @@ void JsonWriter::before_value() {
   first_in_scope_ = false;
 }
 
+void JsonWriter::after_value() {
+  if (!stack_.empty()) return;
+  root_done_ = true;
+  if (style_ == Style::Pretty) out_ << '\n';
+}
+
 void JsonWriter::newline_indent() {
+  if (style_ == Style::Compact) return;
   out_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
 }
@@ -42,10 +50,7 @@ void JsonWriter::end_object() {
   if (!first_in_scope_) newline_indent();
   out_ << '}';
   first_in_scope_ = false;
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
 }
 
 void JsonWriter::begin_array() {
@@ -62,10 +67,7 @@ void JsonWriter::end_array() {
   if (!first_in_scope_) newline_indent();
   out_ << ']';
   first_in_scope_ = false;
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
 }
 
 void JsonWriter::key(std::string_view k) {
@@ -76,7 +78,7 @@ void JsonWriter::key(std::string_view k) {
   newline_indent();
   first_in_scope_ = false;
   write_escaped(k);
-  out_ << ": ";
+  out_ << (style_ == Style::Compact ? ":" : ": ");
   have_key_ = true;
 }
 
@@ -86,13 +88,16 @@ void JsonWriter::write_escaped(std::string_view s) {
     switch (c) {
       case '"': out_ << "\\\""; break;
       case '\\': out_ << "\\\\"; break;
+      case '\b': out_ << "\\b"; break;
+      case '\f': out_ << "\\f"; break;
       case '\n': out_ << "\\n"; break;
       case '\r': out_ << "\\r"; break;
       case '\t': out_ << "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out_ << buf;
         } else {
           out_ << c;
@@ -105,10 +110,7 @@ void JsonWriter::write_escaped(std::string_view s) {
 void JsonWriter::value(std::string_view s) {
   before_value();
   write_escaped(s);
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
 }
 
 void JsonWriter::value(double v) {
@@ -120,39 +122,33 @@ void JsonWriter::value(double v) {
     std::snprintf(buf, sizeof buf, "%.10g", v);
     out_ << buf;
   }
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
 }
 
 void JsonWriter::value(std::uint64_t v) {
   before_value();
   out_ << v;
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
 }
 
 void JsonWriter::value(std::int64_t v) {
   before_value();
   out_ << v;
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
 }
 
 void JsonWriter::value(bool v) {
   before_value();
   out_ << (v ? "true" : "false");
-  if (stack_.empty()) {
-    root_done_ = true;
-    out_ << '\n';
-  }
+  after_value();
+}
+
+void JsonWriter::null_value() {
+  before_value();
+  out_ << "null";
+  after_value();
 }
 
 bool JsonWriter::done() const { return root_done_; }
 
-}  // namespace prestage::cli
+}  // namespace prestage

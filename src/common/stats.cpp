@@ -1,6 +1,26 @@
 #include "common/stats.hpp"
 
+#include "common/json_writer.hpp"
+
 namespace prestage {
+
+void write_source_counts(JsonWriter& json, const SourceBreakdown& sb) {
+  json.begin_object();
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    const auto s = static_cast<FetchSource>(i);
+    json.field(to_string(s), sb.count(s));
+  }
+  json.end_object();
+}
+
+void write_source_fractions(JsonWriter& json, const SourceBreakdown& sb) {
+  json.begin_object();
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    const auto s = static_cast<FetchSource>(i);
+    json.field(to_string(s), sb.fraction(s));
+  }
+  json.end_object();
+}
 
 double harmonic_mean(const std::vector<double>& xs) {
   // Non-positive samples (a wedged or zero-IPC run) are skipped rather

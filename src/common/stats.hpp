@@ -82,6 +82,15 @@ class SourceBreakdown {
   std::array<std::uint64_t, kNumFetchSources> counts_{};
 };
 
+class JsonWriter;
+
+/// Serializes the per-source event counts as one JSON object
+/// ({"PB": n, "il0": n, ...}) — the shape every report schema uses.
+void write_source_counts(JsonWriter& json, const SourceBreakdown& sb);
+
+/// Same shape with fraction() values instead of raw counts.
+void write_source_fractions(JsonWriter& json, const SourceBreakdown& sb);
+
 /// Harmonic mean, the aggregate the paper reports for per-benchmark IPC
 /// (Figure 6's HMEAN bar). Zero/negative samples are skipped (the mean
 /// is over the positive samples); 0.0 when none are positive.

@@ -1,9 +1,8 @@
 #include "sim/experiment.hpp"
 
-#include <atomic>
 #include <cstdlib>
-#include <thread>
 
+#include "common/parallel.hpp"
 #include "common/prestage_assert.hpp"
 #include "workload/profiles.hpp"
 
@@ -49,28 +48,16 @@ std::vector<std::string> full_suite() {
 std::vector<cpu::RunResult> run_parallel(
     const std::vector<cpu::MachineConfig>& configs, unsigned workers) {
   std::vector<cpu::RunResult> results(configs.size());
-  std::atomic<std::size_t> next{0};
-  if (workers == 0) {
-    workers = std::max(1U, std::thread::hardware_concurrency());
-  }
-  auto work = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= configs.size()) return;
-      cpu::Cpu machine(configs[i]);
-      results[i] = machine.run();
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
-  for (auto& t : pool) t.join();
+  parallel_for_indexed(configs.size(), workers, [&](std::size_t i) {
+    cpu::Cpu machine(configs[i]);
+    results[i] = machine.run();
+  });
   return results;
 }
 
 SuiteResult run_suite(const cpu::MachineConfig& cfg,
                       const std::vector<std::string>& benchmarks,
-                      std::uint64_t instructions) {
+                      std::uint64_t instructions, unsigned workers) {
   const std::uint64_t instrs =
       instructions > 0 ? instructions : default_instructions();
   std::vector<cpu::MachineConfig> configs;
@@ -82,7 +69,7 @@ SuiteResult run_suite(const cpu::MachineConfig& cfg,
     configs.push_back(c);
   }
   SuiteResult suite;
-  suite.per_benchmark = run_parallel(configs);
+  suite.per_benchmark = run_parallel(configs, workers);
   std::vector<double> ipcs;
   ipcs.reserve(suite.per_benchmark.size());
   for (const auto& r : suite.per_benchmark) ipcs.push_back(r.ipc);

@@ -30,18 +30,21 @@ struct SuiteResult {
 [[nodiscard]] std::uint64_t default_instructions();
 
 /// Runs @p cfg (benchmark/name fields overridden per benchmark) over the
-/// named benchmarks. @p instructions of 0 selects default_instructions().
+/// named benchmarks. @p instructions of 0 selects default_instructions();
+/// @p workers of 0 selects the hardware concurrency.
 [[nodiscard]] SuiteResult run_suite(const cpu::MachineConfig& cfg,
                                     const std::vector<std::string>& benchmarks,
-                                    std::uint64_t instructions = 0);
+                                    std::uint64_t instructions = 0,
+                                    unsigned workers = 0);
 
 /// All 12 SPECint2000-like benchmark names.
 [[nodiscard]] std::vector<std::string> full_suite();
 
-/// Runs a list of independent configurations in parallel; results are
-/// returned in input order and are identical for any worker count
-/// (each simulation is a fully independent Cpu instance). @p workers of
-/// 0 selects the hardware concurrency.
+/// Runs a list of independent configurations in parallel (work-stealing
+/// over common/parallel.hpp); results are returned in input order and
+/// are identical for any worker count (each simulation is a fully
+/// independent Cpu instance). @p workers of 0 selects the hardware
+/// concurrency.
 [[nodiscard]] std::vector<cpu::RunResult> run_parallel(
     const std::vector<cpu::MachineConfig>& configs, unsigned workers = 0);
 

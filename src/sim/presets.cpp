@@ -21,6 +21,40 @@ std::string preset_name(Preset p) {
   PRESTAGE_ASSERT(false, "unknown preset");
 }
 
+std::string preset_cli_name(Preset p) {
+  switch (p) {
+    case Preset::Base: return "base";
+    case Preset::BaseIdeal: return "base-ideal";
+    case Preset::BaseL0: return "base-l0";
+    case Preset::BasePipelined: return "base-pipelined";
+    case Preset::Fdp: return "fdp";
+    case Preset::FdpL0: return "fdp-l0";
+    case Preset::FdpL0Pb16: return "fdp-l0-pb16";
+    case Preset::Clgp: return "clgp";
+    case Preset::ClgpL0: return "clgp-l0";
+    case Preset::ClgpL0Pb16: return "clgp-l0-pb16";
+  }
+  PRESTAGE_ASSERT(false, "unknown preset");
+}
+
+const std::vector<Preset>& all_presets() {
+  static const std::vector<Preset> presets = {
+      Preset::Base,      Preset::BaseIdeal,
+      Preset::BaseL0,    Preset::BasePipelined,
+      Preset::Fdp,       Preset::FdpL0,
+      Preset::FdpL0Pb16, Preset::Clgp,
+      Preset::ClgpL0,    Preset::ClgpL0Pb16,
+  };
+  return presets;
+}
+
+std::optional<Preset> parse_preset(std::string_view name) {
+  for (const Preset p : all_presets()) {
+    if (preset_cli_name(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
 std::uint32_t one_cycle_prebuffer_entries(cacti::TechNode node) {
   const cacti::AccessTimeModel model;
   return static_cast<std::uint32_t>(model.max_one_cycle_size(node) / 64);

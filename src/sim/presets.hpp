@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cpu/config.hpp"
@@ -29,6 +31,17 @@ enum class Preset : std::uint8_t {
 };
 
 [[nodiscard]] std::string preset_name(Preset p);
+
+/// Kebab-case machine-facing name, e.g. Preset::ClgpL0Pb16 ->
+/// "clgp-l0-pb16". Used by the CLI, campaign run-point keys and JSON
+/// reports (preset_name() above is the human chart label).
+[[nodiscard]] std::string preset_cli_name(Preset p);
+
+/// All presets in declaration order (for `prestage list` and validation).
+[[nodiscard]] const std::vector<Preset>& all_presets();
+
+/// Inverse of preset_cli_name(); nullopt for unknown names.
+[[nodiscard]] std::optional<Preset> parse_preset(std::string_view name);
 
 /// Number of pre-buffer entries whose total size is one-cycle accessible
 /// at @p node (the paper's default pre-buffer: 8 at 0.09 µm, 4 at 0.045 µm).

@@ -155,16 +155,28 @@ TraceFile read_trace_file(const std::string& path) {
       file.header.record_count != cur.remaining() / kRecordBytes) {
     file_error(path, "truncated");
   }
+  // Register ids index fixed-size scoreboard arrays in the backend and
+  // op bytes select switch arms, so both must be validated here: a
+  // corrupt byte has to fail like every other malformed-trace case, not
+  // write out of bounds downstream.
+  const auto checked_reg = [&](std::uint8_t r) {
+    if (r >= kNumRegs && r != kNoReg) file_error(path, "bad register id");
+    return r;
+  };
   file.records.reserve(file.header.record_count);
   for (std::uint64_t i = 0; i < file.header.record_count; ++i) {
     DynInst d;
     d.pc = cur.u64();
     d.data_addr = cur.u64();
     d.next_pc = cur.u64();
-    d.op = static_cast<OpClass>(cur.u8());
-    d.dst = cur.u8();
-    d.src1 = cur.u8();
-    d.src2 = cur.u8();
+    const std::uint8_t op = cur.u8();
+    if (op > static_cast<std::uint8_t>(OpClass::Return)) {
+      file_error(path, "bad op class");
+    }
+    d.op = static_cast<OpClass>(op);
+    d.dst = checked_reg(cur.u8());
+    d.src1 = checked_reg(cur.u8());
+    d.src2 = checked_reg(cur.u8());
     const std::uint8_t flags = cur.u8();
     d.taken = (flags & 1U) != 0;
     d.ends_stream = (flags & 2U) != 0;

@@ -1,0 +1,380 @@
+// Campaign-layer coverage: grid expansion and content-hash keys, the
+// work-stealing scheduler's determinism across worker counts,
+// resume-equals-fresh-run store identity, corrupt/truncated store
+// recovery, baseline comparison, and report determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "bench/figures.hpp"
+#include "campaign/compare.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace prestage;
+using campaign::CampaignSpec;
+using campaign::PointResult;
+using campaign::ResultStore;
+using campaign::RunPoint;
+using sim::Preset;
+
+/// Per-test-case file path (ctest -j runs cases concurrently against the
+/// same TempDir, so fixed names would collide).
+std::string test_file(const std::string& name) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + info->test_suite_name() + "." +
+         info->name() + "." + name;
+}
+
+/// test_file() that also deletes any leftover from a previous test run —
+/// result stores are append-only, so a stale file would turn a fresh run
+/// into a resume.
+std::string fresh_file(const std::string& name) {
+  const std::string path = test_file(name);
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// 2 presets x 1 node x 2 sizes x 2 benchmarks = 8 points, ~1ms each.
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.name = "tiny";
+  spec.title = "test grid";
+  spec.presets = {Preset::Base, Preset::ClgpL0};
+  spec.nodes = {cacti::TechNode::um045};
+  spec.l1_sizes = {1024, 4096};
+  spec.benchmarks = {"eon", "gzip"};
+  spec.instructions = 800;
+  return spec;
+}
+
+TEST(CampaignSpec, ExpandIsPresetMajorWithUniqueStableKeys) {
+  const CampaignSpec spec = tiny_spec();
+  const auto points = campaign::expand(spec);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_EQ(points.size(), spec.point_count());
+
+  // Preset-major, then node, then size, then benchmark.
+  EXPECT_EQ(points[0].preset, Preset::Base);
+  EXPECT_EQ(points[0].l1i_size, 1024u);
+  EXPECT_EQ(points[0].benchmark, "eon");
+  EXPECT_EQ(points[1].benchmark, "gzip");
+  EXPECT_EQ(points[2].l1i_size, 4096u);
+  EXPECT_EQ(points[4].preset, Preset::ClgpL0);
+
+  std::set<std::string> keys;
+  for (const RunPoint& p : points) keys.insert(p.key());
+  EXPECT_EQ(keys.size(), points.size()) << "keys must be unique";
+
+  // Expansion (and the keys) are a pure function of the spec.
+  const auto again = campaign::expand(spec);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].key(), again[i].key());
+  }
+}
+
+TEST(CampaignSpec, KeyEmbedsEveryAxis) {
+  const RunPoint base{.preset = Preset::Base,
+                      .node = cacti::TechNode::um045,
+                      .l1i_size = 4096,
+                      .benchmark = "eon",
+                      .instructions = 1000,
+                      .seed = 1};
+  RunPoint p = base;
+  p.preset = Preset::Clgp;
+  EXPECT_NE(p.key(), base.key());
+  p = base;
+  p.node = cacti::TechNode::um090;
+  EXPECT_NE(p.key(), base.key());
+  p = base;
+  p.l1i_size = 8192;
+  EXPECT_NE(p.key(), base.key());
+  p = base;
+  p.benchmark = "gzip";
+  EXPECT_NE(p.key(), base.key());
+  p = base;
+  p.instructions = 2000;
+  EXPECT_NE(p.key(), base.key());
+  p = base;
+  p.seed = 2;
+  EXPECT_NE(p.key(), base.key());
+  EXPECT_EQ(base.key().size(), 16u) << "16 hex digits of FNV-1a 64";
+}
+
+TEST(CampaignStore, LineRoundTripsExactly) {
+  const auto points = campaign::expand(tiny_spec());
+  const PointResult original = campaign::simulate(points[3]);
+  const std::string line = campaign::encode_line(original);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const PointResult decoded = campaign::decode_line(line);
+  EXPECT_EQ(decoded.key, original.key);
+  EXPECT_EQ(decoded.preset, original.preset);
+  EXPECT_EQ(decoded.node, original.node);
+  EXPECT_EQ(decoded.benchmark, original.benchmark);
+  EXPECT_EQ(decoded.l1i_size, original.l1i_size);
+  EXPECT_EQ(decoded.instructions, original.instructions);
+  EXPECT_EQ(decoded.result.cycles, original.result.cycles);
+  EXPECT_EQ(decoded.result.instructions, original.result.instructions);
+  for (int i = 0; i < kNumFetchSources; ++i) {
+    const auto s = static_cast<FetchSource>(i);
+    EXPECT_EQ(decoded.result.fetch_sources.count(s),
+              original.result.fetch_sources.count(s));
+  }
+  // Doubles go through "%.10g" once; re-encoding the decoded record must
+  // reproduce the line byte for byte (store idempotence).
+  EXPECT_EQ(campaign::encode_line(decoded), line);
+}
+
+TEST(CampaignEngine, StoreBytesIdenticalForAnyWorkerCount) {
+  const CampaignSpec spec = tiny_spec();
+  std::string reference;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    const std::string path =
+        fresh_file("w" + std::to_string(jobs) + ".jsonl");
+    const auto outcome = campaign::run_campaign(spec, path, jobs);
+    EXPECT_EQ(outcome.executed, 8u);
+    const std::string bytes = read_file(path);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << jobs << " workers diverged";
+    }
+  }
+}
+
+TEST(CampaignEngine, ResumeAfterTruncationReproducesFreshBytes) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("store.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, path, 2).executed, 8u);
+  const std::string fresh = read_file(path);
+
+  // Kill-and-resume: keep only the first half of the lines.
+  std::istringstream lines(fresh);
+  std::ostringstream half;
+  std::string line;
+  for (int i = 0; i < 4 && std::getline(lines, line); ++i) {
+    half << line << '\n';
+  }
+  { std::ofstream out(path, std::ios::trunc); out << half.str(); }
+
+  const auto outcome = campaign::run_campaign(spec, path, 2);
+  EXPECT_EQ(outcome.total, 8u);
+  EXPECT_EQ(outcome.reused, 4u) << "surviving points must not recompute";
+  EXPECT_EQ(outcome.executed, 4u);
+  EXPECT_EQ(read_file(path), fresh);
+
+  // A complete store executes nothing further.
+  const auto noop = campaign::run_campaign(spec, path, 2);
+  EXPECT_EQ(noop.reused, 8u);
+  EXPECT_EQ(noop.executed, 0u);
+  EXPECT_EQ(read_file(path), fresh);
+}
+
+TEST(CampaignEngine, TornFinalWriteHealsWithoutCorruptingNewRecords) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("store.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, path, 2).executed, 8u);
+  const std::string fresh = read_file(path);
+
+  // Kill mid-append: 3 complete lines plus half a record, NO newline.
+  std::istringstream lines(fresh);
+  std::ostringstream torn;
+  std::string line;
+  for (int i = 0; i < 3 && std::getline(lines, line); ++i) {
+    torn << line << '\n';
+  }
+  std::getline(lines, line);
+  torn << line.substr(0, line.size() / 2);
+  { std::ofstream out(path, std::ios::trunc); out << torn.str(); }
+
+  // Resume must terminate the torn line before appending, so the five
+  // recomputed records all land parseable.
+  const auto outcome = campaign::run_campaign(spec, path, 2);
+  EXPECT_EQ(outcome.reused, 3u);
+  EXPECT_EQ(outcome.executed, 5u);
+
+  const ResultStore healed = ResultStore::load(path);
+  EXPECT_EQ(healed.load_stats().loaded, 8u);
+  EXPECT_EQ(healed.load_stats().skipped, 1u) << "only the torn line drops";
+  const campaign::ResultGrid grid(spec, healed);
+  EXPECT_EQ(grid.missing(), 0u);
+  EXPECT_EQ(campaign::run_campaign(spec, path, 2).executed, 0u);
+}
+
+TEST(CampaignEngine, CorruptAndTruncatedLinesAreDroppedAndRecomputed) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("store.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, path, 2).executed, 8u);
+
+  // Corrupt line 3 in place and append a truncated tail (as a crash
+  // mid-append would) plus a well-formed-JSON-but-not-a-record line.
+  std::istringstream lines(read_file(path));
+  std::ostringstream damaged;
+  std::string line;
+  std::string dropped_key;
+  for (int i = 0; std::getline(lines, line); ++i) {
+    if (i == 2) {
+      dropped_key = campaign::decode_line(line).key;
+      damaged << "{\"key\":\"broke";  // no newline: torn write
+      damaged << '\n';
+    } else {
+      damaged << line << '\n';
+    }
+  }
+  damaged << "{}\n";
+  { std::ofstream out(path, std::ios::trunc); out << damaged.str(); }
+
+  const ResultStore store = ResultStore::load(path);
+  EXPECT_EQ(store.load_stats().loaded, 7u);
+  EXPECT_EQ(store.load_stats().skipped, 2u);
+  EXPECT_FALSE(store.contains(dropped_key));
+
+  const auto outcome = campaign::run_campaign(spec, path, 2);
+  EXPECT_EQ(outcome.corrupt_dropped, 2u);
+  EXPECT_EQ(outcome.reused, 7u);
+  EXPECT_EQ(outcome.executed, 1u) << "only the damaged point recomputes";
+
+  const ResultStore healed = ResultStore::load(path);
+  EXPECT_TRUE(healed.contains(dropped_key));
+  const campaign::ResultGrid grid(spec, healed);
+  EXPECT_EQ(grid.missing(), 0u);
+}
+
+TEST(CampaignReport, GridAggregatesAndReportAreDeterministic) {
+  const CampaignSpec spec = tiny_spec();
+  const auto results = campaign::run_points(campaign::expand(spec), 2);
+  ResultStore store;
+  for (const auto& r : results) store.insert(r);
+
+  const campaign::ResultGrid grid(spec, store);
+  EXPECT_EQ(grid.missing(), 0u);
+  EXPECT_EQ(grid.total_points(), 8u);
+
+  // hmean over the benchmark axis matches a hand computation.
+  std::vector<double> ipcs;
+  for (const std::string& bench : grid.benchmarks()) {
+    ipcs.push_back(
+        grid.at(Preset::Base, cacti::TechNode::um045, 1024, bench)
+            ->result.ipc);
+  }
+  EXPECT_DOUBLE_EQ(
+      grid.hmean_ipc(Preset::Base, cacti::TechNode::um045, 1024),
+      harmonic_mean(ipcs));
+
+  const auto render = [&] {
+    std::ostringstream out;
+    JsonWriter json(out);
+    campaign::write_report(json, grid);
+    return out.str();
+  };
+  const std::string report = render();
+  EXPECT_EQ(report, render()) << "report must be a pure function";
+  EXPECT_NE(report.find("prestage-campaign-report-v1"), std::string::npos);
+}
+
+TEST(CampaignCompare, IdenticalStoresHaveNoRegressions) {
+  const auto results = campaign::run_points(campaign::expand(tiny_spec()), 2);
+  ResultStore a;
+  ResultStore b;
+  for (const auto& r : results) {
+    a.insert(r);
+    b.insert(r);
+  }
+  const auto cmp = campaign::compare_stores(a, b, 2.0);
+  EXPECT_EQ(cmp.common, 8u);
+  EXPECT_EQ(cmp.baseline_only, 0u);
+  EXPECT_EQ(cmp.candidate_only, 0u);
+  EXPECT_TRUE(cmp.regressions.empty());
+  EXPECT_TRUE(cmp.improvements.empty());
+}
+
+TEST(CampaignCompare, FlagsIpcDeltasBeyondThreshold) {
+  const auto results = campaign::run_points(campaign::expand(tiny_spec()), 2);
+  ResultStore baseline;
+  ResultStore candidate;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    baseline.insert(results[i]);
+    PointResult changed = results[i];
+    if (i == 0) changed.result.ipc *= 0.90;  // 10% slower
+    if (i == 1) changed.result.ipc *= 1.20;  // 20% faster
+    candidate.insert(changed);
+  }
+  const auto cmp = campaign::compare_stores(baseline, candidate, 2.0);
+  ASSERT_EQ(cmp.regressions.size(), 1u);
+  EXPECT_EQ(cmp.regressions[0].key, results[0].key);
+  EXPECT_NEAR(cmp.regressions[0].delta_pct, -10.0, 0.01);
+  EXPECT_NEAR(cmp.max_regression_pct, 10.0, 0.01);
+  ASSERT_EQ(cmp.improvements.size(), 1u);
+  EXPECT_NEAR(cmp.improvements[0].delta_pct, 20.0, 0.01);
+
+  // A loose threshold silences both.
+  const auto loose = campaign::compare_stores(baseline, candidate, 25.0);
+  EXPECT_TRUE(loose.regressions.empty());
+  EXPECT_TRUE(loose.improvements.empty());
+
+  // Disjoint keys are counted, not paired.
+  ResultStore empty;
+  const auto disjoint = campaign::compare_stores(baseline, empty, 2.0);
+  EXPECT_EQ(disjoint.common, 0u);
+  EXPECT_EQ(disjoint.baseline_only, 8u);
+}
+
+TEST(ParallelFor, RunsEveryIndexOnceForAnyWorkerCount) {
+  for (const unsigned jobs : {0u, 1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(100);
+    prestage::parallel_for_indexed(hits.size(), jobs, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", jobs " << jobs;
+    }
+  }
+  // Empty ranges are a no-op.
+  prestage::parallel_for_indexed(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, PropagatesTheFirstBodyException) {
+  EXPECT_THROW(
+      prestage::parallel_for_indexed(64, 4,
+                                     [](std::size_t i) {
+                                       if (i == 13) {
+                                         throw std::runtime_error("boom");
+                                       }
+                                     }),
+      std::runtime_error);
+}
+
+TEST(FigureRegistry, CampaignsResolveByUniqueName) {
+  std::set<std::string> names;
+  for (const CampaignSpec& spec : figures::all_campaigns()) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    EXPECT_GT(spec.point_count(), 0u) << spec.name;
+    EXPECT_EQ(figures::find(spec.name), &spec);
+  }
+  for (const char* name : {"fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+                           "fig8", "smoke"}) {
+    EXPECT_NE(figures::find(name), nullptr) << name;
+  }
+  EXPECT_EQ(figures::find("fig3"), nullptr);
+}
+
+}  // namespace

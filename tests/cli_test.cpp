@@ -1,219 +1,26 @@
 // Smoke tests for the `prestage` CLI: spawns the real binary (path baked
 // in via PRESTAGE_CLI_PATH) on a short instruction budget and validates
-// the JSON reports with a minimal strict parser, so a malformed document
-// or a missing field fails loudly in CI.
+// the JSON reports with the strict common/json.hpp parser, so a
+// malformed document or a missing field fails loudly in CI.
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace {
 
-// --- minimal JSON parser ---------------------------------------------------
-// Just enough of RFC 8259 to round-trip what json_writer.cpp emits:
-// objects, arrays, strings with the writer's escapes, numbers, booleans
-// and null. Any syntax error throws std::runtime_error.
+using JsonValue = prestage::json::Value;
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    const auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-  [[nodiscard]] bool has(const std::string& key) const {
-    return object.count(key) > 0;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
-                             ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        v.string = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': return parse_bool();
-      case 'n': return parse_null();
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      if (!v.object.emplace(std::move(key), parse_value()).second) {
-        fail("duplicate key");
-      }
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-          const unsigned code =
-              static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
-          pos_ += 4;
-          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  JsonValue parse_bool() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Bool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("expected true/false");
-    }
-    return v;
-  }
-
-  JsonValue parse_null() {
-    if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
-    pos_ += 4;
-    return JsonValue{};
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
+JsonValue parse_json(const std::string& text) {
+  return prestage::json::parse(text);
+}
 
 // --- harness ---------------------------------------------------------------
 
@@ -267,7 +74,7 @@ TEST(CliSmoke, RunEmitsHeadlineStatsAndJson) {
   ASSERT_EQ(rc, 0) << output;
   EXPECT_NE(output.find("IPC"), std::string::npos) << output;
 
-  const JsonValue doc = JsonParser(read_file(json_file)).parse();
+  const JsonValue doc = parse_json(read_file(json_file));
   EXPECT_EQ(doc.at("schema").string, "prestage-run-v1");
   EXPECT_EQ(doc.at("preset").string, "clgp-l0-pb16");
   EXPECT_EQ(doc.at("instructions").number, 2000.0);
@@ -287,7 +94,7 @@ TEST(CliSmoke, SuiteJsonCoversAllBenchmarksWithHmean) {
       &output);
   ASSERT_EQ(rc, 0) << output;
 
-  const JsonValue doc = JsonParser(read_file(json_file)).parse();
+  const JsonValue doc = parse_json(read_file(json_file));
   EXPECT_EQ(doc.at("schema").string, "prestage-suite-v1");
   const JsonValue& benchmarks = doc.at("benchmarks");
   ASSERT_EQ(benchmarks.kind, JsonValue::Kind::Array);
@@ -318,7 +125,7 @@ TEST(CliSmoke, SweepJsonHasOnePointPerSize) {
 
   // With --json - the document owns stdout: the human chart is
   // suppressed, so the whole capture must parse as one JSON value.
-  const JsonValue doc = JsonParser(output).parse();
+  const JsonValue doc = parse_json(output);
   EXPECT_EQ(doc.at("schema").string, "prestage-sweep-v1");
   const JsonValue& points = doc.at("points");
   ASSERT_EQ(points.array.size(), 2u);
@@ -376,8 +183,8 @@ TEST(CliTrace, RecordThenReplayReportsIdenticalStats) {
                &output);
   ASSERT_EQ(rc, 0) << output;
 
-  const JsonValue rec = JsonParser(read_file(record_json)).parse();
-  const JsonValue rep = JsonParser(read_file(replay_json)).parse();
+  const JsonValue rec = parse_json(read_file(record_json));
+  const JsonValue rep = parse_json(read_file(replay_json));
   EXPECT_EQ(rec.at("schema").string, "prestage-trace-record-v1");
   EXPECT_EQ(rep.at("schema").string, "prestage-trace-replay-v1");
   EXPECT_EQ(rec.at("trace").at("format").string, "native");
@@ -410,7 +217,7 @@ TEST(CliTrace, InfoDescribesANativeTrace) {
                     &output),
             0)
       << output;
-  const JsonValue doc = JsonParser(output).parse();
+  const JsonValue doc = parse_json(output);
   EXPECT_EQ(doc.at("schema").string, "prestage-trace-info-v1");
   EXPECT_EQ(doc.at("format").string, "native");
   EXPECT_EQ(doc.at("version").number, 1.0);
@@ -425,7 +232,7 @@ TEST(CliTrace, ChampSimFixtureReplaysAndDescribes) {
                     &output),
             0)
       << output;
-  const JsonValue info = JsonParser(output).parse();
+  const JsonValue info = parse_json(output);
   EXPECT_EQ(info.at("format").string, "champsim");
   EXPECT_EQ(info.at("records").number, 182.0);
   EXPECT_EQ(info.at("unique_pcs").number, 10.0);
@@ -435,7 +242,7 @@ TEST(CliTrace, ChampSimFixtureReplaysAndDescribes) {
                     &output),
             0)
       << output;
-  const JsonValue doc = JsonParser(output).parse();
+  const JsonValue doc = parse_json(output);
   EXPECT_EQ(doc.at("schema").string, "prestage-trace-replay-v1");
   EXPECT_EQ(doc.at("trace").at("format").string, "champsim");
   EXPECT_GT(doc.at("result").at("ipc").number, 0.0);
@@ -487,6 +294,157 @@ TEST(CliTrace, ErrorPathsFailLoudly) {
   // Bad --format value is a usage error.
   EXPECT_EQ(run_cli("trace info --trace x --format tar", &output), 2);
   EXPECT_NE(output.find("--format"), std::string::npos);
+}
+
+// --- campaign subcommands ----------------------------------------------------
+
+TEST(CliCampaign, RunStatusCompareReportFlow) {
+  const std::string store = test_file("smoke.jsonl");
+  std::remove(store.c_str());  // stores append: drop earlier runs' files
+  const std::string bench_json = test_file("BENCH_smoke.json");
+  const std::string common =
+      "--name smoke --instrs 900 --store " + store;
+  std::string output;
+
+  int rc = run_cli("campaign run " + common + " -j 2 --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue run = parse_json(output);
+  EXPECT_EQ(run.at("schema").string, "prestage-campaign-run-v1");
+  EXPECT_EQ(run.at("total").number, 8.0);
+  EXPECT_EQ(run.at("executed").number, 8.0);
+  EXPECT_EQ(run.at("reused").number, 0.0);
+
+  // Second run: everything is reused, nothing recomputes.
+  rc = run_cli("campaign run " + common + " --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  EXPECT_EQ(parse_json(output).at("reused").number, 8.0);
+
+  rc = run_cli("campaign status " + common + " --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue status = parse_json(output);
+  EXPECT_EQ(status.at("schema").string, "prestage-campaign-status-v1");
+  EXPECT_TRUE(status.at("complete").boolean);
+  EXPECT_EQ(status.at("missing").number, 0.0);
+
+  // A self-compare reports zero regressions and exits 0.
+  rc = run_cli("campaign compare --baseline " + store + " --store " +
+                   store + " --threshold 1.0 --json -",
+               &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue cmp = parse_json(output);
+  EXPECT_EQ(cmp.at("schema").string, "prestage-campaign-compare-v1");
+  EXPECT_EQ(cmp.at("common").number, 8.0);
+  EXPECT_EQ(cmp.at("regressions").array.size(), 0u);
+
+  rc = run_cli("campaign report " + common + " --out " + bench_json,
+               &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue report = parse_json(read_file(bench_json));
+  EXPECT_EQ(report.at("schema").string, "prestage-campaign-report-v1");
+  EXPECT_EQ(report.at("campaign").string, "smoke");
+  EXPECT_EQ(report.at("kind").string, "ipc_vs_size");
+  ASSERT_EQ(report.at("series").array.size(), 2u);
+  for (const JsonValue& series : report.at("series").array) {
+    ASSERT_EQ(series.at("hmean_ipc").array.size(), 2u);
+    for (const JsonValue& v : series.at("hmean_ipc").array) {
+      EXPECT_GT(v.number, 0.0);
+    }
+  }
+}
+
+TEST(CliCampaign, ResumeRecomputesOnlyMissingPoints) {
+  const std::string store = test_file("resume.jsonl");
+  std::remove(store.c_str());  // stores append: drop earlier runs' files
+  const std::string common =
+      "--name smoke --instrs 700 --store " + store;
+  std::string output;
+  ASSERT_EQ(run_cli("campaign run " + common + " -j 2", &output), 0)
+      << output;
+  const std::string fresh = read_file(store);
+
+  // Keep only the first 5 of 8 lines (a killed run's surviving prefix).
+  std::istringstream lines(fresh);
+  std::ostringstream partial;
+  std::string line;
+  for (int i = 0; i < 5 && std::getline(lines, line); ++i) {
+    partial << line << '\n';
+  }
+  { std::ofstream out(store, std::ios::trunc); out << partial.str(); }
+
+  const int rc =
+      run_cli("campaign resume " + common + " -j 4 --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue resumed = parse_json(output);
+  EXPECT_EQ(resumed.at("reused").number, 5.0);
+  EXPECT_EQ(resumed.at("executed").number, 3.0);
+  EXPECT_EQ(read_file(store), fresh) << "resume must reproduce the bytes";
+}
+
+TEST(CliCampaign, ErrorPathsFailLoudly) {
+  std::string output;
+  // Missing / unknown subcommand.
+  EXPECT_EQ(run_cli("campaign", &output), 2);
+  EXPECT_NE(output.find("subcommand"), std::string::npos);
+  EXPECT_EQ(run_cli("campaign frobnicate", &output), 2);
+
+  // Unknown campaign name, and the missing --name flag.
+  EXPECT_EQ(run_cli("campaign run --name no-such-fig", &output), 2);
+  EXPECT_NE(output.find("unknown campaign"), std::string::npos) << output;
+  EXPECT_NE(output.find("fig5"), std::string::npos)
+      << "error should list what exists: " << output;
+  EXPECT_EQ(run_cli("campaign run", &output), 2);
+  EXPECT_NE(output.find("--name"), std::string::npos);
+
+  // Resume without a store is an error (run would create one).
+  EXPECT_EQ(run_cli("campaign resume --name smoke --store " +
+                        test_file("gone.jsonl"),
+                    &output),
+            1);
+  EXPECT_NE(output.find("nothing to resume"), std::string::npos) << output;
+
+  // Bad threshold values are usage errors.
+  EXPECT_EQ(run_cli("campaign compare --baseline a --store b "
+                    "--threshold -3",
+                    &output),
+            2);
+  EXPECT_NE(output.find("--threshold"), std::string::npos) << output;
+  EXPECT_EQ(run_cli("campaign compare --baseline a --store b "
+                    "--threshold nan",
+                    &output),
+            2);
+
+  // Compare with a missing store file.
+  EXPECT_EQ(run_cli("campaign compare --baseline " +
+                        test_file("nope.jsonl") + " --store " +
+                        test_file("nope.jsonl"),
+                    &output),
+            2);
+  EXPECT_NE(output.find("does not exist"), std::string::npos) << output;
+
+  // Stores with no overlapping run points must not pass as "zero
+  // regressions" — that is a misconfigured CI gate, not a clean result.
+  const std::string empty_a = test_file("empty_a.jsonl");
+  const std::string empty_b = test_file("empty_b.jsonl");
+  { std::ofstream(empty_a) << "\n"; }
+  { std::ofstream(empty_b) << "\n"; }
+  EXPECT_EQ(run_cli("campaign compare --baseline " + empty_a +
+                        " --store " + empty_b,
+                    &output),
+            2);
+  EXPECT_NE(output.find("share no run points"), std::string::npos)
+      << output;
+
+  // Report over an absent/incomplete store.
+  EXPECT_EQ(run_cli("campaign report --name smoke --store " +
+                        test_file("empty.jsonl") + " --out " +
+                        test_file("never.json"),
+                    &output),
+            1);
+  EXPECT_NE(output.find("covers only"), std::string::npos) << output;
+
+  // Bad --jobs value.
+  EXPECT_EQ(run_cli("campaign run --name smoke --jobs many", &output), 2);
+  EXPECT_NE(output.find("--jobs"), std::string::npos) << output;
 }
 
 }  // namespace

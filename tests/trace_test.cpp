@@ -131,6 +131,46 @@ TEST(TraceFile, TruncatedRecordSectionThrows) {
   }
 }
 
+TEST(TraceFile, OutOfRangeRegisterOrOpByteThrows) {
+  // Register ids index fixed-size scoreboards downstream, so the reader
+  // must reject them like any other corruption rather than letting an
+  // out-of-range byte through.
+  const std::string path = test_file("badreg.pstr");
+  TraceHeader h;
+  h.benchmark = "eon";
+  write_trace_file(path, h, sample_records());
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t header_size = 4 + 4 + 8 + 8 + 8 + 1 + h.benchmark.size();
+
+  const auto write_patched = [&](std::size_t offset, char value) {
+    std::string patched = bytes;
+    patched[offset] = value;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(patched.data(), static_cast<std::streamsize>(patched.size()));
+  };
+
+  // Record layout: pc(8) data_addr(8) next_pc(8) op dst src1 src2 flags.
+  write_patched(header_size + 25, 100);  // dst: valid ids are <64 or 255
+  try {
+    (void)read_trace_file(path);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad register id"),
+              std::string::npos);
+  }
+
+  write_patched(header_size + 24, 9);  // op: OpClass enumerators are 0..8
+  try {
+    (void)read_trace_file(path);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad op class"), std::string::npos);
+  }
+}
+
 // --- replay sources ---------------------------------------------------------
 
 TEST(ReplaySource, ReproducesTheRecordedWalkerExactly) {
