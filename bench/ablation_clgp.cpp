@@ -18,7 +18,6 @@ int main() {
   using namespace prestage;
   using namespace prestage::sim;
   using cpu::MachineConfig;
-  using cpu::PrefetcherKind;
   const auto suite = full_suite();
   constexpr std::uint64_t kL1 = 4096;
   const auto node = cacti::TechNode::um045;
@@ -29,36 +28,35 @@ int main() {
   };
   std::vector<Variant> variants;
 
-  variants.push_back({"CLGP+L0 (paper)", make_config(Preset::ClgpL0, node, kL1)});
+  variants.push_back({"CLGP+L0 (paper)", make_config("clgp-l0", node, kL1)});
 
-  MachineConfig no_counter = make_config(Preset::ClgpL0, node, kL1);
+  MachineConfig no_counter = make_config("clgp-l0", node, kL1);
   no_counter.clgp_disable_consumers = true;
   variants.push_back({"  - consumers counter", no_counter});
 
-  MachineConfig filtered = make_config(Preset::ClgpL0, node, kL1);
+  MachineConfig filtered = make_config("clgp-l0", node, kL1);
   filtered.clgp_filter_resident = true;
   variants.push_back({"  + cache-probe filtering", filtered});
 
-  MachineConfig replicate = make_config(Preset::ClgpL0, node, kL1);
+  MachineConfig replicate = make_config("clgp-l0", node, kL1);
   replicate.clgp_transfer_on_use = true;
   variants.push_back({"  + transfer-on-use", replicate});
 
-  MachineConfig all_off = make_config(Preset::ClgpL0, node, kL1);
+  MachineConfig all_off = make_config("clgp-l0", node, kL1);
   all_off.clgp_disable_consumers = true;
   all_off.clgp_filter_resident = true;
   all_off.clgp_transfer_on_use = true;
   variants.push_back({"  all three reversed", all_off});
 
   variants.push_back({"FDP+L0 (FTQ granularity)",
-                      make_config(Preset::FdpL0, node, kL1)});
+                      make_config("fdp-l0", node, kL1)});
 
-  MachineConfig nl = make_config(Preset::BaseL0, node, kL1);
-  nl.prefetcher = PrefetcherKind::NextLine;
+  MachineConfig nl = make_config("next-line-l0", node, kL1);
   nl.next_line_degree = 2;
   variants.push_back({"next-2-line + L0", nl});
 
   variants.push_back({"base+L0 (no prefetch)",
-                      make_config(Preset::BaseL0, node, kL1)});
+                      make_config("base-l0", node, kL1)});
 
   Table t({"variant", "HMEAN IPC", "vs CLGP+L0", "PB fetch share"});
   double clgp_ipc = 0.0;

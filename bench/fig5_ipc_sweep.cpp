@@ -10,17 +10,18 @@
 
 using namespace prestage;
 using campaign::ResultGrid;
-using sim::Preset;
 
 namespace {
 
 void headline(const ResultGrid& grid, cacti::TechNode node,
               const char* node_name, double paper_vs_fdp,
               double paper_vs_pipe) {
-  const auto at = [&](Preset p) { return grid.hmean_ipc(p, node, 4096); };
-  const double clgp = at(Preset::ClgpL0Pb16);
-  const double fdp = at(Preset::FdpL0Pb16);
-  const double pipe = at(Preset::BasePipelined);
+  const auto at = [&](const std::string& p) {
+    return grid.hmean_ipc(p, node, 4096);
+  };
+  const double clgp = at("clgp-l0-pb16");
+  const double fdp = at("fdp-l0-pb16");
+  const double pipe = at("base-pipelined");
   std::printf(
       "Headline speedups at 4KB L1, %s (paper values in brackets):\n"
       "  CLGP+L0+PB:16 over FDP+L0+PB:16 : %+.1f%%  [paper %+.1f%%]\n"
@@ -29,17 +30,17 @@ void headline(const ResultGrid& grid, cacti::TechNode node,
       "  CLGP+L0 over base+L0            : %+.1f%%\n\n",
       node_name, sim::speedup_pct(clgp, fdp), paper_vs_fdp,
       sim::speedup_pct(clgp, pipe), paper_vs_pipe,
-      sim::speedup_pct(at(Preset::ClgpL0), at(Preset::FdpL0)),
-      sim::speedup_pct(at(Preset::ClgpL0), at(Preset::BaseL0)));
+      sim::speedup_pct(at("clgp-l0"), at("fdp-l0")),
+      sim::speedup_pct(at("clgp-l0"), at("base-l0")));
 }
 
 void budget_claim(const ResultGrid& grid) {
   // §5.1: CLGP with L0 + 16-entry pipelined PB + 1KB L1 (~2.5KB budget)
   // vs a 16KB pipelined L1 without prefetching (6.4x the budget).
   const double clgp_small =
-      grid.hmean_ipc(Preset::ClgpL0Pb16, cacti::TechNode::um090, 1024);
+      grid.hmean_ipc("clgp-l0-pb16", cacti::TechNode::um090, 1024);
   const double pipe_16k =
-      grid.hmean_ipc(Preset::BasePipelined, cacti::TechNode::um090, 16384);
+      grid.hmean_ipc("base-pipelined", cacti::TechNode::um090, 16384);
   std::printf(
       "Budget equivalence at 0.09um (paper §5.1):\n"
       "  CLGP+L0+PB:16 with 1KB L1 (2.5KB budget): IPC %.3f\n"

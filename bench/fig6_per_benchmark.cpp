@@ -7,7 +7,6 @@
 #include "bench/figures.hpp"
 
 using namespace prestage;
-using sim::Preset;
 
 int main() {
   const campaign::CampaignSpec& spec = *figures::find("fig6");
@@ -19,8 +18,8 @@ int main() {
   constexpr std::uint64_t kL1 = 8192;
   int clgp_wins = 0;
   for (const std::string& bench : grid.benchmarks()) {
-    if (grid.at(Preset::ClgpL0Pb16, node, kL1, bench)->result.ipc >=
-        grid.at(Preset::FdpL0Pb16, node, kL1, bench)->result.ipc) {
+    if (grid.at("clgp-l0-pb16", node, kL1, bench)->result.ipc >=
+        grid.at("fdp-l0-pb16", node, kL1, bench)->result.ipc) {
       ++clgp_wins;
     }
   }

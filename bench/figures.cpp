@@ -13,7 +13,6 @@ using campaign::CampaignSpec;
 using campaign::ReportKind;
 using campaign::ResultGrid;
 using campaign::ResultStore;
-using sim::Preset;
 
 const std::vector<CampaignSpec>& all_campaigns() {
   static const std::vector<CampaignSpec> campaigns = [] {
@@ -22,7 +21,8 @@ const std::vector<CampaignSpec>& all_campaigns() {
     const auto& sizes = sim::paper_l1_sizes();
 
     const auto make = [&c](std::string name, std::string title,
-                           ReportKind kind, std::vector<Preset> presets,
+                           ReportKind kind,
+                           std::vector<std::string> presets,
                            std::vector<cacti::TechNode> nodes,
                            std::vector<std::uint64_t> l1_sizes,
                            std::vector<std::string> benchmarks = {}) {
@@ -39,35 +39,38 @@ const std::vector<CampaignSpec>& all_campaigns() {
 
     make("fig1", "Figure 1: L1 I-cache latency effect (0.045um, HMEAN IPC)",
          ReportKind::IpcVsSize,
-         {Preset::BaseIdeal, Preset::BasePipelined, Preset::BaseL0,
-          Preset::Base},
-         far, sizes);
+         {"base-ideal", "base-pipelined", "base-l0", "base"}, far, sizes);
     make("fig2", "Figure 2(b): FDP with/without L0 (0.045um)",
-         ReportKind::IpcVsSize, {Preset::FdpL0, Preset::Fdp}, far, sizes);
+         ReportKind::IpcVsSize, {"fdp-l0", "fdp"}, far, sizes);
     make("fig4", "Figure 4(b): CLGP with/without L0 (0.045um)",
-         ReportKind::IpcVsSize, {Preset::ClgpL0, Preset::Clgp}, far,
-         sizes);
+         ReportKind::IpcVsSize, {"clgp-l0", "clgp"}, far, sizes);
     make("fig5", "Figure 5: HMEAN IPC vs L1 size, six configurations",
          ReportKind::IpcVsSize,
-         {Preset::ClgpL0Pb16, Preset::ClgpL0, Preset::FdpL0Pb16,
-          Preset::FdpL0, Preset::BasePipelined, Preset::BaseL0},
+         {"clgp-l0-pb16", "clgp-l0", "fdp-l0-pb16", "fdp-l0",
+          "base-pipelined", "base-l0"},
          {cacti::TechNode::um090, cacti::TechNode::um045}, sizes);
     make("fig6", "Figure 6: per-benchmark IPC (8KB L1, 0.045um)",
          ReportKind::PerBenchmark,
-         {Preset::BasePipelined, Preset::FdpL0Pb16, Preset::ClgpL0Pb16},
-         far, {8192});
+         {"base-pipelined", "fdp-l0-pb16", "clgp-l0-pb16"}, far, {8192});
     make("fig7", "Figure 7: fetch sources (0.045um)",
-         ReportKind::FetchSources,
-         {Preset::Fdp, Preset::Clgp, Preset::FdpL0, Preset::ClgpL0}, far,
-         sizes);
+         ReportKind::FetchSources, {"fdp", "clgp", "fdp-l0", "clgp-l0"},
+         far, sizes);
     make("fig8", "Figure 8: prefetch sources (0.045um)",
-         ReportKind::PrefetchSources, {Preset::Fdp, Preset::Clgp}, far,
-         sizes);
+         ReportKind::PrefetchSources, {"fdp", "clgp"}, far, sizes);
+    // The instruction-prefetcher family (related-work baselines next to
+    // the paper's pair): every registered scheme at matched L0/pre-buffer
+    // conditions, over a reduced size axis.
+    make("family",
+         "Prefetcher family: sequential/stream baselines vs FDP/CLGP "
+         "(0.045um)",
+         ReportKind::IpcVsSize,
+         {"next-line", "next-line-l0", "stream", "stream-l0", "fdp-l0",
+          "clgp-l0"},
+         far, {1024, 4096, 16384});
     // Small grid for CI and tests: exercises the whole campaign path
     // (run, resume, compare, report) in seconds at low budgets.
     make("smoke", "CI smoke grid", ReportKind::IpcVsSize,
-         {Preset::Base, Preset::ClgpL0}, far, {1024, 4096},
-         {"eon", "gzip"});
+         {"base", "clgp-l0"}, far, {1024, 4096}, {"eon", "gzip"});
     return c;
   }();
   return campaigns;
@@ -108,9 +111,9 @@ std::string render_ipc_vs_size(const ResultGrid& grid) {
   std::ostringstream out;
   for (const cacti::TechNode node : spec.nodes) {
     std::vector<sim::Series> series;
-    for (const Preset p : spec.presets) {
+    for (const std::string& p : grid.presets()) {
       sim::Series s;
-      s.label = sim::preset_name(p);
+      s.label = sim::preset_label(p);
       for (const std::uint64_t size : spec.l1_sizes) {
         s.values.push_back(grid.hmean_ipc(p, node, size));
       }
@@ -129,19 +132,19 @@ std::string render_per_benchmark(const ResultGrid& grid) {
   for (const cacti::TechNode node : spec.nodes) {
     for (const std::uint64_t size : spec.l1_sizes) {
       std::vector<std::string> headers = {"benchmark"};
-      for (const Preset p : spec.presets) {
-        headers.push_back(sim::preset_name(p));
+      for (const std::string& p : grid.presets()) {
+        headers.push_back(sim::preset_label(p));
       }
       Table t(std::move(headers));
       for (const std::string& bench : grid.benchmarks()) {
         std::vector<std::string> row = {bench};
-        for (const Preset p : spec.presets) {
+        for (const std::string& p : grid.presets()) {
           row.push_back(fmt(grid.at(p, node, size, bench)->result.ipc, 3));
         }
         t.add_row(std::move(row));
       }
       std::vector<std::string> hmean_row = {"HMEAN"};
-      for (const Preset p : spec.presets) {
+      for (const std::string& p : grid.presets()) {
         hmean_row.push_back(fmt(grid.hmean_ipc(p, node, size), 3));
       }
       t.add_row(std::move(hmean_row));
@@ -156,17 +159,16 @@ std::string render_per_benchmark(const ResultGrid& grid) {
 std::string render_sources(const ResultGrid& grid, bool prefetch) {
   const CampaignSpec& spec = grid.spec();
   std::ostringstream out;
-  for (const Preset p : spec.presets) {
+  for (const std::string& p : grid.presets()) {
     for (const cacti::TechNode node : spec.nodes) {
       std::vector<SourceBreakdown> rows;
       for (const std::uint64_t size : spec.l1_sizes) {
         rows.push_back(prefetch ? grid.prefetch_sources(p, node, size)
                                 : grid.fetch_sources(p, node, size));
       }
-      const bool has_l0 =
-          sim::make_config(p, node, spec.l1_sizes.front()).has_l0;
+      const bool has_l0 = sim::parse_spec(p)->has_l0;
       out << sim::render_source_chart(
-                 spec.title + " — " + sim::preset_name(p) +
+                 spec.title + " — " + sim::preset_label(p) +
                      node_suffix(spec, node),
                  spec.l1_sizes, rows, has_l0)
           << '\n';

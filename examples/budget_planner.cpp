@@ -25,7 +25,7 @@ std::uint64_t config_budget(const cpu::MachineConfig& cfg) {
   if (cfg.has_l0) {
     budget += cpu::DerivedTimings::from(cfg).l0_size;
   }
-  if (cfg.prefetcher != cpu::PrefetcherKind::None) {
+  if (cfg.prefetcher != cpu::kNoPrefetcher) {
     budget += static_cast<std::uint64_t>(cfg.prebuffer_entries) * 64;
   }
   return budget;
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   // Reference: ideal 1-cycle 64KB I-cache.
   const double ideal =
-      run_suite(make_config(Preset::BaseIdeal, node, 65536), suite,
+      run_suite(make_config("base-ideal", node, 65536), suite,
                 instructions)
           .hmean_ipc;
   const double target = target_frac * ideal;
@@ -56,31 +56,31 @@ int main(int argc, char** argv) {
               100 * target_frac, target);
 
   Table t({"configuration", "smallest L1", "total budget", "IPC"});
-  const Preset families[] = {Preset::Base, Preset::BasePipelined,
-                             Preset::BaseL0, Preset::FdpL0,
-                             Preset::FdpL0Pb16, Preset::ClgpL0,
-                             Preset::ClgpL0Pb16};
+  const char* families[] = {"base",        "base-pipelined",
+                            "base-l0",     "fdp-l0",
+                            "fdp-l0-pb16", "clgp-l0",
+                            "clgp-l0-pb16"};
   std::uint64_t best_budget = ~0ULL;
   std::string best_name = "(none)";
-  for (const Preset family : families) {
+  for (const char* family : families) {
     bool met = false;
     for (const std::uint64_t size : paper_l1_sizes()) {
       const auto cfg = make_config(family, node, size);
       const double ipc = run_suite(cfg, suite, instructions).hmean_ipc;
       if (ipc >= target) {
         const std::uint64_t budget = config_budget(cfg);
-        t.add_row({preset_name(family), fmt_bytes(size), fmt_bytes(budget),
-                   fmt(ipc, 3)});
+        t.add_row({preset_label(family), fmt_bytes(size),
+                   fmt_bytes(budget), fmt(ipc, 3)});
         if (budget < best_budget) {
           best_budget = budget;
-          best_name = preset_name(family);
+          best_name = preset_label(family);
         }
         met = true;
         break;
       }
     }
     if (!met) {
-      t.add_row({preset_name(family), "-", "-", "target unmet"});
+      t.add_row({preset_label(family), "-", "-", "target unmet"});
     }
   }
   std::printf("%s\nsmallest budget meeting the target: %s (%s)\n",

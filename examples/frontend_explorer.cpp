@@ -25,15 +25,14 @@ int main(int argc, char** argv) {
   const std::uint64_t instructions =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 60000;
 
-  const Preset presets[] = {Preset::Base,        Preset::BasePipelined,
-                            Preset::BaseL0,      Preset::FdpL0,
-                            Preset::ClgpL0,      Preset::ClgpL0Pb16};
+  const char* presets[] = {"base",    "base-pipelined", "base-l0",
+                           "fdp-l0",  "clgp-l0",        "clgp-l0-pb16"};
   const auto& sizes = paper_l1_sizes();
 
   // All (preset, size) runs are independent: run them in one parallel
   // batch and reassemble the matrix.
   std::vector<cpu::MachineConfig> configs;
-  for (const Preset p : presets) {
+  for (const char* p : presets) {
     for (const std::uint64_t size : sizes) {
       auto cfg = make_config(p, node, size);
       cfg.benchmark = benchmark;
@@ -45,9 +44,9 @@ int main(int argc, char** argv) {
 
   std::vector<Series> series;
   std::size_t i = 0;
-  for (const Preset p : presets) {
+  for (const char* p : presets) {
     Series s;
-    s.label = preset_name(p);
+    s.label = preset_label(p);
     for (std::size_t k = 0; k < sizes.size(); ++k) {
       s.values.push_back(results[i++].ipc);
     }

@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
 
   // Build the machine: CLGP with an L0 cache and a 16-entry pipelined
   // prestage buffer, 4 KB L1 I-cache, at the 0.045um technology node.
-  cpu::MachineConfig cfg = sim::make_config(
-      sim::Preset::ClgpL0Pb16, cacti::TechNode::um045, 4096);
+  cpu::MachineConfig cfg =
+      sim::make_config("clgp-l0-pb16", cacti::TechNode::um045, 4096);
   cfg.benchmark = benchmark;
   cfg.max_instructions = instructions;
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
               benchmark.c_str());
   std::printf("machine     : %s, L1=%lluB (%d cycles), L0=%lluB, "
               "PB=%u entries (%d-cycle pipelined), L2 %d cycles\n",
-              sim::preset_name(sim::Preset::ClgpL0Pb16).c_str(),
+              sim::preset_label("clgp-l0-pb16").c_str(),
               static_cast<unsigned long long>(cfg.l1i_size), t.l1i_latency,
               static_cast<unsigned long long>(t.l0_size),
               cfg.prebuffer_entries, t.prebuffer_latency, t.l2_latency);

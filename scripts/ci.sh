@@ -94,4 +94,32 @@ print("campaign: BENCH_smoke.json and BENCH_fig5.json parse and are sane")
 EOF
 fi
 
+# --- prefetcher-family grid --------------------------------------------------
+# The open-registry grid: sequential/stream baselines (next-line, stream)
+# next to FDP/CLGP, proving every registered scheme runs end to end
+# through the campaign pipeline.
+rm -f build/ci-family.jsonl
+./build/src/cli/prestage campaign run --name family --instrs 800 \
+  --store build/ci-family.jsonl -j 0 --json build/ci-campaign-family.json
+./build/src/cli/prestage campaign report --name family --instrs 800 \
+  --store build/ci-family.jsonl --out BENCH_family.json
+
+# --- sanitizer smoke ---------------------------------------------------------
+# ASan+UBSan build of the CLI, then one run per *registered* prefetcher
+# (with an L0, matching the family grid) — the preset list is derived
+# from `prestage list`, so a newly registered scheme is exercised under
+# sanitizers automatically.
+cmake --preset asan > /dev/null
+cmake --build --preset asan -j --target prestage_cli
+PREFETCHERS=$(./build-asan/src/cli/prestage list |
+  awk '/^prefetchers/{f=1;next}/^[a-z]/{f=0}f{print $1}')
+test -n "$PREFETCHERS"
+for p in $PREFETCHERS; do
+  if [ "$p" = "base" ]; then preset="base-l0"; else preset="$p-l0"; fi
+  echo "sanitizer   : prestage run --preset $preset"
+  ./build-asan/src/cli/prestage run --preset "$preset" --bench eon \
+    --instrs 1500 > /dev/null
+done
+echo "sanitizer: every registered prefetcher ran clean under ASan+UBSan"
+
 echo "ci: OK"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+
+#include "sim/presets.hpp"
 
 namespace prestage::campaign {
 
@@ -23,10 +26,16 @@ CompareResult compare_stores(const ResultStore& baseline,
                              const ResultStore& candidate,
                              double threshold_pct) {
   CompareResult out;
+  std::set<std::string> unknown;
+  const auto audit_config = [&unknown](const PointResult& r) {
+    if (!sim::parse_spec(r.config).has_value()) unknown.insert(r.config);
+  };
   for (const PointResult& b : baseline.entries()) {
+    audit_config(b);
     const PointResult* c = candidate.find(b.key);
     if (!c) {
       ++out.baseline_only;
+      ++out.unpaired_by_config[b.config].baseline_only;
       continue;
     }
     ++out.common;
@@ -48,6 +57,13 @@ CompareResult compare_stores(const ResultStore& baseline,
     }
   }
   out.candidate_only = candidate.size() - out.common;
+  for (const PointResult& c : candidate.entries()) {
+    audit_config(c);
+    if (!baseline.find(c.key)) {
+      ++out.unpaired_by_config[c.config].candidate_only;
+    }
+  }
+  out.unknown_configs.assign(unknown.begin(), unknown.end());
 
   const auto by_delta_asc = [](const Delta& a, const Delta& b) {
     return a.delta_pct != b.delta_pct ? a.delta_pct < b.delta_pct

@@ -1,15 +1,23 @@
 // Baseline comparison and regression detection between two result
 // stores.
 //
-// Points pair up by content-hash key (identical preset/node/L1/
+// Points pair up by content-hash key (identical config/node/L1/
 // benchmark/budget/seed), so any two stores that ran overlapping grids
 // are comparable, whatever order their lines are in. IPC deltas beyond
 // the threshold are classed as regressions (slower candidate) or
 // improvements (faster candidate); this is how a simulator change is
 // checked against the previous trajectory.
+//
+// Stores also carry each point's canonical machine-config string, and
+// the comparison audits those against the current composition grammar:
+// configs that no longer parse (a renamed or unregistered prefetcher)
+// and configs whose points pair on one side only are reported by name,
+// so a cross-registry-version diff explains *why* keys failed to pair
+// instead of silently shrinking the common set.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +37,12 @@ struct Delta {
   double delta_pct = 0.0;  ///< (candidate/baseline - 1) * 100
 };
 
+/// Per-config unpaired-point tally (keys present in one store only).
+struct UnpairedCount {
+  std::size_t baseline_only = 0;
+  std::size_t candidate_only = 0;
+};
+
 struct CompareResult {
   std::size_t common = 0;          ///< keys present in both stores
   std::size_t baseline_only = 0;   ///< keys missing from the candidate
@@ -36,6 +50,14 @@ struct CompareResult {
   std::vector<Delta> regressions;   ///< worst (most negative) first
   std::vector<Delta> improvements;  ///< best (most positive) first
   double max_regression_pct = 0.0;  ///< magnitude of the worst regression
+
+  /// Stored config strings (either store) the current composition
+  /// grammar cannot parse — renamed or unregistered schemes. Sorted,
+  /// unique.
+  std::vector<std::string> unknown_configs;
+  /// Unpaired keys grouped by their stored config string (ordered), so
+  /// a failed pairing names the configuration responsible.
+  std::map<std::string, UnpairedCount> unpaired_by_config;
 };
 
 /// Diffs @p candidate against @p baseline; a point regresses when its

@@ -9,10 +9,11 @@
 namespace prestage::campaign {
 
 PointResult simulate(const RunPoint& point) {
-  cpu::Cpu machine(point.config());
+  cpu::Cpu machine(point.machine_config());
   PointResult r;
   r.key = point.key();
-  r.preset = sim::preset_cli_name(point.preset);
+  r.preset = point.preset;  // the grid's spelling, for provenance
+  r.config = point.config;  // canonical: what the key embeds
   r.node = cacti::to_string(point.node);
   r.benchmark = point.benchmark;
   r.l1i_size = point.l1i_size;

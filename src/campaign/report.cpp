@@ -6,8 +6,22 @@
 
 namespace prestage::campaign {
 
+namespace {
+
+/// Canonical spelling for grid lookups; asserts the spec is valid.
+std::string canonical(const std::string& spec_string) {
+  const auto c = sim::parse_spec(spec_string);
+  PRESTAGE_ASSERT(c.has_value(),
+                  "invalid machine spec '" + spec_string + "'");
+  return sim::canonical_name(*c);
+}
+
+}  // namespace
+
 ResultGrid::ResultGrid(const CampaignSpec& spec, const ResultStore& store)
     : spec_(&spec), store_(&store) {
+  presets_.reserve(spec.presets.size());
+  for (const std::string& p : spec.presets) presets_.push_back(canonical(p));
   benchmarks_ = spec.resolved_benchmarks();
   instructions_ = spec.resolved_instructions();
   for (const RunPoint& p : expand(spec)) {
@@ -16,10 +30,12 @@ ResultGrid::ResultGrid(const CampaignSpec& spec, const ResultStore& store)
   }
 }
 
-const PointResult* ResultGrid::at(sim::Preset preset, cacti::TechNode node,
+const PointResult* ResultGrid::at(const std::string& preset,
+                                  cacti::TechNode node,
                                   std::uint64_t l1i_size,
                                   const std::string& benchmark) const {
   const RunPoint point{.preset = preset,
+                       .config = canonical(preset),
                        .node = node,
                        .l1i_size = l1i_size,
                        .benchmark = benchmark,
@@ -28,7 +44,8 @@ const PointResult* ResultGrid::at(sim::Preset preset, cacti::TechNode node,
   return store_->find(point.key());
 }
 
-double ResultGrid::hmean_ipc(sim::Preset preset, cacti::TechNode node,
+double ResultGrid::hmean_ipc(const std::string& preset,
+                             cacti::TechNode node,
                              std::uint64_t l1i_size) const {
   std::vector<double> ipcs;
   ipcs.reserve(benchmarks_.size());
@@ -40,7 +57,7 @@ double ResultGrid::hmean_ipc(sim::Preset preset, cacti::TechNode node,
   return harmonic_mean(ipcs);
 }
 
-SourceBreakdown ResultGrid::fetch_sources(sim::Preset preset,
+SourceBreakdown ResultGrid::fetch_sources(const std::string& preset,
                                           cacti::TechNode node,
                                           std::uint64_t l1i_size) const {
   SourceBreakdown total;
@@ -55,7 +72,7 @@ SourceBreakdown ResultGrid::fetch_sources(sim::Preset preset,
   return total;
 }
 
-SourceBreakdown ResultGrid::prefetch_sources(sim::Preset preset,
+SourceBreakdown ResultGrid::prefetch_sources(const std::string& preset,
                                              cacti::TechNode node,
                                              std::uint64_t l1i_size) const {
   SourceBreakdown total;
@@ -76,11 +93,11 @@ void write_ipc_vs_size(JsonWriter& json, const ResultGrid& grid) {
   const CampaignSpec& spec = grid.spec();
   json.key("series");
   json.begin_array();
-  for (const sim::Preset preset : spec.presets) {
+  for (const std::string& preset : grid.presets()) {
     for (const cacti::TechNode node : spec.nodes) {
       json.begin_object();
-      json.field("preset", sim::preset_cli_name(preset));
-      json.field("label", sim::preset_name(preset));
+      json.field("preset", preset);
+      json.field("label", sim::preset_label(preset));
       json.field("node", cacti::to_string(node));
       json.key("hmean_ipc");
       json.begin_array();
@@ -98,11 +115,11 @@ void write_per_benchmark(JsonWriter& json, const ResultGrid& grid) {
   const CampaignSpec& spec = grid.spec();
   json.key("groups");
   json.begin_array();
-  for (const sim::Preset preset : spec.presets) {
+  for (const std::string& preset : grid.presets()) {
     for (const cacti::TechNode node : spec.nodes) {
       for (const std::uint64_t size : spec.l1_sizes) {
         json.begin_object();
-        json.field("preset", sim::preset_cli_name(preset));
+        json.field("preset", preset);
         json.field("node", cacti::to_string(node));
         json.field("l1i_size", size);
         json.key("ipc");
@@ -124,14 +141,14 @@ void write_sources(JsonWriter& json, const ResultGrid& grid,
   const CampaignSpec& spec = grid.spec();
   json.key("rows");
   json.begin_array();
-  for (const sim::Preset preset : spec.presets) {
+  for (const std::string& preset : grid.presets()) {
     for (const cacti::TechNode node : spec.nodes) {
       for (const std::uint64_t size : spec.l1_sizes) {
         const SourceBreakdown sb =
             prefetch ? grid.prefetch_sources(preset, node, size)
                      : grid.fetch_sources(preset, node, size);
         json.begin_object();
-        json.field("preset", sim::preset_cli_name(preset));
+        json.field("preset", preset);
         json.field("node", cacti::to_string(node));
         json.field("l1i_size", size);
         json.key("counts");
@@ -159,9 +176,7 @@ void write_report(JsonWriter& json, const ResultGrid& grid) {
   json.field("seed", spec.seed);
   json.key("presets");
   json.begin_array();
-  for (const sim::Preset p : spec.presets) {
-    json.value(sim::preset_cli_name(p));
-  }
+  for (const std::string& p : grid.presets()) json.value(p);
   json.end_array();
   json.key("nodes");
   json.begin_array();

@@ -33,27 +33,36 @@ class ResultGrid {
   [[nodiscard]] std::size_t missing() const { return missing_; }
   [[nodiscard]] std::size_t total_points() const { return total_; }
 
-  /// The stored result for one grid cell; nullptr when absent.
-  [[nodiscard]] const PointResult* at(sim::Preset preset,
+  /// The preset axis with every spec string canonicalized (lookup keys
+  /// must match what expansion hashed).
+  [[nodiscard]] const std::vector<std::string>& presets() const {
+    return presets_;
+  }
+
+  /// The stored result for one grid cell; nullptr when absent. @p preset
+  /// is any spec-string spelling (canonicalized internally).
+  [[nodiscard]] const PointResult* at(const std::string& preset,
                                       cacti::TechNode node,
                                       std::uint64_t l1i_size,
                                       const std::string& benchmark) const;
 
   /// Harmonic-mean IPC over the benchmark axis (asserts completeness).
-  [[nodiscard]] double hmean_ipc(sim::Preset preset, cacti::TechNode node,
+  [[nodiscard]] double hmean_ipc(const std::string& preset,
+                                 cacti::TechNode node,
                                  std::uint64_t l1i_size) const;
 
   /// Aggregated source distributions over the benchmark axis.
-  [[nodiscard]] SourceBreakdown fetch_sources(sim::Preset preset,
+  [[nodiscard]] SourceBreakdown fetch_sources(const std::string& preset,
                                               cacti::TechNode node,
                                               std::uint64_t l1i_size) const;
   [[nodiscard]] SourceBreakdown prefetch_sources(
-      sim::Preset preset, cacti::TechNode node,
+      const std::string& preset, cacti::TechNode node,
       std::uint64_t l1i_size) const;
 
  private:
   const CampaignSpec* spec_;
   const ResultStore* store_;
+  std::vector<std::string> presets_;
   std::vector<std::string> benchmarks_;
   std::uint64_t instructions_ = 0;
   std::size_t missing_ = 0;

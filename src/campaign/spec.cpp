@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/prestage_assert.hpp"
 #include "sim/experiment.hpp"
 
 namespace prestage::campaign {
@@ -33,7 +34,7 @@ std::string RunPoint::descriptor() const {
   char buf[64];
   std::string out;
   out += "preset=";
-  out += sim::preset_cli_name(preset);
+  out += config;
   out += "|node=";
   out += cacti::to_string(node);
   std::snprintf(buf, sizeof buf, "|l1=%llu",
@@ -55,8 +56,8 @@ std::string RunPoint::key() const {
   return buf;
 }
 
-cpu::MachineConfig RunPoint::config() const {
-  cpu::MachineConfig cfg = sim::make_config(preset, node, l1i_size);
+cpu::MachineConfig RunPoint::machine_config() const {
+  cpu::MachineConfig cfg = sim::make_config(config, node, l1i_size);
   cfg.benchmark = benchmark;
   cfg.max_instructions = instructions;
   cfg.seed = seed;
@@ -69,11 +70,22 @@ std::vector<RunPoint> expand(const CampaignSpec& spec) {
   std::vector<RunPoint> points;
   points.reserve(spec.presets.size() * spec.nodes.size() *
                  spec.l1_sizes.size() * benches.size());
-  for (const sim::Preset preset : spec.presets) {
+  for (const std::string& spec_string : spec.presets) {
+    // Keys embed the canonical spelling, so "fdp+l0" and "fdp-l0" name
+    // the same point.
+    const auto composition = sim::parse_spec(spec_string);
+    PRESTAGE_ASSERT(composition.has_value(),
+                    "campaign '" + spec.name + "': invalid machine spec '" +
+                        spec_string + "'");
+    PRESTAGE_ASSERT(!composition->node.has_value(),
+                    "campaign '" + spec.name + "': spec '" + spec_string +
+                        "' pins a node; use the grid's node axis instead");
+    const std::string config = sim::canonical_name(*composition);
     for (const cacti::TechNode node : spec.nodes) {
       for (const std::uint64_t size : spec.l1_sizes) {
         for (const std::string& bench : benches) {
-          points.push_back(RunPoint{.preset = preset,
+          points.push_back(RunPoint{.preset = spec_string,
+                                    .config = config,
                                     .node = node,
                                     .l1i_size = size,
                                     .benchmark = bench,

@@ -6,8 +6,13 @@
 // (preset/node/L1/benchmark/instructions/seed), so a result store can
 // tell whether a point has already been simulated regardless of the
 // order campaigns ran in, and a changed budget or seed never aliases an
-// old result. The figure grids of the paper (Figures 1/4/5/7/8) are
-// campaigns over these axes — see bench/figures.cpp for the registry.
+// old result. The preset axis holds machine-composition spec strings
+// (sim::parse_spec grammar); expansion canonicalizes them, and the
+// descriptor embeds the canonical config string — never an enum ordinal
+// — so configurations added by new registry entries can never collide
+// with existing keys. The figure grids of the paper (Figures 1/4/5/7/8)
+// are campaigns over these axes — see bench/figures.cpp for the
+// registry.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +45,12 @@ struct CampaignSpec {
   std::string title;  ///< human chart title
   ReportKind kind = ReportKind::IpcVsSize;
 
-  std::vector<sim::Preset> presets;
+  /// Machine-composition spec strings ("clgp-l0-pb16", "fdp+l0").
+  /// Expansion canonicalizes each through sim::parse_spec and asserts
+  /// validity — campaign specs are code, not user input. "@node"
+  /// suffixes are rejected here: the grid's explicit node axis is the
+  /// only node source, so a store row's node column is always truthful.
+  std::vector<std::string> presets;
   std::vector<cacti::TechNode> nodes;
   std::vector<std::uint64_t> l1_sizes;
   std::vector<std::string> benchmarks;  ///< empty -> the full 12 SPEC suite
@@ -62,7 +72,8 @@ struct CampaignSpec {
 
 /// One fully resolved simulation of a campaign grid.
 struct RunPoint {
-  sim::Preset preset = sim::Preset::Base;
+  std::string preset = "base";  ///< the grid's spelling (provenance)
+  std::string config = "base";  ///< canonical config string (keying)
   cacti::TechNode node = cacti::TechNode::um045;
   std::uint64_t l1i_size = 4096;
   std::string benchmark;
@@ -71,13 +82,15 @@ struct RunPoint {
 
   /// Canonical text form, e.g.
   /// "preset=clgp-l0-pb16|node=0.045um|l1=4096|bench=eon|instrs=2000|seed=1".
+  /// The preset= token carries `config` (the canonical spelling), so
+  /// "fdp+l0" and "fdp-l0" grids share keys.
   [[nodiscard]] std::string descriptor() const;
 
   /// Content-hash key: 16 hex digits of FNV-1a 64 over descriptor().
   [[nodiscard]] std::string key() const;
 
   /// The machine configuration this point simulates.
-  [[nodiscard]] cpu::MachineConfig config() const;
+  [[nodiscard]] cpu::MachineConfig machine_config() const;
 };
 
 /// Expands the grid; benchmarks default to the full suite and an

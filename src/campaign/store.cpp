@@ -42,6 +42,7 @@ std::string encode_line(const PointResult& r) {
   json.begin_object();
   json.field("key", r.key);
   json.field("preset", r.preset);
+  json.field("config", r.config);
   json.field("node", r.node);
   json.field("l1i_size", r.l1i_size);
   json.field("benchmark", r.benchmark);
@@ -76,6 +77,9 @@ PointResult decode_line(std::string_view line) {
   r.key = doc.at("key").as_string();
   if (r.key.empty()) throw json::JsonError("empty result key");
   r.preset = doc.at("preset").as_string();
+  // Stores written before the open-configuration layer have no config
+  // field; the preset spelling was canonical then.
+  r.config = doc.has("config") ? doc.at("config").as_string() : r.preset;
   r.node = doc.at("node").as_string();
   r.benchmark = doc.at("benchmark").as_string();
   r.l1i_size = read_u64(doc, "l1i_size");

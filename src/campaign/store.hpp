@@ -26,7 +26,13 @@ namespace prestage::campaign {
 /// RunResult.
 struct PointResult {
   std::string key;        ///< RunPoint::key() content hash
-  std::string preset;     ///< kebab-case preset name
+  std::string preset;     ///< preset spelling the grid used
+  /// Canonical machine-config string (sim::canonical_name). Stored
+  /// separately from `preset` so `campaign compare` can diff stores
+  /// produced by different registry versions and call out renamed or
+  /// no-longer-registered configurations by name instead of silently
+  /// failing to pair their keys.
+  std::string config;
   std::string node;       ///< "0.045um" style node name
   std::string benchmark;
   std::uint64_t l1i_size = 0;

@@ -243,6 +243,22 @@ int cmd_campaign_compare(const Options& opt) {
     };
     print_deltas("regressions", cmp.regressions);
     print_deltas("improvements", cmp.improvements);
+    if (!cmp.unknown_configs.empty()) {
+      std::printf("unknown     : %zu stored config(s) no current registry "
+                  "entry parses:", cmp.unknown_configs.size());
+      for (const std::string& c : cmp.unknown_configs) {
+        std::printf(" %s", c.c_str());
+      }
+      std::printf("\n");
+    }
+    if (!cmp.unpaired_by_config.empty()) {
+      std::printf("unpaired    : by config (baseline-only/candidate-only):");
+      for (const auto& [config, n] : cmp.unpaired_by_config) {
+        std::printf(" %s=%zu/%zu", config.c_str(), n.baseline_only,
+                    n.candidate_only);
+      }
+      std::printf("\n");
+    }
     std::printf("result      : %zu regressions, %zu improvements\n",
                 cmp.regressions.size(), cmp.improvements.size());
   }
@@ -280,6 +296,22 @@ int cmd_campaign_compare(const Options& opt) {
     };
     write_deltas("regressions", cmp.regressions);
     write_deltas("improvements", cmp.improvements);
+    json.key("unknown_configs");
+    json.begin_array();
+    for (const std::string& c : cmp.unknown_configs) json.value(c);
+    json.end_array();
+    json.key("unpaired_by_config");
+    json.begin_array();
+    for (const auto& [config, n] : cmp.unpaired_by_config) {
+      json.begin_object();
+      json.field("config", config);
+      json.field("baseline_only",
+                 static_cast<std::uint64_t>(n.baseline_only));
+      json.field("candidate_only",
+                 static_cast<std::uint64_t>(n.candidate_only));
+      json.end_object();
+    }
+    json.end_array();
     json.end_object();
     if (!sink.finish()) return 1;
   }

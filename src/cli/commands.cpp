@@ -10,6 +10,7 @@
 #include "common/json_writer.hpp"
 #include "common/table.hpp"
 #include "cpu/cpu.hpp"
+#include "prefetch/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "workload/champsim.hpp"
@@ -61,7 +62,7 @@ void write_run_result(JsonWriter& json, const cpu::RunResult& r) {
 /// Shared document preamble: configuration echoed back for provenance.
 void write_config_fields(JsonWriter& json, const Options& opt,
                          std::uint64_t instructions) {
-  json.field("preset", preset_cli_name(opt.preset));
+  json.field("preset", opt.preset);
   json.field("node", cacti::to_string(opt.node));
   json.field("l1i_size", opt.l1i_size);
   json.field("instructions", instructions);
@@ -99,7 +100,7 @@ void print_machine_banner(const cpu::MachineConfig& cfg,
   const cpu::DerivedTimings t = cpu::DerivedTimings::from(cfg);
   std::printf("machine     : %s @ %s, L1=%s (%d cycles), L0=%s%s, "
               "PB=%u entries (%d cycles), L2 %d cycles\n",
-              sim::preset_name(opt.preset).c_str(),
+              sim::preset_label(opt.preset).c_str(),
               std::string(cacti::to_string(opt.node)).c_str(),
               fmt_bytes(cfg.l1i_size).c_str(), t.l1i_latency,
               fmt_bytes(t.l0_size).c_str(), cfg.has_l0 ? "" : " (disabled)",
@@ -233,7 +234,7 @@ int cmd_sweep(const Options& opt) {
   if (sink.failed()) return 1;
 
   sim::Series series;
-  series.label = sim::preset_name(opt.preset);
+  series.label = sim::preset_label(opt.preset);
   for (const std::uint64_t size : sizes) {
     const cpu::MachineConfig cfg =
         sim::make_config(opt.preset, opt.node, size);
@@ -243,7 +244,7 @@ int cmd_sweep(const Options& opt) {
 
   if (!sink.owns_stdout()) {
     std::cout << sim::render_size_chart(
-        "HMEAN IPC vs L1 size, " + sim::preset_name(opt.preset) + " @ " +
+        "HMEAN IPC vs L1 size, " + sim::preset_label(opt.preset) + " @ " +
             std::string(cacti::to_string(opt.node)),
         sizes, {series});
   }
@@ -252,7 +253,7 @@ int cmd_sweep(const Options& opt) {
     JsonWriter json(sink.stream());
     json.begin_object();
     json.field("schema", "prestage-sweep-v1");
-    json.field("preset", preset_cli_name(opt.preset));
+    json.field("preset", opt.preset);
     json.field("node", cacti::to_string(opt.node));
     json.field("instructions", instrs);
     json.key("points");
@@ -483,10 +484,17 @@ int cmd_trace_info(const Options& opt) {
 
 int cmd_list(const Options& opt) {
   (void)opt;
+  std::cout << "prefetchers (composable: <prefetcher>[+l0][+ideal]"
+               "[+pipelined][+pb<N>][@node]):\n";
+  for (const auto& info :
+       prefetch::PrefetcherRegistry::instance().entries()) {
+    std::printf("  %-12s %s\n", info.name.c_str(),
+                info.description.c_str());
+  }
   std::cout << "presets:\n";
-  for (const sim::Preset p : all_presets()) {
-    std::printf("  %-16s %s\n", preset_cli_name(p).c_str(),
-                sim::preset_name(p).c_str());
+  for (const std::string& name : all_presets()) {
+    std::printf("  %-16s %s\n", name.c_str(),
+                sim::preset_label(name).c_str());
   }
   std::cout << "nodes:\n  180 130 090 065 045\n";
   std::cout << "benchmarks:\n ";

@@ -46,7 +46,11 @@ void print_usage(std::ostream& out) {
          "         the BENCH_<name>.json figure report\n"
          "\n"
          "flags:\n"
-         "  --preset NAME   machine preset (default clgp-l0-pb16)\n"
+         "  --preset SPEC   machine composition: a named preset\n"
+         "                  (clgp-l0-pb16) or <prefetcher>[+l0][+ideal]\n"
+         "                  [+pipelined][+pb<N>][@node] over the registered\n"
+         "                  prefetchers — `prestage list` names both\n"
+         "                  (default clgp-l0-pb16)\n"
          "  --node NODE     tech node: 180|130|090|065|045 (default 045)\n"
          "  --l1 BYTES      L1 I-cache size, power of two, K/M suffixes ok "
          "(default 4096)\n"

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/types.hpp"
+#include "prefetch/registry.hpp"
 
 namespace prestage::cli {
 
@@ -74,13 +75,34 @@ ParseResult parse_options(int argc, char** argv, int first) {
     if (arg == "--preset") {
       const char* v = need_value(i, arg);
       if (!v) return result;
-      const auto preset = parse_preset(v);
-      if (!preset) {
-        result.error = std::string("unknown preset '") + v +
-                       "' (see `prestage list`)";
+      auto composition = parse_spec(v);
+      if (composition && composition->node) {
+        // A spec-string node ("clgp@090") is exactly --node: fold it
+        // into the node option so banners, JSON provenance and store
+        // rows all report the node actually simulated.
+        opt.node = *composition->node;
+        composition->node.reset();
+      }
+      if (!composition) {
+        // List what is actually registered — the registry is open, so
+        // the valid set is not knowable statically.
+        std::string error = std::string("unknown preset '") + v +
+                            "'; registered presets:";
+        for (const std::string& name : all_presets()) {
+          error += ' ';
+          error += name;
+        }
+        error += "; prefetchers:";
+        for (const auto& info :
+             prefetch::PrefetcherRegistry::instance().entries()) {
+          error += ' ';
+          error += info.name;
+        }
+        error += " (compose like fdp+l0+pb16, see `prestage list`)";
+        result.error = std::move(error);
         return result;
       }
-      opt.preset = *preset;
+      opt.preset = sim::canonical_name(*composition);
       ++i;
     } else if (arg == "--node") {
       const char* v = need_value(i, arg);

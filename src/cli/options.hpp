@@ -1,9 +1,12 @@
 // Command-line parsing for the `prestage` CLI.
 //
-// Presets are addressed by kebab-case names ("clgp-l0-pb16"); technology
-// nodes by their feature size ("090", "045", or the full "0.09um" form).
-// Parsing never throws: errors are reported as a std::string message so
-// main() can print usage alongside.
+// --preset accepts any machine-composition spec the grammar parses — a
+// named preset ("clgp-l0-pb16") or an ad-hoc composition over the
+// prefetcher registry ("fdp+l0+pb16", "stream+l0@090") — and stores the
+// canonical spelling. Technology nodes are addressed by their feature
+// size ("090", "045", or the full "0.09um" form). Parsing never throws:
+// errors are reported as a std::string message so main() can print
+// usage alongside.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +22,7 @@ namespace prestage::cli {
 
 /// Parsed flags shared by every subcommand.
 struct Options {
-  sim::Preset preset = sim::Preset::ClgpL0Pb16;
+  std::string preset = "clgp-l0-pb16";  ///< canonicalized composition
   cacti::TechNode node = cacti::TechNode::um045;
   std::uint64_t l1i_size = 4096;
   std::uint64_t instructions = 0;  ///< 0 -> sim::default_instructions()
@@ -51,13 +54,12 @@ struct ParseResult {
 /// Parses the flags following the subcommand word.
 [[nodiscard]] ParseResult parse_options(int argc, char** argv, int first);
 
-// Preset/node naming lives with the preset and tech definitions (the
-// campaign layer keys run points with the same names); re-exported here
-// for the CLI's existing call sites.
+// Preset/node naming lives with the composition grammar and tech
+// definitions (the campaign layer keys run points with the same names);
+// re-exported here for the CLI's existing call sites.
 using cacti::parse_node;
 using sim::all_presets;
-using sim::parse_preset;
-using sim::preset_cli_name;
+using sim::parse_spec;
 
 /// Parses a positive decimal integer (with optional K/M suffix for sizes).
 [[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);

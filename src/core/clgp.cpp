@@ -1,6 +1,7 @@
 #include "core/clgp.hpp"
 
 #include "common/prestage_assert.hpp"
+#include "prefetch/registry.hpp"
 
 namespace prestage::core {
 
@@ -109,6 +110,29 @@ void ClgpPrestager::on_recovery(Cycle now) {
   (void)now;
   buffer_.reset_consumers();
   consumers_resets.add();
+}
+
+void register_clgp_prestager(prefetch::PrefetcherRegistry& r) {
+  r.add({.name = "clgp",
+         .label = "CLGP",
+         .description = "cache-line guided prestaging over a CLTQ (the "
+                        "paper's contribution, §3.2)",
+         .build = [](const prefetch::BuildInputs& in) {
+           auto cltq = std::make_unique<frontend::CacheLineTargetQueue>(
+               in.config.queue_blocks, in.config.line_bytes);
+           ClgpConfig cfg;
+           cfg.entries = in.config.prebuffer_entries;
+           cfg.pb_latency = in.timings.prebuffer_latency;
+           cfg.pb_pipelined = in.config.prebuffer_pipelined;
+           cfg.disable_consumers = in.config.clgp_disable_consumers;
+           cfg.filter_resident = in.config.clgp_filter_resident;
+           cfg.transfer_on_use = in.config.clgp_transfer_on_use;
+           prefetch::PrefetcherBuild b;
+           b.prefetcher = std::make_unique<ClgpPrestager>(
+               cfg, *cltq, in.caches, in.mem);
+           b.queue = std::move(cltq);
+           return b;
+         }});
 }
 
 }  // namespace prestage::core

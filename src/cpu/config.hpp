@@ -16,22 +16,8 @@ class WorkloadSpec;
 
 namespace prestage::cpu {
 
-enum class PrefetcherKind : std::uint8_t {
-  None,      ///< baseline without prefetching
-  Fdp,       ///< Fetch Directed Prefetching (comparison, §3.1)
-  Clgp,      ///< Cache Line Guided Prestaging (the contribution, §3.2)
-  NextLine,  ///< next-N-line prefetching (related-work baseline, §2.1)
-};
-
-[[nodiscard]] constexpr std::string_view to_string(PrefetcherKind k) {
-  switch (k) {
-    case PrefetcherKind::None: return "base";
-    case PrefetcherKind::Fdp: return "FDP";
-    case PrefetcherKind::Clgp: return "CLGP";
-    case PrefetcherKind::NextLine: return "NL";
-  }
-  return "?";
-}
+/// The prefetcher of the no-prefetch baseline (always registered).
+inline constexpr const char* kNoPrefetcher = "base";
 
 struct MachineConfig {
   // --- workload ---------------------------------------------------------
@@ -54,11 +40,13 @@ struct MachineConfig {
   bool has_l0 = false;    ///< L0 sized to the node's one-cycle maximum
 
   // --- prefetching --------------------------------------------------------
-  PrefetcherKind prefetcher = PrefetcherKind::None;
+  /// Registered prefetcher name (see prefetch::PrefetcherRegistry); the
+  /// Cpu constructor builds the scheme + queue pair by registry lookup.
+  std::string prefetcher = kNoPrefetcher;
   std::uint32_t prebuffer_entries = 4;
   bool prebuffer_pipelined = false;  ///< required for 16-entry buffers (§5)
   std::uint32_t queue_blocks = 8;    ///< FTQ/CLTQ capacity (Table 2)
-  std::uint32_t next_line_degree = 2;  ///< for PrefetcherKind::NextLine
+  std::uint32_t next_line_degree = 2;  ///< for the "next-line" scheme
 
   // CLGP ablation knobs (all false == the paper's CLGP):
   bool clgp_disable_consumers = false;

@@ -1,9 +1,7 @@
 #include "cpu/cpu.hpp"
 
 #include "common/prestage_assert.hpp"
-#include "core/clgp.hpp"
-#include "prefetch/fdp.hpp"
-#include "prefetch/next_line.hpp"
+#include "prefetch/registry.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
 #include "workload/spec.hpp"
@@ -78,55 +76,11 @@ Cpu::Cpu(const MachineConfig& config)
   icfg.l0_size_bytes = timings_.l0_size;
   caches_ = std::make_unique<mem::IFetchCaches>(icfg);
 
-  switch (cfg_.prefetcher) {
-    case PrefetcherKind::Clgp: {
-      auto cltq = std::make_unique<frontend::CacheLineTargetQueue>(
-          cfg_.queue_blocks, cfg_.line_bytes);
-      core::ClgpConfig ccfg;
-      ccfg.entries = cfg_.prebuffer_entries;
-      ccfg.pb_latency = timings_.prebuffer_latency;
-      ccfg.pb_pipelined = cfg_.prebuffer_pipelined;
-      ccfg.disable_consumers = cfg_.clgp_disable_consumers;
-      ccfg.filter_resident = cfg_.clgp_filter_resident;
-      ccfg.transfer_on_use = cfg_.clgp_transfer_on_use;
-      prefetcher_ = std::make_unique<core::ClgpPrestager>(ccfg, *cltq,
-                                                          *caches_, *mem_);
-      queue_ = std::move(cltq);
-      break;
-    }
-    case PrefetcherKind::Fdp: {
-      auto ftq = std::make_unique<frontend::FetchTargetQueue>(
-          cfg_.queue_blocks, cfg_.line_bytes);
-      prefetch::FdpConfig fcfg;
-      fcfg.entries = cfg_.prebuffer_entries;
-      fcfg.pb_latency = timings_.prebuffer_latency;
-      fcfg.pb_pipelined = cfg_.prebuffer_pipelined;
-      prefetcher_ = std::make_unique<prefetch::FdpPrefetcher>(fcfg, *ftq,
-                                                              *caches_,
-                                                              *mem_);
-      queue_ = std::move(ftq);
-      break;
-    }
-    case PrefetcherKind::NextLine: {
-      queue_ = std::make_unique<frontend::FetchTargetQueue>(
-          cfg_.queue_blocks, cfg_.line_bytes);
-      prefetch::NextLineConfig ncfg;
-      ncfg.entries = cfg_.prebuffer_entries;
-      ncfg.degree = cfg_.next_line_degree;
-      ncfg.pb_latency = timings_.prebuffer_latency;
-      ncfg.pb_pipelined = cfg_.prebuffer_pipelined;
-      ncfg.line_bytes = cfg_.line_bytes;
-      prefetcher_ = std::make_unique<prefetch::NextLinePrefetcher>(
-          ncfg, *caches_, *mem_);
-      break;
-    }
-    case PrefetcherKind::None: {
-      queue_ = std::make_unique<frontend::FetchTargetQueue>(
-          cfg_.queue_blocks, cfg_.line_bytes);
-      prefetcher_ = std::make_unique<prefetch::NonePrefetcher>();
-      break;
-    }
-  }
+  prefetch::PrefetcherBuild build = prefetch::build_prefetcher(
+      {.config = cfg_, .timings = timings_, .caches = *caches_,
+       .mem = *mem_});
+  queue_ = std::move(build.queue);
+  prefetcher_ = std::move(build.prefetcher);
 
   frontend::FetchEngineConfig fecfg;
   fecfg.width = cfg_.width;

@@ -1,6 +1,7 @@
 #include "prefetch/fdp.hpp"
 
 #include "common/prestage_assert.hpp"
+#include "prefetch/registry.hpp"
 
 namespace prestage::prefetch {
 
@@ -156,6 +157,26 @@ std::uint32_t FdpPrefetcher::valid_entries() const {
   std::uint32_t n = 0;
   for (const Entry& e : entries_) n += (e.allocated && e.valid);
   return n;
+}
+
+void register_fdp_prefetcher(PrefetcherRegistry& r) {
+  r.add({.name = "fdp",
+         .label = "FDP",
+         .description = "fetch-directed prefetching with enqueue cache "
+                        "probe filtering (comparison point, §3.1)",
+         .build = [](const BuildInputs& in) {
+           auto ftq = std::make_unique<frontend::FetchTargetQueue>(
+               in.config.queue_blocks, in.config.line_bytes);
+           FdpConfig cfg;
+           cfg.entries = in.config.prebuffer_entries;
+           cfg.pb_latency = in.timings.prebuffer_latency;
+           cfg.pb_pipelined = in.config.prebuffer_pipelined;
+           PrefetcherBuild b;
+           b.prefetcher = std::make_unique<FdpPrefetcher>(
+               cfg, *ftq, in.caches, in.mem);
+           b.queue = std::move(ftq);
+           return b;
+         }});
 }
 
 }  // namespace prestage::prefetch

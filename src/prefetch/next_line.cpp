@@ -1,6 +1,7 @@
 #include "prefetch/next_line.hpp"
 
 #include "common/prestage_assert.hpp"
+#include "prefetch/registry.hpp"
 
 namespace prestage::prefetch {
 
@@ -81,6 +82,27 @@ void NextLinePrefetcher::on_line_request(Addr line, Cycle now) {
                 });
     prefetches_issued.add();
   }
+}
+
+void register_next_line_prefetcher(PrefetcherRegistry& r) {
+  r.add({.name = "next-line",
+         .label = "NL",
+         .description = "next-N-line sequential prefetching (related-work "
+                        "baseline, §2.1)",
+         .build = [](const BuildInputs& in) {
+           PrefetcherBuild b;
+           b.queue = std::make_unique<frontend::FetchTargetQueue>(
+               in.config.queue_blocks, in.config.line_bytes);
+           NextLineConfig cfg;
+           cfg.entries = in.config.prebuffer_entries;
+           cfg.degree = in.config.next_line_degree;
+           cfg.pb_latency = in.timings.prebuffer_latency;
+           cfg.pb_pipelined = in.config.prebuffer_pipelined;
+           cfg.line_bytes = in.config.line_bytes;
+           b.prefetcher = std::make_unique<NextLinePrefetcher>(
+               cfg, in.caches, in.mem);
+           return b;
+         }});
 }
 
 }  // namespace prestage::prefetch

@@ -1,0 +1,191 @@
+#include "prefetch/stream.hpp"
+
+#include "common/prestage_assert.hpp"
+#include "prefetch/registry.hpp"
+
+namespace prestage::prefetch {
+
+StreamPrefetcher::StreamPrefetcher(const StreamConfig& config,
+                                   mem::IFetchCaches& caches,
+                                   mem::MemSystem& mem)
+    : config_(config),
+      caches_(caches),
+      mem_(mem),
+      port_(config.pb_latency, config.pb_pipelined),
+      entries_(config.entries),
+      table_(config.table_entries) {
+  PRESTAGE_ASSERT(config.entries >= 1 && config.table_entries >= 1 &&
+                  config.max_region_lines >= 2);
+}
+
+StreamPrefetcher::Entry* StreamPrefetcher::find(Addr line) {
+  for (Entry& e : entries_) {
+    if (e.allocated && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+const StreamPrefetcher::Entry* StreamPrefetcher::find(Addr line) const {
+  return const_cast<StreamPrefetcher*>(this)->find(line);
+}
+
+StreamPrefetcher::Entry* StreamPrefetcher::allocate() {
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.allocated) return &e;
+  }
+  for (Entry& e : entries_) {
+    if (!e.valid) continue;  // in flight
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  return victim;
+}
+
+std::size_t StreamPrefetcher::table_index(Addr trigger) const {
+  return static_cast<std::size_t>((trigger / config_.line_bytes) %
+                                  table_.size());
+}
+
+std::uint32_t StreamPrefetcher::recorded_region_lines(Addr trigger) const {
+  const Region& r = table_[table_index(trigger)];
+  return r.trigger == trigger ? r.lines : 0;
+}
+
+PreBufferProbe StreamPrefetcher::probe(Addr line) const {
+  const Entry* e = find(line);
+  if (e == nullptr) return {};
+  // ready is the (possibly future) arrival cycle for L1->PB transfers,
+  // kNoCycle while a below-L1 fill is still in flight.
+  return PreBufferProbe{true, e->ready};
+}
+
+void StreamPrefetcher::on_fetch_from_pb(Addr line, Cycle now) {
+  (void)now;
+  Entry* e = find(line);
+  PRESTAGE_ASSERT(e != nullptr, "PB consume of absent line");
+  caches_.fill_promoted(line);
+  e->allocated = false;
+  e->valid = false;
+}
+
+void StreamPrefetcher::finalize_region() {
+  if (region_trigger_ != kNoAddr && region_lines_ >= 2) {
+    table_[table_index(region_trigger_)] =
+        Region{region_trigger_, region_lines_};
+    regions_recorded.add();
+  }
+  region_trigger_ = kNoAddr;
+  region_last_ = kNoAddr;
+  region_lines_ = 0;
+}
+
+void StreamPrefetcher::prestage(Addr target, Cycle now) {
+  // Only one-cycle-reachable locations filter a replay (the pre-buffer
+  // itself, or the L0 when configured). The L1 is deliberately NOT
+  // filtered against: with a multi-cycle L1 the whole point is staging
+  // resident lines into one-cycle reach (paper §3.1.1/§3.2.3) — the
+  // transfer source below just changes to the L1's prefetch port.
+  if (find(target) != nullptr) {
+    sources_.add(FetchSource::PreBuffer);
+    return;
+  }
+  if (caches_.probe_l0(target)) {
+    sources_.add(FetchSource::L0);
+    return;
+  }
+  Entry* e = allocate();
+  if (e == nullptr) return;  // all entries in flight: drop the request
+  if (caches_.probe_l1(target)) {
+    if (!caches_.prefetch_port().can_accept(now)) return;
+    const Cycle done = caches_.prefetch_port().issue(now);
+    *e = Entry{target, done, ++lru_clock_, e->gen + 1, true, true};
+    sources_.add(FetchSource::L1);
+    prefetches_issued.add();
+    return;
+  }
+  *e = Entry{target, kNoCycle, ++lru_clock_, e->gen + 1, true, false};
+  const std::uint64_t gen = e->gen;
+  Entry* slot = e;
+  mem_.submit(mem::ReqType::IPrefetch, target, now,
+              [this, slot, target, gen](FetchSource src, Cycle ready) {
+                if (!slot->allocated || slot->gen != gen ||
+                    slot->line != target) {
+                  return;
+                }
+                slot->ready = ready;
+                slot->valid = true;
+                sources_.add(src);
+              });
+  prefetches_issued.add();
+}
+
+void StreamPrefetcher::on_line_request(Addr line, Cycle now) {
+  // Replay: a recorded trigger prestages the rest of its region.
+  const Region& hit = table_[table_index(line)];
+  if (hit.trigger == line && hit.lines >= 2) {
+    region_replays.add();
+    for (std::uint32_t d = 1; d < hit.lines; ++d) {
+      prestage(line + static_cast<Addr>(d) * config_.line_bytes, now);
+    }
+  }
+
+  // Record: grow the in-flight region while requests stay sequential.
+  if (region_trigger_ == kNoAddr) {
+    region_trigger_ = line;
+    region_last_ = line;
+    region_lines_ = 1;
+    return;
+  }
+  if (line == region_last_) return;  // same line re-requested
+  if (line == region_last_ + config_.line_bytes) {
+    region_last_ = line;
+    if (++region_lines_ >= config_.max_region_lines) {
+      // Cap reached: store this region and chain a fresh one from the
+      // current line so long sequential runs become linked regions.
+      finalize_region();
+      region_trigger_ = line;
+      region_last_ = line;
+      region_lines_ = 1;
+    }
+    return;
+  }
+  // Discontinuity: the region is complete; the new line triggers the
+  // next one.
+  finalize_region();
+  region_trigger_ = line;
+  region_last_ = line;
+  region_lines_ = 1;
+}
+
+void StreamPrefetcher::on_recovery(Cycle now) {
+  (void)now;
+  // Wrong-path requests must not be recorded as a stream; recorded
+  // regions stay — they describe previously observed control flow.
+  region_trigger_ = kNoAddr;
+  region_last_ = kNoAddr;
+  region_lines_ = 0;
+}
+
+void register_stream_prefetcher(PrefetcherRegistry& r) {
+  r.add({.name = "stream",
+         .label = "Stream",
+         .description =
+             "stream/discontinuity prefetcher (MANA-flavored): records "
+             "consecutive-line regions keyed by trigger line, prestages "
+             "them on re-encounter",
+         .build = [](const BuildInputs& in) {
+           PrefetcherBuild b;
+           b.queue = std::make_unique<frontend::FetchTargetQueue>(
+               in.config.queue_blocks, in.config.line_bytes);
+           StreamConfig cfg;
+           cfg.entries = in.config.prebuffer_entries;
+           cfg.pb_latency = in.timings.prebuffer_latency;
+           cfg.pb_pipelined = in.config.prebuffer_pipelined;
+           cfg.line_bytes = in.config.line_bytes;
+           b.prefetcher = std::make_unique<StreamPrefetcher>(
+               cfg, in.caches, in.mem);
+           return b;
+         }});
+}
+
+}  // namespace prestage::prefetch

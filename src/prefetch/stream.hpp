@@ -1,0 +1,117 @@
+// Stream/discontinuity prefetching (MANA-flavored; Ansari et al.,
+// "MANA: Microarchitecting an instruction prefetcher"): the demand line
+// stream is recorded as *regions* of consecutive cache lines keyed by
+// the line that triggered them, and a re-encounter of a trigger
+// prestages the whole recorded region into a small prefetch buffer.
+//
+//  * Recording: the fetch stage's line requests feed a region recorder.
+//    While requests stay sequential (same line, or the next line), the
+//    current region grows (up to a cap); any discontinuity — a taken
+//    branch, a wrap, a miss to a new area — finalizes the region into a
+//    direct-mapped region table keyed by its trigger line.
+//  * Replay: when a demand request hits a recorded trigger, the region's
+//    remaining lines are prestaged ahead of the fetch stream.
+//  * Recovery: a branch misprediction abandons the in-flight region
+//    (wrong-path lines must not be recorded as a stream) but keeps the
+//    table — recorded regions describe committed control flow.
+//
+// The pre-buffer uses FDP-style entry management (freed on use, promoted
+// to L0/L1), but replays filter only against one-cycle structures (the
+// buffer itself and the L0): L1-resident region lines are staged *from*
+// the L1 into one-cycle reach through the prefetch port — the paper's
+// §3.1.1/§3.2.3 insight that filtering against a multi-cycle L1 defeats
+// an instruction prefetcher when hits are the common case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/ifetch_caches.hpp"
+#include "mem/memsys.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace prestage::prefetch {
+
+struct StreamConfig {
+  std::uint32_t entries = 8;           ///< pre-buffer entries (lines)
+  std::uint32_t table_entries = 128;   ///< region table size (direct-mapped)
+  std::uint32_t max_region_lines = 8;  ///< cap on a recorded region
+  int pb_latency = 1;
+  bool pb_pipelined = false;
+  std::uint32_t line_bytes = 64;
+};
+
+class StreamPrefetcher final : public IPrefetcher {
+ public:
+  StreamPrefetcher(const StreamConfig& config, mem::IFetchCaches& caches,
+                   mem::MemSystem& mem);
+
+  [[nodiscard]] PreBufferProbe probe(Addr line) const override;
+  [[nodiscard]] int pb_latency() const override {
+    return config_.pb_latency;
+  }
+  [[nodiscard]] mem::LatencyPort* pb_port() override { return &port_; }
+  void on_fetch_from_pb(Addr line, Cycle now) override;
+  void on_line_request(Addr line, Cycle now) override;
+  void tick(Cycle /*now*/) override {}
+  void on_recovery(Cycle now) override;
+  [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
+    return sources_;
+  }
+  [[nodiscard]] std::uint64_t prefetches() const override {
+    return prefetches_issued.value();
+  }
+
+  // --- statistics -------------------------------------------------------
+  Counter prefetches_issued;  ///< transfers started (L1/L2/mem)
+  Counter regions_recorded;   ///< regions finalized into the table
+  Counter region_replays;     ///< trigger re-encounters that prestaged
+
+  /// Recorded length (in lines) of the region keyed by @p trigger, or 0
+  /// when none is recorded (tests).
+  [[nodiscard]] std::uint32_t recorded_region_lines(Addr trigger) const;
+
+ private:
+  struct Region {
+    Addr trigger = kNoAddr;
+    std::uint32_t lines = 0;
+  };
+
+  struct Entry {
+    Addr line = kNoAddr;
+    Cycle ready = kNoCycle;
+    std::uint64_t lru = 0;
+    std::uint64_t gen = 0;
+    bool allocated = false;
+    bool valid = false;
+  };
+
+  [[nodiscard]] Entry* find(Addr line);
+  [[nodiscard]] const Entry* find(Addr line) const;
+  [[nodiscard]] Entry* allocate();
+  [[nodiscard]] std::size_t table_index(Addr trigger) const;
+
+  /// Stores the in-flight region (if it spans 2+ lines) and resets the
+  /// recorder.
+  void finalize_region();
+  /// Stages one line into the pre-buffer unless it is already reachable.
+  void prestage(Addr line, Cycle now);
+
+  StreamConfig config_;
+  mem::IFetchCaches& caches_;
+  mem::MemSystem& mem_;
+  mem::LatencyPort port_;
+  std::vector<Entry> entries_;
+  std::vector<Region> table_;
+  std::uint64_t lru_clock_ = 0;
+  SourceBreakdown sources_;
+
+  // Region recorder state.
+  Addr region_trigger_ = kNoAddr;
+  Addr region_last_ = kNoAddr;
+  std::uint32_t region_lines_ = 0;
+};
+
+}  // namespace prestage::prefetch

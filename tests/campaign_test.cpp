@@ -26,7 +26,6 @@ using campaign::CampaignSpec;
 using campaign::PointResult;
 using campaign::ResultStore;
 using campaign::RunPoint;
-using sim::Preset;
 
 /// Per-test-case file path (ctest -j runs cases concurrently against the
 /// same TempDir, so fixed names would collide).
@@ -58,12 +57,30 @@ CampaignSpec tiny_spec() {
   CampaignSpec spec;
   spec.name = "tiny";
   spec.title = "test grid";
-  spec.presets = {Preset::Base, Preset::ClgpL0};
+  spec.presets = {"base", "clgp-l0"};
   spec.nodes = {cacti::TechNode::um045};
   spec.l1_sizes = {1024, 4096};
   spec.benchmarks = {"eon", "gzip"};
   spec.instructions = 800;
   return spec;
+}
+
+TEST(CampaignSpec, ExpandCanonicalizesSpecSpellings) {
+  // "clgp+l0" and "clgp-l0" are the same configuration: their run
+  // points must share keys, so stores pair across spellings.
+  CampaignSpec a = tiny_spec();
+  CampaignSpec b = tiny_spec();
+  b.presets = {"base", "clgp+l0"};
+  const auto pa = campaign::expand(a);
+  const auto pb = campaign::expand(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].key(), pb[i].key());
+    EXPECT_EQ(pb[i].config, pa[i].config) << "canonical config shared";
+  }
+  // The grid's own spelling is preserved for provenance.
+  EXPECT_EQ(pb.back().preset, "clgp+l0");
+  EXPECT_EQ(pb.back().config, "clgp-l0");
 }
 
 TEST(CampaignSpec, ExpandIsPresetMajorWithUniqueStableKeys) {
@@ -73,12 +90,12 @@ TEST(CampaignSpec, ExpandIsPresetMajorWithUniqueStableKeys) {
   EXPECT_EQ(points.size(), spec.point_count());
 
   // Preset-major, then node, then size, then benchmark.
-  EXPECT_EQ(points[0].preset, Preset::Base);
+  EXPECT_EQ(points[0].preset, "base");
   EXPECT_EQ(points[0].l1i_size, 1024u);
   EXPECT_EQ(points[0].benchmark, "eon");
   EXPECT_EQ(points[1].benchmark, "gzip");
   EXPECT_EQ(points[2].l1i_size, 4096u);
-  EXPECT_EQ(points[4].preset, Preset::ClgpL0);
+  EXPECT_EQ(points[4].preset, "clgp-l0");
 
   std::set<std::string> keys;
   for (const RunPoint& p : points) keys.insert(p.key());
@@ -92,15 +109,20 @@ TEST(CampaignSpec, ExpandIsPresetMajorWithUniqueStableKeys) {
 }
 
 TEST(CampaignSpec, KeyEmbedsEveryAxis) {
-  const RunPoint base{.preset = Preset::Base,
+  const RunPoint base{.preset = "base",
+                      .config = "base",
                       .node = cacti::TechNode::um045,
                       .l1i_size = 4096,
                       .benchmark = "eon",
                       .instructions = 1000,
                       .seed = 1};
   RunPoint p = base;
-  p.preset = Preset::Clgp;
+  p.config = "clgp";
   EXPECT_NE(p.key(), base.key());
+  p = base;
+  p.preset = "some-other-spelling";
+  EXPECT_EQ(p.key(), base.key())
+      << "keys follow the canonical config, not the spelling";
   p = base;
   p.node = cacti::TechNode::um090;
   EXPECT_NE(p.key(), base.key());
@@ -148,8 +170,10 @@ TEST(CampaignEngine, StoreBytesIdenticalForAnyWorkerCount) {
   const CampaignSpec spec = tiny_spec();
   std::string reference;
   for (const unsigned jobs : {1u, 2u, 8u}) {
-    const std::string path =
-        fresh_file("w" + std::to_string(jobs) + ".jsonl");
+    std::string store_name = "w";  // (two steps: GCC 12 -Wrestrict FP)
+    store_name += std::to_string(jobs);
+    store_name += ".jsonl";
+    const std::string path = fresh_file(store_name);
     const auto outcome = campaign::run_campaign(spec, path, jobs);
     EXPECT_EQ(outcome.executed, 8u);
     const std::string bytes = read_file(path);
@@ -273,12 +297,10 @@ TEST(CampaignReport, GridAggregatesAndReportAreDeterministic) {
   std::vector<double> ipcs;
   for (const std::string& bench : grid.benchmarks()) {
     ipcs.push_back(
-        grid.at(Preset::Base, cacti::TechNode::um045, 1024, bench)
-            ->result.ipc);
+        grid.at("base", cacti::TechNode::um045, 1024, bench)->result.ipc);
   }
-  EXPECT_DOUBLE_EQ(
-      grid.hmean_ipc(Preset::Base, cacti::TechNode::um045, 1024),
-      harmonic_mean(ipcs));
+  EXPECT_DOUBLE_EQ(grid.hmean_ipc("base", cacti::TechNode::um045, 1024),
+                   harmonic_mean(ipcs));
 
   const auto render = [&] {
     std::ostringstream out;
@@ -371,10 +393,66 @@ TEST(FigureRegistry, CampaignsResolveByUniqueName) {
     EXPECT_EQ(figures::find(spec.name), &spec);
   }
   for (const char* name : {"fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
-                           "fig8", "smoke"}) {
+                           "fig8", "family", "smoke"}) {
     EXPECT_NE(figures::find(name), nullptr) << name;
   }
   EXPECT_EQ(figures::find("fig3"), nullptr);
+}
+
+TEST(CampaignStore, RowsCarryTheCanonicalConfigString) {
+  const auto points = campaign::expand(tiny_spec());
+  const PointResult r = campaign::simulate(points[0]);
+  EXPECT_EQ(r.config, "base");
+  const PointResult decoded = campaign::decode_line(campaign::encode_line(r));
+  EXPECT_EQ(decoded.config, r.config);
+
+  // A pre-config-field store line (older registry version) falls back
+  // to the preset spelling.
+  std::string line = campaign::encode_line(r);
+  const std::string field = "\"config\":\"base\",";
+  const auto pos = line.find(field);
+  ASSERT_NE(pos, std::string::npos);
+  line.erase(pos, field.size());
+  EXPECT_EQ(campaign::decode_line(line).config, "base");
+}
+
+TEST(CampaignCompare, ReportsRenamedAndUnknownConfigsByName) {
+  const auto results = campaign::run_points(campaign::expand(tiny_spec()), 2);
+  ResultStore baseline;
+  ResultStore candidate;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i < 2) {
+      // Two baseline points from a retired registry version: their
+      // config no longer parses, and their keys exist nowhere else.
+      PointResult retired = results[i];
+      retired.key = "00000000000000f" + std::to_string(i);
+      retired.preset = "retired-scheme-l0";
+      retired.config = "retired-scheme-l0";
+      baseline.insert(retired);
+    } else {
+      baseline.insert(results[i]);
+    }
+    candidate.insert(results[i]);
+  }
+  const auto cmp = campaign::compare_stores(baseline, candidate, 2.0);
+  EXPECT_EQ(cmp.common, 6u);
+  EXPECT_EQ(cmp.baseline_only, 2u);
+  EXPECT_EQ(cmp.candidate_only, 2u);
+  ASSERT_EQ(cmp.unknown_configs.size(), 1u);
+  EXPECT_EQ(cmp.unknown_configs[0], "retired-scheme-l0");
+  ASSERT_EQ(cmp.unpaired_by_config.count("retired-scheme-l0"), 1u);
+  EXPECT_EQ(cmp.unpaired_by_config.at("retired-scheme-l0").baseline_only,
+            2u);
+  // The two genuine points the baseline is missing show up under their
+  // real (still-parseable) config names.
+  std::size_t candidate_only = 0;
+  for (const auto& [config, n] : cmp.unpaired_by_config) {
+    candidate_only += n.candidate_only;
+    if (config != "retired-scheme-l0") {
+      EXPECT_TRUE(prestage::sim::parse_spec(config).has_value()) << config;
+    }
+  }
+  EXPECT_EQ(candidate_only, 2u);
 }
 
 }  // namespace

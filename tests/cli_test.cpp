@@ -136,15 +136,42 @@ TEST(CliSmoke, SweepJsonHasOnePointPerSize) {
   }
 }
 
-TEST(CliSmoke, ListNamesEveryPreset) {
+TEST(CliSmoke, ListNamesEveryPresetAndPrefetcher) {
   std::string output;
   const int rc = run_cli("list", &output);
   ASSERT_EQ(rc, 0) << output;
   for (const char* name :
        {"base", "base-ideal", "base-l0", "base-pipelined", "fdp", "fdp-l0",
-        "fdp-l0-pb16", "clgp", "clgp-l0", "clgp-l0-pb16"}) {
+        "fdp-l0-pb16", "clgp", "clgp-l0", "clgp-l0-pb16", "next-line",
+        "next-line-l0", "stream", "stream-l0"}) {
     EXPECT_NE(output.find(name), std::string::npos) << name;
   }
+  EXPECT_NE(output.find("prefetchers"), std::string::npos) << output;
+}
+
+TEST(CliSmoke, StreamPresetRunsEndToEnd) {
+  // The registry's proof-of-extension scheme, reached purely through
+  // the composition grammar (no CLI/preset edits were needed to add it).
+  const std::string json_file = test_file("stream.json");
+  std::string output;
+  const int rc = run_cli(
+      "run --preset stream-l0 --bench eon --instrs 2000 --json " +
+          json_file,
+      &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue doc = parse_json(read_file(json_file));
+  EXPECT_EQ(doc.at("preset").string, "stream-l0");
+  EXPECT_GT(doc.at("result").at("ipc").number, 0.0);
+}
+
+TEST(CliSmoke, CompositionSpellingsCanonicalize) {
+  // "fdp+l0" is the same machine as "fdp-l0"; reports carry the
+  // canonical spelling so downstream keys never fork.
+  std::string output;
+  const int rc = run_cli(
+      "run --preset fdp+l0 --bench eon --instrs 1000 --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  EXPECT_EQ(parse_json(output).at("preset").string, "fdp-l0");
 }
 
 TEST(CliSmoke, BadInputFailsWithUsage) {
@@ -154,6 +181,11 @@ TEST(CliSmoke, BadInputFailsWithUsage) {
 
   EXPECT_NE(run_cli("run --preset no-such-preset", &output), 0);
   EXPECT_NE(output.find("unknown preset"), std::string::npos);
+  // The error enumerates what IS registered (the set is open, so it is
+  // built from the registry, not hardcoded in the message).
+  for (const char* name : {"clgp-l0-pb16", "next-line", "stream"}) {
+    EXPECT_NE(output.find(name), std::string::npos) << output;
+  }
 
   EXPECT_NE(run_cli("run --bench no-such-benchmark", &output), 0);
   EXPECT_NE(output.find("unknown benchmark"), std::string::npos);

@@ -7,7 +7,7 @@
 namespace prestage::cpu {
 namespace {
 
-MachineConfig tiny(const std::string& bench, PrefetcherKind kind,
+MachineConfig tiny(const std::string& bench, const std::string& kind,
                    std::uint64_t instrs = 15000) {
   MachineConfig cfg;
   cfg.benchmark = bench;
@@ -20,7 +20,7 @@ MachineConfig tiny(const std::string& bench, PrefetcherKind kind,
 class EveryBenchmark : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(EveryBenchmark, RunsToCompletionWithSaneIpc) {
-  Cpu cpu(tiny(GetParam(), PrefetcherKind::Clgp));
+  Cpu cpu(tiny(GetParam(), "clgp"));
   const RunResult r = cpu.run();
   // The run stops at the first commit group crossing the target, so it
   // may overshoot by at most commit width - 1.
@@ -37,8 +37,8 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EveryBenchmark,
                                            "bzip2", "twolf"));
 
 TEST(Machine, DeterministicAcrossRuns) {
-  const RunResult a = Cpu(tiny("gcc", PrefetcherKind::Clgp)).run();
-  const RunResult b = Cpu(tiny("gcc", PrefetcherKind::Clgp)).run();
+  const RunResult a = Cpu(tiny("gcc", "clgp")).run();
+  const RunResult b = Cpu(tiny("gcc", "clgp")).run();
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.recoveries, b.recoveries);
   EXPECT_EQ(a.fetch_sources.count(FetchSource::PreBuffer),
@@ -46,8 +46,7 @@ TEST(Machine, DeterministicAcrossRuns) {
 }
 
 TEST(Machine, FetchSourceFractionsSumToOne) {
-  for (const PrefetcherKind k :
-       {PrefetcherKind::None, PrefetcherKind::Fdp, PrefetcherKind::Clgp}) {
+  for (const char* k : {"base", "fdp", "clgp"}) {
     const RunResult r = Cpu(tiny("twolf", k)).run();
     double total = 0;
     for (int i = 0; i < kNumFetchSources; ++i) {
@@ -58,21 +57,21 @@ TEST(Machine, FetchSourceFractionsSumToOne) {
 }
 
 TEST(Machine, IdealCacheIsAnUpperBoundForBase) {
-  MachineConfig base = tiny("gcc", PrefetcherKind::None);
+  MachineConfig base = tiny("gcc", "base");
   MachineConfig ideal = base;
   ideal.ideal_l1 = true;
   EXPECT_GE(Cpu(ideal).run().ipc, Cpu(base).run().ipc);
 }
 
 TEST(Machine, PipeliningHelpsTheMultiCycleBase) {
-  MachineConfig base = tiny("eon", PrefetcherKind::None);
+  MachineConfig base = tiny("eon", "base");
   MachineConfig pipe = base;
   pipe.l1i_pipelined = true;
   EXPECT_GT(Cpu(pipe).run().ipc, Cpu(base).run().ipc);
 }
 
 TEST(Machine, L0HelpsTheBase) {
-  MachineConfig base = tiny("eon", PrefetcherKind::None);
+  MachineConfig base = tiny("eon", "base");
   MachineConfig l0 = base;
   l0.has_l0 = true;
   EXPECT_GT(Cpu(l0).run().ipc, Cpu(base).run().ipc);
@@ -81,32 +80,32 @@ TEST(Machine, L0HelpsTheBase) {
 TEST(Machine, ClgpFetchesMostlyFromPrestageBuffer) {
   // Paper §5.2: CLGP serves >86% of fetches from the pre-buffer (with a
   // 4-entry buffer); allow slack for the reduced trace length.
-  const RunResult r = Cpu(tiny("eon", PrefetcherKind::Clgp)).run();
+  const RunResult r = Cpu(tiny("eon", "clgp")).run();
   EXPECT_GT(r.fetch_sources.fraction(FetchSource::PreBuffer), 0.70);
 }
 
 TEST(Machine, FdpPbShareShrinksWithCacheSizeClgpDoesNot) {
   // Paper Figure 7(a): FDP's pre-buffer share collapses as the L1 grows
   // (filtering suppresses prefetches); CLGP's stays high.
-  auto pb_share = [](PrefetcherKind k, std::uint64_t l1) {
+  auto pb_share = [](const char* k, std::uint64_t l1) {
     MachineConfig cfg = tiny("eon", k);
     cfg.l1i_size = l1;
     return Cpu(cfg).run().fetch_sources.fraction(FetchSource::PreBuffer);
   };
-  EXPECT_LT(pb_share(PrefetcherKind::Fdp, 65536), 0.35);
-  EXPECT_GT(pb_share(PrefetcherKind::Clgp, 65536), 0.70);
+  EXPECT_LT(pb_share("fdp", 65536), 0.35);
+  EXPECT_GT(pb_share("clgp", 65536), 0.70);
 }
 
 TEST(Machine, ClgpBeatsNoPrefetchOnFetchBoundWorkload) {
   // eon: large instruction footprint, predictable branches — the
   // fetch-bound case the paper's mechanisms target (4KB blocking L1).
-  const double base = Cpu(tiny("eon", PrefetcherKind::None)).run().ipc;
-  const double clgp = Cpu(tiny("eon", PrefetcherKind::Clgp)).run().ipc;
+  const double base = Cpu(tiny("eon", "base")).run().ipc;
+  const double clgp = Cpu(tiny("eon", "clgp")).run().ipc;
   EXPECT_GT(clgp, base * 1.05);
 }
 
 TEST(Machine, WarmupExcludesColdStart) {
-  MachineConfig cold = tiny("gcc", PrefetcherKind::None, 12000);
+  MachineConfig cold = tiny("gcc", "base", 12000);
   MachineConfig warm = cold;
   warm.warmup_instructions = 6000;
   warm.max_instructions = 6000;
@@ -119,7 +118,7 @@ TEST(Machine, WarmupExcludesColdStart) {
 }
 
 TEST(Machine, RecoveriesMatchDriverMispredictions) {
-  Cpu cpu(tiny("twolf", PrefetcherKind::Clgp));
+  Cpu cpu(tiny("twolf", "clgp"));
   const RunResult r = cpu.run();
   EXPECT_GT(r.recoveries, 0u);
   // Every recovery stems from a verified divergence; some divergences may
@@ -129,7 +128,7 @@ TEST(Machine, RecoveriesMatchDriverMispredictions) {
 }
 
 TEST(Machine, DerivedTimingsFollowTable3) {
-  MachineConfig cfg = tiny("gzip", PrefetcherKind::None);
+  MachineConfig cfg = tiny("gzip", "base");
   cfg.node = cacti::TechNode::um045;
   cfg.l1i_size = 4096;
   const DerivedTimings t = DerivedTimings::from(cfg);
@@ -144,7 +143,7 @@ TEST(Machine, DerivedTimingsFollowTable3) {
 }
 
 TEST(Machine, SixteenEntryPreBufferIsMultiCycle) {
-  MachineConfig cfg = tiny("gzip", PrefetcherKind::Clgp);
+  MachineConfig cfg = tiny("gzip", "clgp");
   cfg.prebuffer_entries = 16;
   cfg.node = cacti::TechNode::um045;
   EXPECT_EQ(DerivedTimings::from(cfg).prebuffer_latency, 3);
@@ -153,13 +152,13 @@ TEST(Machine, SixteenEntryPreBufferIsMultiCycle) {
 }
 
 TEST(Machine, NextLinePrefetcherRuns) {
-  const RunResult r = Cpu(tiny("eon", PrefetcherKind::NextLine)).run();
+  const RunResult r = Cpu(tiny("eon", "next-line")).run();
   EXPECT_GT(r.prefetches_issued, 0u);
   EXPECT_GT(r.ipc, 0.05);
 }
 
 TEST(Machine, TickAdvancesCycleByCycle) {
-  Cpu cpu(tiny("gzip", PrefetcherKind::None, 100));
+  Cpu cpu(tiny("gzip", "base", 100));
   EXPECT_EQ(cpu.cycle(), 0u);
   cpu.tick();
   cpu.tick();

@@ -1,10 +1,10 @@
 // Golden-number regression tests: pinned simulator outputs so silent
 // drift in any subsystem fails CTest loudly.
 //
-// The pins cover the three preset families the paper compares (base,
-// FDP, CLGP) over a fixed 3-benchmark subset at a small instruction
-// budget. The simulator is fully deterministic, so IPC is pinned to 1e-9
-// and fetch-source counters exactly.
+// The pins cover every prefetcher family the registry knows (base, FDP,
+// CLGP, next-line, stream) over a fixed 3-benchmark subset at a small
+// instruction budget. The simulator is fully deterministic, so IPC is
+// pinned to 1e-9 and fetch-source counters exactly.
 //
 // If a change INTENTIONALLY alters simulated behaviour (new timing
 // model, calibration fix), re-pin by running this binary with
@@ -31,7 +31,7 @@ struct GoldenSources {
 };
 
 struct Golden {
-  Preset preset;
+  std::string preset;
   double hmean_ipc = 0.0;
   double ipc[3] = {0.0, 0.0, 0.0};  ///< eon, gzip, mcf
   GoldenSources fetch;
@@ -55,7 +55,7 @@ void check(const Golden& g) {
 }
 
 TEST(Golden, BasePreset) {
-  check({.preset = Preset::Base,
+  check({.preset = "base",
          .hmean_ipc = 0.4047629004248976,
          .ipc = {0.37584565271861686, 0.56494728915662651,
                  0.33545754374196435},
@@ -63,7 +63,7 @@ TEST(Golden, BasePreset) {
 }
 
 TEST(Golden, FdpPreset) {
-  check({.preset = Preset::Fdp,
+  check({.preset = "fdp",
          .hmean_ipc = 0.43780590540863101,
          .ipc = {0.40581670612106863, 0.66570541259982252,
                  0.34649806570818176},
@@ -71,11 +71,48 @@ TEST(Golden, FdpPreset) {
 }
 
 TEST(Golden, ClgpPreset) {
-  check({.preset = Preset::Clgp,
+  check({.preset = "clgp",
          .hmean_ipc = 0.44540963860235305,
          .ipc = {0.41359343765078926, 0.69195296287756514,
                  0.34814642919301503},
          .fetch = {.pb = 2444, .l0 = 0, .l1 = 24, .l2 = 17, .mem = 4}});
+}
+
+// The two sequential/stream families newly reachable through the
+// registry (next-line was dead code before it; stream is the registry's
+// proof-of-extension scheme). Pinned like the paper's three so registry
+// plumbing changes cannot silently alter what these presets simulate.
+
+TEST(Golden, NextLinePreset) {
+  check({.preset = "next-line",
+         .hmean_ipc = 0.42538214233554694,
+         .ipc = {0.39341682512622123, 0.62657897484079761,
+                 0.34309073237665083},
+         .fetch = {.pb = 40, .l0 = 0, .l1 = 2261, .l2 = 0, .mem = 12}});
+}
+
+TEST(Golden, NextLineL0Preset) {
+  check({.preset = "next-line-l0",
+         .hmean_ipc = 0.43265021960061251,
+         .ipc = {0.39790437031633397, 0.65260411003588126,
+                 0.34619822314526366},
+         .fetch = {.pb = 338, .l0 = 1900, .l1 = 205, .l2 = 6, .mem = 12}});
+}
+
+TEST(Golden, StreamPreset) {
+  check({.preset = "stream",
+         .hmean_ipc = 0.41193070051908887,
+         .ipc = {0.37921880925293894, 0.59384584941129914,
+                 0.33762799594913917},
+         .fetch = {.pb = 765, .l0 = 0, .l1 = 1503, .l2 = 14, .mem = 26}});
+}
+
+TEST(Golden, StreamL0Preset) {
+  check({.preset = "stream-l0",
+         .hmean_ipc = 0.42014998335194981,
+         .ipc = {0.38513383400731754, 0.62023354345354964,
+                 0.34112096407457937},
+         .fetch = {.pb = 210, .l0 = 1893, .l1 = 310, .l2 = 15, .mem = 26}});
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
-// Unit tests for the baseline prefetchers: FDP (paper §3.1) and
-// next-N-line (§2.1), plus the NonePrefetcher contract.
+// Unit tests for the baseline prefetchers: FDP (paper §3.1),
+// next-N-line (§2.1) and the stream/discontinuity scheme, plus the
+// NonePrefetcher contract and the prefetcher registry.
 #include <gtest/gtest.h>
 
 #include "frontend/fetch_queue.hpp"
@@ -8,6 +9,8 @@
 #include "prefetch/fdp.hpp"
 #include "prefetch/next_line.hpp"
 #include "prefetch/prefetcher.hpp"
+#include "prefetch/registry.hpp"
+#include "prefetch/stream.hpp"
 
 namespace prestage::prefetch {
 namespace {
@@ -218,6 +221,232 @@ TEST(NextLine, ConsumePromotesAndFrees) {
   rig.nl.on_fetch_from_pb(0x1040, 31);
   EXPECT_FALSE(rig.nl.probe(0x1040).present);
   EXPECT_TRUE(rig.caches.probe_l1(0x1040));
+}
+
+// --- stream/discontinuity prefetcher ---------------------------------------
+
+struct StreamRig {
+  mem::IFetchCaches caches;
+  mem::MemSystem mem;
+  StreamPrefetcher stream;
+
+  explicit StreamRig(const StreamConfig& cfg = {})
+      : caches(FdpRig::make_caches(false)),
+        mem(FdpRig::make_mem()),
+        stream(cfg, caches, mem) {}
+
+  void run_cycles(Cycle from, Cycle to) {
+    for (Cycle t = from; t <= to; ++t) {
+      mem.tick(t);
+      stream.tick(t);
+    }
+  }
+
+  /// Feeds a consecutive run of @p lines starting at @p start.
+  void request_run(Addr start, int lines, Cycle now) {
+    for (int i = 0; i < lines; ++i) {
+      stream.on_line_request(start + static_cast<Addr>(i) * 64, now);
+    }
+  }
+};
+
+TEST(Stream, RecordsARegionOnDiscontinuity) {
+  StreamRig rig;
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);        // 0x1000..0x1080 sequential
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x1000), 0u)
+      << "region still open";
+  rig.stream.on_line_request(0x8000, 0);  // discontinuity finalizes it
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x1000), 3u);
+  EXPECT_EQ(rig.stream.regions_recorded.value(), 1u);
+}
+
+TEST(Stream, SingleLineRegionsAreNotRecorded) {
+  StreamRig rig;
+  rig.mem.tick(0);
+  rig.stream.on_line_request(0x1000, 0);
+  rig.stream.on_line_request(0x8000, 0);  // 1-line region: nothing to replay
+  rig.stream.on_line_request(0x9000, 0);
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x1000), 0u);
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x8000), 0u);
+}
+
+TEST(Stream, ReplaysTheRegionOnTriggerReencounter) {
+  StreamRig rig;
+  rig.mem.l2().insert(0x1040);
+  rig.mem.l2().insert(0x1080);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);
+  rig.stream.on_line_request(0x8000, 0);  // record {0x1000, 3 lines}
+  EXPECT_EQ(rig.stream.prefetches_issued.value(), 0u)
+      << "recording alone must not prefetch";
+
+  rig.stream.on_line_request(0x1000, 1);  // trigger re-encountered
+  EXPECT_EQ(rig.stream.region_replays.value(), 1u);
+  rig.run_cycles(1, 30);
+  EXPECT_TRUE(rig.stream.probe(0x1040).present);
+  EXPECT_TRUE(rig.stream.probe(0x1080).present);
+  EXPECT_FALSE(rig.stream.probe(0x10C0).present) << "region is 3 lines";
+  EXPECT_EQ(rig.stream.prefetches_issued.value(), 2u);
+}
+
+TEST(Stream, ReplayStagesL1ResidentLinesFromTheL1) {
+  // Unlike next-line's cache-probe filter, a replayed line that sits in
+  // the multi-cycle L1 is transferred into the one-cycle buffer (paper
+  // §3.1.1/§3.2.3) rather than skipped.
+  StreamRig rig;
+  rig.caches.fill_demand(0x1040);  // L1-resident region line
+  rig.mem.l2().insert(0x1080);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);
+  rig.stream.on_line_request(0x8000, 0);
+  rig.stream.on_line_request(0x1000, 1);
+  rig.run_cycles(1, 30);
+  EXPECT_TRUE(rig.stream.probe(0x1040).present);
+  EXPECT_TRUE(rig.stream.probe(0x1080).present);
+  EXPECT_EQ(rig.stream.prefetches_issued.value(), 2u);
+  EXPECT_EQ(rig.stream.prefetch_sources().count(FetchSource::L1), 1u);
+  EXPECT_EQ(rig.stream.prefetch_sources().count(FetchSource::L2), 1u);
+}
+
+TEST(Stream, ReplaySkipsOneCycleReachableLines) {
+  // Lines already one cycle away (the L0 here, or the buffer itself)
+  // are not re-staged.
+  StreamConfig cfg;
+  mem::IFetchCaches caches{FdpRig::make_caches(/*l0=*/true)};
+  mem::MemSystem mem{FdpRig::make_mem()};
+  StreamPrefetcher stream{cfg, caches, mem};
+  caches.fill_promoted(0x1040);  // into the L0
+  mem.tick(0);
+  for (int i = 0; i < 3; ++i) stream.on_line_request(0x1000 + i * 64, 0);
+  stream.on_line_request(0x8000, 0);
+  stream.on_line_request(0x1000, 1);
+  for (Cycle t = 1; t <= 30; ++t) {
+    mem.tick(t);
+    stream.tick(t);
+  }
+  EXPECT_FALSE(stream.probe(0x1040).present) << "L0-resident: skipped";
+  EXPECT_TRUE(stream.probe(0x1080).present);
+  EXPECT_EQ(stream.prefetch_sources().count(FetchSource::L0), 1u);
+}
+
+TEST(Stream, ConsumePromotesAndFrees) {
+  StreamRig rig;
+  rig.mem.l2().insert(0x1040);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 2, 0);
+  rig.stream.on_line_request(0x8000, 0);
+  rig.stream.on_line_request(0x1000, 1);
+  rig.run_cycles(1, 30);
+  ASSERT_TRUE(rig.stream.probe(0x1040).present);
+  rig.stream.on_fetch_from_pb(0x1040, 31);
+  EXPECT_FALSE(rig.stream.probe(0x1040).present);
+  EXPECT_TRUE(rig.caches.probe_l1(0x1040));
+}
+
+TEST(Stream, RecoveryAbandonsTheOpenRegionButKeepsTheTable) {
+  StreamRig rig;
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);
+  rig.stream.on_line_request(0x8000, 0);  // {0x1000, 3} recorded
+  rig.request_run(0x2000, 3, 1);          // open wrong-path region
+  rig.stream.on_recovery(2);
+  rig.stream.on_line_request(0x9000, 3);  // would have finalized 0x2000
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x2000), 0u)
+      << "recovery must drop the in-flight region";
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x1000), 3u)
+      << "recorded regions survive recovery";
+}
+
+TEST(Stream, LongRunsChainAtTheRegionCap) {
+  StreamConfig cfg;
+  cfg.max_region_lines = 4;
+  StreamRig rig(cfg);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 9, 0);  // 9 consecutive lines, cap 4
+  // Cap chaining stores {0x1000,4} and {0x10C0,4}; the tail stays open.
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x1000), 4u);
+  EXPECT_EQ(rig.stream.recorded_region_lines(0x10C0), 4u);
+  EXPECT_EQ(rig.stream.regions_recorded.value(), 2u);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, EveryBuiltinSchemeIsRegistered) {
+  auto& registry = PrefetcherRegistry::instance();
+  for (const char* name : {"base", "fdp", "clgp", "next-line", "stream"}) {
+    const PrefetcherInfo* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_FALSE(info->label.empty());
+    EXPECT_TRUE(static_cast<bool>(info->build));
+  }
+  EXPECT_EQ(registry.find("frobnicate"), nullptr);
+}
+
+TEST(Registry, BuildsEveryRegisteredSchemeFromAMachineConfig) {
+  auto caches = FdpRig::make_caches(false);
+  auto mem = FdpRig::make_mem();
+  for (const std::string& name : PrefetcherRegistry::instance().names()) {
+    cpu::MachineConfig cfg;
+    cfg.prefetcher = name;
+    const cpu::DerivedTimings timings = cpu::DerivedTimings::from(cfg);
+    PrefetcherBuild b = build_prefetcher(
+        {.config = cfg, .timings = timings, .caches = caches, .mem = mem});
+    ASSERT_NE(b.queue, nullptr) << name;
+    ASSERT_NE(b.prefetcher, nullptr) << name;
+    // Contract smoke: a fresh prefetcher stages nothing and survives its
+    // whole interface.
+    EXPECT_FALSE(b.prefetcher->probe(0x1000).present) << name;
+    b.prefetcher->tick(0);
+    b.prefetcher->on_recovery(1);
+    EXPECT_EQ(b.prefetcher->prefetches(), 0u) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsNamingTheRegisteredSchemes) {
+  auto caches = FdpRig::make_caches(false);
+  auto mem = FdpRig::make_mem();
+  cpu::MachineConfig cfg;
+  cfg.prefetcher = "no-such-scheme";
+  const cpu::DerivedTimings timings = cpu::DerivedTimings::from(cfg);
+  try {
+    (void)build_prefetcher(
+        {.config = cfg, .timings = timings, .caches = caches, .mem = mem});
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scheme"), std::string::npos) << what;
+    for (const char* name : {"base", "fdp", "clgp", "next-line", "stream"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(Registry, OutOfTreeRegistrationIsOpen) {
+  // The whole point of the registry: a scheme can be added without
+  // touching the cpu/sim/cli layers. Register one and build it.
+  auto& registry = PrefetcherRegistry::instance();
+  if (registry.find("test-null") == nullptr) {
+    registry.add({.name = "test-null",
+                  .label = "TestNull",
+                  .description = "test-only scheme",
+                  .build = [](const BuildInputs& in) {
+                    PrefetcherBuild b;
+                    b.queue = std::make_unique<frontend::FetchTargetQueue>(
+                        in.config.queue_blocks, in.config.line_bytes);
+                    b.prefetcher = std::make_unique<NonePrefetcher>();
+                    return b;
+                  }});
+  }
+  auto caches = FdpRig::make_caches(false);
+  auto mem = FdpRig::make_mem();
+  cpu::MachineConfig cfg;
+  cfg.prefetcher = "test-null";
+  const cpu::DerivedTimings timings = cpu::DerivedTimings::from(cfg);
+  PrefetcherBuild b = build_prefetcher(
+      {.config = cfg, .timings = timings, .caches = caches, .mem = mem});
+  EXPECT_NE(b.prefetcher, nullptr);
 }
 
 }  // namespace

@@ -12,14 +12,104 @@ namespace prestage::sim {
 namespace {
 
 TEST(Presets, NamesAndShapes) {
-  EXPECT_EQ(preset_name(Preset::ClgpL0Pb16), "CLGP+L0+PB:16");
+  EXPECT_EQ(preset_label("clgp-l0-pb16"), "CLGP+L0+PB:16");
   const auto cfg =
-      make_config(Preset::ClgpL0Pb16, cacti::TechNode::um045, 8192);
-  EXPECT_EQ(cfg.prefetcher, cpu::PrefetcherKind::Clgp);
+      make_config("clgp-l0-pb16", cacti::TechNode::um045, 8192);
+  EXPECT_EQ(cfg.prefetcher, "clgp");
   EXPECT_TRUE(cfg.has_l0);
   EXPECT_EQ(cfg.prebuffer_entries, 16u);
   EXPECT_TRUE(cfg.prebuffer_pipelined);
   EXPECT_EQ(cfg.l1i_size, 8192u);
+}
+
+TEST(Presets, EveryNamedPresetRoundTripsCanonically) {
+  for (const std::string& name : all_presets()) {
+    const auto c = parse_spec(name);
+    ASSERT_TRUE(c.has_value()) << name;
+    EXPECT_EQ(canonical_name(*c), name) << "named presets are canonical";
+    EXPECT_EQ(parse_spec(canonical_name(*c)), c) << name;
+  }
+}
+
+TEST(Presets, CompositionsCanonicalizeAndRoundTrip) {
+  const struct {
+    const char* spec;
+    const char* canonical;
+  } kCases[] = {
+      {"fdp+l0+pb16", "fdp-l0-pb16"},
+      {"fdp-l0-pb16", "fdp-l0-pb16"},
+      {"clgp+l0@090", "clgp-l0@090"},
+      {"clgp+pb16+l0", "clgp-l0-pb16"},  // canonical order is fixed
+      {"next-line+l0", "next-line-l0"},
+      {"stream+l0+pb16", "stream-l0-pb16"},
+      {"base+pipelined", "base-pipelined"},
+      {"base+ideal", "base-ideal"},
+      {"clgp-l0-pb8@0.09um", "clgp-l0-pb8@090"},
+  };
+  for (const auto& kase : kCases) {
+    const auto c = parse_spec(kase.spec);
+    ASSERT_TRUE(c.has_value()) << kase.spec;
+    EXPECT_EQ(canonical_name(*c), kase.canonical) << kase.spec;
+    // Round trip: the canonical form parses back to the same value.
+    EXPECT_EQ(parse_spec(canonical_name(*c)), c) << kase.spec;
+  }
+}
+
+TEST(Presets, CompositionsBuildTheRightMachine) {
+  const auto c = parse_spec("stream+l0@090");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->prefetcher, "stream");
+  EXPECT_TRUE(c->has_l0);
+  ASSERT_TRUE(c->node.has_value());
+  EXPECT_EQ(*c->node, cacti::TechNode::um090);
+  // The composition's node override wins over the build-time node.
+  const auto cfg = make_config(*c, cacti::TechNode::um045, 4096);
+  EXPECT_EQ(cfg.node, cacti::TechNode::um090);
+  EXPECT_EQ(cfg.prefetcher, "stream");
+  EXPECT_TRUE(cfg.has_l0);
+  EXPECT_EQ(cfg.prebuffer_entries,
+            one_cycle_prebuffer_entries(cacti::TechNode::um090));
+  EXPECT_FALSE(cfg.prebuffer_pipelined);
+
+  // pb4 fits the 0.045um one-cycle reach; pb16 does not and pipelines.
+  EXPECT_FALSE(make_config("clgp-pb4", cacti::TechNode::um045, 4096)
+                   .prebuffer_pipelined);
+  EXPECT_TRUE(make_config("clgp-pb16", cacti::TechNode::um045, 4096)
+                  .prebuffer_pipelined);
+}
+
+TEST(Presets, MalformedSpecsAreRejected) {
+  for (const char* bad :
+       {"", "frobnicate", "fdp+", "+fdp", "fdp+xyz", "l0", "pb16",
+        "fdp+pb0", "fdp+pbx", "fdp@", "fdp@bogus", "fdp-l0@", "-fdp",
+        "next-line-"}) {
+    EXPECT_FALSE(parse_spec(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
+TEST(Presets, DisplayLabelsMatchTheHistoricalFigureLabels) {
+  const struct {
+    const char* spec;
+    const char* label;
+  } kCases[] = {
+      {"base", "base"},
+      {"base-ideal", "ideal"},
+      {"base-l0", "base+L0"},
+      {"base-pipelined", "base pipelined"},
+      {"fdp", "FDP"},
+      {"fdp-l0", "FDP+L0"},
+      {"fdp-l0-pb16", "FDP+L0+PB:16"},
+      {"clgp", "CLGP"},
+      {"clgp-l0", "CLGP+L0"},
+      {"clgp-l0-pb16", "CLGP+L0+PB:16"},
+      {"next-line", "NL"},
+      {"next-line-l0", "NL+L0"},
+      {"stream", "Stream"},
+      {"stream-l0", "Stream+L0"},
+  };
+  for (const auto& kase : kCases) {
+    EXPECT_EQ(preset_label(kase.spec), kase.label) << kase.spec;
+  }
 }
 
 TEST(Presets, OneCyclePreBufferEntriesMatchPaperSection5) {
@@ -35,7 +125,7 @@ TEST(Presets, PaperSizesAxis) {
 }
 
 TEST(Experiment, SuiteAggregatesAndHmean) {
-  auto cfg = make_config(Preset::BaseIdeal, cacti::TechNode::um045, 4096);
+  auto cfg = make_config("base-ideal", cacti::TechNode::um045, 4096);
   const SuiteResult r = run_suite(cfg, {"gzip", "twolf"}, 8000);
   ASSERT_EQ(r.per_benchmark.size(), 2u);
   EXPECT_GT(r.hmean_ipc, 0.0);
@@ -48,7 +138,7 @@ TEST(Experiment, SuiteAggregatesAndHmean) {
 TEST(Experiment, RunParallelPreservesOrderAndDeterminism) {
   std::vector<cpu::MachineConfig> configs;
   for (const char* b : {"gzip", "mcf", "gzip"}) {
-    auto cfg = make_config(Preset::Base, cacti::TechNode::um045, 2048);
+    auto cfg = make_config("base", cacti::TechNode::um045, 2048);
     cfg.benchmark = b;
     cfg.max_instructions = 6000;
     configs.push_back(cfg);
@@ -96,13 +186,13 @@ TEST(FigureShape, Fig1IdealDominatesAndBaseSuffersLatency) {
   const auto node = cacti::TechNode::um045;
   const std::vector<std::string> suite = {"eon", "gcc", "gzip"};
   const double ideal =
-      run_suite(make_config(Preset::BaseIdeal, node, 8192), suite, 10000)
+      run_suite(make_config("base-ideal", node, 8192), suite, 10000)
           .hmean_ipc;
   const double pipelined =
-      run_suite(make_config(Preset::BasePipelined, node, 8192), suite, 10000)
+      run_suite(make_config("base-pipelined", node, 8192), suite, 10000)
           .hmean_ipc;
   const double base =
-      run_suite(make_config(Preset::Base, node, 8192), suite, 10000)
+      run_suite(make_config("base", node, 8192), suite, 10000)
           .hmean_ipc;
   EXPECT_GE(ideal, pipelined * 0.999);
   EXPECT_GT(pipelined, base);
@@ -112,13 +202,13 @@ TEST(FigureShape, Fig5ClgpBeatsFdpBeatsBaseAt4KB) {
   const auto node = cacti::TechNode::um045;
   const std::vector<std::string> suite = {"eon", "vortex", "crafty"};
   const double clgp =
-      run_suite(make_config(Preset::ClgpL0Pb16, node, 4096), suite, 10000)
+      run_suite(make_config("clgp-l0-pb16", node, 4096), suite, 10000)
           .hmean_ipc;
   const double fdp =
-      run_suite(make_config(Preset::FdpL0Pb16, node, 4096), suite, 10000)
+      run_suite(make_config("fdp-l0-pb16", node, 4096), suite, 10000)
           .hmean_ipc;
   const double base =
-      run_suite(make_config(Preset::BasePipelined, node, 4096), suite, 10000)
+      run_suite(make_config("base-pipelined", node, 4096), suite, 10000)
           .hmean_ipc;
   EXPECT_GT(clgp, fdp * 0.995);  // CLGP at least matches FDP
   EXPECT_GT(clgp, base);         // and clearly beats no-prefetch
@@ -130,10 +220,10 @@ TEST(FigureShape, ClgpInsensitiveToL1Size) {
   const auto node = cacti::TechNode::um045;
   const std::vector<std::string> suite = {"eon", "crafty"};
   const double small =
-      run_suite(make_config(Preset::ClgpL0, node, 1024), suite, 10000)
+      run_suite(make_config("clgp-l0", node, 1024), suite, 10000)
           .hmean_ipc;
   const double large =
-      run_suite(make_config(Preset::ClgpL0, node, 32768), suite, 10000)
+      run_suite(make_config("clgp-l0", node, 32768), suite, 10000)
           .hmean_ipc;
   EXPECT_GT(small, large * 0.85);  // within 15% across a 32x size range
 }

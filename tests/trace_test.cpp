@@ -282,7 +282,7 @@ TEST(ChampSimImport, FixtureRunsEndToEndThroughClgp) {
   // Acceptance: an external ChampSim trace drives the full CLGP pipeline.
   const auto spec = import_champsim_trace(fixture_path());
   cpu::MachineConfig cfg =
-      sim::make_config(sim::Preset::Clgp, cacti::TechNode::um045, 4096);
+      sim::make_config("clgp", cacti::TechNode::um045, 4096);
   cfg.benchmark = spec->name();
   cfg.max_instructions = 2000;
   cfg.workload = spec;
@@ -321,7 +321,7 @@ TEST(Determinism, RunParallelMatchesSerialForAnyWorkerCount) {
   std::vector<cpu::MachineConfig> configs;
   for (const char* b : {"gzip", "eon", "mcf", "crafty", "vortex"}) {
     cpu::MachineConfig cfg =
-        sim::make_config(sim::Preset::ClgpL0, cacti::TechNode::um045, 2048);
+        sim::make_config("clgp-l0", cacti::TechNode::um045, 2048);
     cfg.benchmark = b;
     cfg.max_instructions = 4000;
     configs.push_back(cfg);
@@ -345,7 +345,7 @@ TEST(Determinism, RecordThenReplayReproducesTheRunExactly) {
   // `trace replay` of the produced file yields identical IPC and
   // fetch-source statistics.
   const std::string path = test_file("eon.pstr");
-  cpu::MachineConfig cfg = sim::make_config(sim::Preset::ClgpL0Pb16,
+  cpu::MachineConfig cfg = sim::make_config("clgp-l0-pb16",
                                             cacti::TechNode::um045, 4096);
   cfg.benchmark = "eon";
   cfg.max_instructions = 5000;
@@ -372,7 +372,7 @@ TEST(Determinism, ReplayedSuiteParticipatesInRunSuite) {
   // synthetic ones (sweeps and benches included).
   const auto spec = import_champsim_trace(fixture_path());
   cpu::MachineConfig cfg =
-      sim::make_config(sim::Preset::Fdp, cacti::TechNode::um045, 1024);
+      sim::make_config("fdp", cacti::TechNode::um045, 1024);
   cfg.workload = spec;
   const sim::SuiteResult suite =
       sim::run_suite(cfg, {spec->name()}, 1500);
