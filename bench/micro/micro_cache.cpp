@@ -1,0 +1,63 @@
+// SetAssocCache microbenchmarks: the tag store sits under every fetch,
+// prefetch probe and L2 access, so access/insert latency bounds the
+// whole simulator. The geometry arithmetic is pure shift/mask (no
+// divisions) — these benches are the regression guard for that.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+
+namespace {
+
+using namespace prestage;
+
+/// Demand lookups that mostly hit (the simulator's steady state).
+void BM_CacheAccessHit(benchmark::State& state) {
+  mem::SetAssocCache cache(static_cast<std::uint64_t>(state.range(0)), 64,
+                           2);
+  const std::uint64_t lines = cache.size_bytes() / cache.line_bytes();
+  for (std::uint64_t i = 0; i < lines; ++i) cache.insert(i * 64);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(lines) * 64));
+  }
+}
+BENCHMARK(BM_CacheAccessHit)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+/// Lookups over a footprint twice the capacity (~50% misses).
+void BM_CacheAccessMixed(benchmark::State& state) {
+  mem::SetAssocCache cache(65536, 64, 2);
+  const std::uint64_t lines = 2 * 65536 / 64;
+  for (std::uint64_t i = 0; i < lines; ++i) cache.insert(i * 64);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(lines) * 64));
+  }
+}
+BENCHMARK(BM_CacheAccessMixed);
+
+/// Streaming inserts with continuous LRU eviction (worst case).
+void BM_CacheInsertEvict(benchmark::State& state) {
+  mem::SetAssocCache cache(4096, 64, 2);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.insert(a));
+    a += 64;
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+/// Replacement-state-free probes (FDP's enqueue-cache-probe filtering).
+void BM_CacheContains(benchmark::State& state) {
+  mem::SetAssocCache cache(65536, 64, 2);
+  for (Addr a = 0; a < 65536; a += 64) cache.insert(a);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.contains(rng.below(2048) * 64));
+  }
+}
+BENCHMARK(BM_CacheContains);
+
+}  // namespace
+
+BENCHMARK_MAIN();

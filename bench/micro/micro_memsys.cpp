@@ -1,0 +1,97 @@
+// MemSystem microbenchmarks: the arbitrated bus is ticked every cycle of
+// every simulation, so submit/grant/complete cost — and the idle-cycle
+// early-out — dominate kernel throughput. The submit benches double as
+// the demonstration that steady-state submission is allocation-free:
+// run them under `--benchmark_counters_tabular` and compare against a
+// heap profiler, or see tests/memsys_stress_test.cpp for the counted
+// proof.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/memsys.hpp"
+
+namespace {
+
+using namespace prestage;
+
+mem::MemSystemConfig micro_config() {
+  mem::MemSystemConfig cfg;
+  cfg.l2_size_bytes = 1 << 16U;
+  cfg.l2_latency = 10;
+  cfg.mem_latency = 50;
+  return cfg;
+}
+
+/// Full transaction lifecycle: submit a burst, then tick until the bus
+/// drains it. Measures cost per (grant + completion + callback).
+void BM_MemSystemSubmitDrain(benchmark::State& state) {
+  mem::MemSystem ms(micro_config());
+  Rng rng(1);
+  Cycle now = 0;
+  std::uint64_t fills = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) {
+      const auto type = static_cast<mem::ReqType>(rng.below(3));
+      ms.submit(type, rng.below(512) * 64, now,
+                [&fills](FetchSource, Cycle) { ++fills; });
+    }
+    for (int t = 0; t < 8; ++t) ms.tick(now++);
+  }
+  benchmark::DoNotOptimize(fills);
+  state.counters["merges"] =
+      static_cast<double>(ms.merges.value());
+}
+BENCHMARK(BM_MemSystemSubmitDrain);
+
+/// MSHR merge pressure: a hot working set small enough that most
+/// submissions land on an already-in-flight line and only append a
+/// callback to the chain.
+void BM_MemSystemMergePressure(benchmark::State& state) {
+  mem::MemSystem ms(micro_config());
+  Rng rng(2);
+  Cycle now = 0;
+  std::uint64_t fills = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      ms.submit(mem::ReqType::IPrefetch,
+                rng.below(static_cast<std::uint64_t>(state.range(0))) * 64,
+                now, [&fills](FetchSource, Cycle) { ++fills; });
+    }
+    ms.tick(now++);
+  }
+  benchmark::DoNotOptimize(fills);
+  state.counters["merge_rate"] =
+      static_cast<double>(ms.merges.value()) /
+      static_cast<double>(std::max<std::uint64_t>(
+          1, ms.merges.value() + ms.l2_hits.value() + ms.l2_misses.value()));
+}
+BENCHMARK(BM_MemSystemMergePressure)->Arg(8)->Arg(64);
+
+/// Writeback interleaving (the D-cache eviction path).
+void BM_MemSystemWritebacks(benchmark::State& state) {
+  mem::MemSystem ms(micro_config());
+  Rng rng(3);
+  Cycle now = 0;
+  for (auto _ : state) {
+    ms.submit_writeback(rng.below(1024) * 128, now);
+    ms.submit(mem::ReqType::Data, rng.below(1024) * 64, now,
+              [](FetchSource, Cycle) {});
+    for (int t = 0; t < 4; ++t) ms.tick(now++);
+  }
+}
+BENCHMARK(BM_MemSystemWritebacks);
+
+/// The idle tick: both queues empty, bus free. This is most cycles of a
+/// memory-quiet simulation, and must be a couple of loads and a return.
+void BM_MemSystemIdleTick(benchmark::State& state) {
+  mem::MemSystem ms(micro_config());
+  Cycle now = 0;
+  for (auto _ : state) {
+    ms.tick(now++);
+  }
+}
+BENCHMARK(BM_MemSystemIdleTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

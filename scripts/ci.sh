@@ -49,7 +49,9 @@ fi
 # recomputing surviving points, self-compare for zero regressions, and
 # emit + parse the figure report.
 CAMPAIGN="--name smoke --instrs 1200 --store build/ci-smoke.jsonl"
-rm -f build/ci-smoke.jsonl
+# Drop the previous generation's sidecar with its store: perf records
+# are append-only and would otherwise double-count rerun generations.
+rm -f build/ci-smoke.jsonl build/ci-smoke.jsonl.perf
 ./build/src/cli/prestage campaign run $CAMPAIGN -j 2 \
   --json build/ci-campaign-run.json
 cp build/ci-smoke.jsonl build/ci-smoke-full.jsonl
@@ -76,7 +78,7 @@ fi
 # The fig5 headline grid at a small budget: the full 1296-point campaign
 # exercises every preset at both nodes and produces the BENCH_fig5.json
 # perf-trajectory artifact.
-rm -f build/ci-fig5.jsonl
+rm -f build/ci-fig5.jsonl build/ci-fig5.jsonl.perf
 ./build/src/cli/prestage campaign run --name fig5 --instrs 1000 \
   --store build/ci-fig5.jsonl -j 0 --json build/ci-campaign-fig5.json
 ./build/src/cli/prestage campaign report --name fig5 --instrs 1000 \
@@ -98,11 +100,35 @@ fi
 # The open-registry grid: sequential/stream baselines (next-line, stream)
 # next to FDP/CLGP, proving every registered scheme runs end to end
 # through the campaign pipeline.
-rm -f build/ci-family.jsonl
+rm -f build/ci-family.jsonl build/ci-family.jsonl.perf
 ./build/src/cli/prestage campaign run --name family --instrs 800 \
   --store build/ci-family.jsonl -j 0 --json build/ci-campaign-family.json
 ./build/src/cli/prestage campaign report --name family --instrs 800 \
   --store build/ci-family.jsonl --out BENCH_family.json
+
+# --- perf smoke --------------------------------------------------------------
+# Host-throughput telemetry: run one short campaign with --jobs 0 (all
+# cores) and emit BENCH_perf.json (per-preset minstr_per_sec + total host
+# seconds) so every CI run appends a point to the perf trajectory.
+# Record-only: nothing gates on these numbers — wall clock varies with
+# the host — they exist to make kernel slowdowns visible over time.
+rm -f build/ci-perf.jsonl build/ci-perf.jsonl.perf
+./build/src/cli/prestage campaign run --name smoke --instrs 2000 \
+  --store build/ci-perf.jsonl -j 0 --json build/ci-campaign-perf.json
+./build/src/cli/prestage campaign perf --name smoke --instrs 2000 \
+  --store build/ci-perf.jsonl --out BENCH_perf.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_perf.json"))
+assert doc["schema"] == "prestage-campaign-perf-v1", doc
+assert doc["points"] == 8, doc
+assert doc["host_seconds"] > 0 and doc["minstr_per_sec"] > 0, doc
+assert doc["per_config"], doc
+assert all(c["minstr_per_sec"] > 0 for c in doc["per_config"]), doc
+print("perf smoke: BENCH_perf.json records host throughput (record-only)")
+EOF
+fi
 
 # --- sanitizer smoke ---------------------------------------------------------
 # ASan+UBSan build of the CLI, then one run per *registered* prefetcher

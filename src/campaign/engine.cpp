@@ -1,10 +1,13 @@
 #include "campaign/engine.hpp"
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "campaign/perf.hpp"
 #include "common/parallel.hpp"
+#include "sim/report.hpp"
 
 namespace prestage::campaign {
 
@@ -76,9 +79,38 @@ RunOutcome run_campaign(const CampaignSpec& spec,
   if (todo.empty()) return outcome;
 
   StoreAppender appender(store_path);
+  // Host telemetry rides a sidecar so the store itself stays
+  // byte-deterministic; rows flush in the same ordered-prefix
+  // discipline. Unlike the store, the sidecar is record-only and must
+  // never block a campaign: if it cannot be opened or written (its
+  // path unwritable while the store is fine, disk filling between the
+  // two flushes), the telemetry is dropped and the run continues.
+  std::unique_ptr<LineAppender> perf_appender;
+  try {
+    perf_appender =
+        std::make_unique<LineAppender>(perf_log_path(store_path));
+  } catch (const SimError&) {
+    // no sidecar: results still land, only the perf trajectory is lost
+  }
+  sim::HostPerfAccumulator host;
   run_ordered(
       todo, jobs,
-      [&appender](PointResult r) { appender.append(r); }, progress);
+      [&](PointResult r) {
+        appender.append(r);
+        const PerfRecord perf = perf_record_of(r);
+        if (perf_appender) {
+          try {
+            perf_appender->append_line(encode_perf_line(perf));
+          } catch (const SimError&) {
+            perf_appender.reset();  // stop trying; keep simulating
+          }
+        }
+        host.add(perf.host_seconds, perf.minstr_per_sec);
+      },
+      progress);
+  const sim::HostPerf total = host.result();
+  outcome.host_seconds = total.host_seconds;
+  outcome.minstr_per_sec = total.minstr_per_sec;
   return outcome;
 }
 

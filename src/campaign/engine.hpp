@@ -23,12 +23,17 @@ namespace prestage::campaign {
 
 /// What a run did: total grid size vs. reused (already stored) vs.
 /// freshly executed points, plus how many store lines were dropped as
-/// corrupt at load (those points are recomputed).
+/// corrupt at load (those points are recomputed), plus the host cost of
+/// the executed points (worker-seconds and seconds-weighted Minstr/s;
+/// the same numbers are appended per point to the `<store>.perf`
+/// sidecar — see campaign/perf.hpp).
 struct RunOutcome {
   std::size_t total = 0;
   std::size_t reused = 0;
   std::size_t executed = 0;
   std::size_t corrupt_dropped = 0;
+  double host_seconds = 0.0;
+  double minstr_per_sec = 0.0;
 };
 
 /// Progress callback: (newly completed points, points to execute).

@@ -164,7 +164,8 @@ void write_sources(JsonWriter& json, const ResultGrid& grid,
 
 }  // namespace
 
-void write_report(JsonWriter& json, const ResultGrid& grid) {
+void write_report(JsonWriter& json, const ResultGrid& grid,
+                  const PerfLog& perf) {
   const CampaignSpec& spec = grid.spec();
   PRESTAGE_ASSERT(grid.missing() == 0, "cannot report an incomplete grid");
   json.begin_object();
@@ -198,6 +199,13 @@ void write_report(JsonWriter& json, const ResultGrid& grid) {
     case ReportKind::PerBenchmark: write_per_benchmark(json, grid); break;
     case ReportKind::FetchSources: write_sources(json, grid, false); break;
     case ReportKind::PrefetchSources: write_sources(json, grid, true); break;
+  }
+
+  if (!perf.empty()) {
+    json.key("host");
+    json.begin_object();
+    write_perf_summary(json, summarize_perf(perf));
+    json.end_object();
   }
   json.end_object();
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/perf.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/store.hpp"
 #include "common/json_writer.hpp"
@@ -71,6 +72,12 @@ class ResultGrid {
 
 /// Writes the `prestage-campaign-report-v1` document for the campaign's
 /// ReportKind. The grid must be complete (callers gate on missing()).
-void write_report(JsonWriter& json, const ResultGrid& grid);
+/// When @p perf has records (loaded from the store's `.perf` sidecar), a
+/// trailing "host" section reports total host seconds and Minstr/s plus
+/// per-config aggregates — the BENCH perf trajectory. The figure numbers
+/// themselves stay a pure function of (spec, store); without perf the
+/// document is byte-identical to what pre-telemetry builds emitted.
+void write_report(JsonWriter& json, const ResultGrid& grid,
+                  const PerfLog& perf = {});
 
 }  // namespace prestage::campaign

@@ -134,12 +134,12 @@ const PointResult* ResultStore::find(const std::string& key) const {
   return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
-struct StoreAppender::Impl {
+struct LineAppender::Impl {
   std::string path;
   std::ofstream out;
 };
 
-StoreAppender::StoreAppender(const std::string& path)
+LineAppender::LineAppender(const std::string& path)
     : impl_(new Impl{path, {}}) {
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
@@ -170,10 +170,10 @@ StoreAppender::StoreAppender(const std::string& path)
   if (torn_tail) impl_->out << '\n';
 }
 
-StoreAppender::~StoreAppender() { delete impl_; }
+LineAppender::~LineAppender() { delete impl_; }
 
-void StoreAppender::append(const PointResult& r) {
-  impl_->out << encode_line(r) << '\n';
+void LineAppender::append_line(const std::string& line) {
+  impl_->out << line << '\n';
   impl_->out.flush();
   PRESTAGE_ASSERT(impl_->out.good(),
                   "write to result store '" + impl_->path + "' failed");

@@ -81,21 +81,34 @@ class ResultStore {
   LoadStats stats_;
 };
 
-/// Append-only writer. Creates parent directories and the file on open;
+/// Append-only JSONL writer. Creates parent directories and the file on
+/// open, terminates a torn tail line left by a killed writer, and
 /// append() writes one line plus '\n' and flushes, throwing SimError if
-/// the write does not land (full disk must not be mistaken for progress).
-class StoreAppender {
+/// the write does not land (full disk must not be mistaken for
+/// progress). Shared by the result store and the host-perf sidecar.
+class LineAppender {
  public:
-  explicit StoreAppender(const std::string& path);
-  ~StoreAppender();
-  StoreAppender(const StoreAppender&) = delete;
-  StoreAppender& operator=(const StoreAppender&) = delete;
+  explicit LineAppender(const std::string& path);
+  ~LineAppender();
+  LineAppender(const LineAppender&) = delete;
+  LineAppender& operator=(const LineAppender&) = delete;
 
-  void append(const PointResult& r);
+  void append_line(const std::string& line);
 
  private:
   struct Impl;
   Impl* impl_;
+};
+
+/// LineAppender over encode_line(): the result-store writer.
+class StoreAppender {
+ public:
+  explicit StoreAppender(const std::string& path) : lines_(path) {}
+
+  void append(const PointResult& r) { lines_.append_line(encode_line(r)); }
+
+ private:
+  LineAppender lines_;
 };
 
 }  // namespace prestage::campaign

@@ -9,12 +9,14 @@
 #include "bench/figures.hpp"
 #include "campaign/compare.hpp"
 #include "campaign/engine.hpp"
+#include "campaign/perf.hpp"
 #include "campaign/report.hpp"
 #include "cli/commands.hpp"
 #include "cli/json_sink.hpp"
 #include "common/json_writer.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "sim/report.hpp"
 
 namespace prestage::cli {
 namespace {
@@ -110,6 +112,12 @@ int cmd_campaign_run(const Options& opt, bool resume) {
                 outcome.total, outcome.reused, outcome.executed, workers,
                 outcome.corrupt_dropped > 0 ? " (corrupt lines dropped)"
                                             : "");
+    if (outcome.executed > 0) {
+      std::printf("host        : %s\n",
+                  sim::render_host_perf(
+                      {outcome.host_seconds, outcome.minstr_per_sec})
+                      .c_str());
+    }
   }
 
   if (sink.wanted()) {
@@ -125,6 +133,9 @@ int cmd_campaign_run(const Options& opt, bool resume) {
     json.field("executed", static_cast<std::uint64_t>(outcome.executed));
     json.field("corrupt_dropped",
                static_cast<std::uint64_t>(outcome.corrupt_dropped));
+    json.key("host");
+    sim::write_host_perf(
+        json, {outcome.host_seconds, outcome.minstr_per_sec});
     json.end_object();
     if (!sink.finish()) return 1;
   }
@@ -336,17 +347,66 @@ int cmd_campaign_report(const Options& opt) {
     return 1;
   }
 
+  // Host telemetry, if any simulation on this host recorded some, rides
+  // along as the report's "host" section — scoped to this grid's keys
+  // so other generations sharing the store path don't inflate it.
+  const campaign::PerfLog perf = campaign::scope_to_spec(
+      campaign::PerfLog::load(campaign::perf_log_path(store_path)), spec);
+
   // The report document rides the same sink machinery as --json: `--out -`
   // streams it to stdout.
   JsonSink sink(out_path);
   if (sink.failed()) return 1;
   JsonWriter json(sink.stream());
-  campaign::write_report(json, grid);
+  campaign::write_report(json, grid, perf);
   if (!sink.finish()) return 1;
   if (!sink.owns_stdout()) {
     std::printf("report      : %s (%s, %zu points)\n", out_path.c_str(),
                 std::string(campaign::to_string(spec.kind)).c_str(),
                 grid.total_points());
+  }
+  return 0;
+}
+
+int cmd_campaign_perf(const Options& opt) {
+  const campaign::CampaignSpec* registered = resolve_campaign(opt);
+  if (!registered) return 2;
+  const campaign::CampaignSpec spec = apply_overrides(*registered, opt);
+  const std::string store_path = resolve_store_path(opt, spec);
+  const std::string out_path =
+      opt.out_path.empty() ? "BENCH_perf.json" : opt.out_path;
+
+  const std::string perf_path = campaign::perf_log_path(store_path);
+  // Scope to this grid's keys: a reused store path accumulates sidecar
+  // generations, and this document must describe only the grid named.
+  const campaign::PerfLog perf =
+      campaign::scope_to_spec(campaign::PerfLog::load(perf_path), spec);
+  if (perf.empty()) {
+    std::cerr << "prestage: no host telemetry for this grid at '"
+              << perf_path
+              << "' (run `campaign run` first — with the same --instrs — "
+                 "the sidecar records only points executed on this "
+                 "host)\n";
+    return 1;
+  }
+  const campaign::PerfSummary summary = campaign::summarize_perf(perf);
+
+  JsonSink sink(out_path);
+  if (sink.failed()) return 1;
+  JsonWriter json(sink.stream());
+  json.begin_object();
+  json.field("schema", "prestage-campaign-perf-v1");
+  json.field("campaign", spec.name);
+  write_store_field(json, store_path);
+  campaign::write_perf_summary(json, summary);
+  json.end_object();
+  if (!sink.finish()) return 1;
+  if (!sink.owns_stdout()) {
+    std::printf("perf        : %s (%zu executed points, %s)\n",
+                out_path.c_str(), summary.total.points,
+                sim::render_host_perf({summary.total.host_seconds,
+                                       summary.total.minstr_per_sec})
+                    .c_str());
   }
   return 0;
 }

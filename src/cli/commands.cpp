@@ -52,6 +52,8 @@ void write_run_result(JsonWriter& json, const cpu::RunResult& r) {
   json.field("prefetches_issued", r.prefetches_issued);
   json.field("l2_hits", r.l2_hits);
   json.field("l2_misses", r.l2_misses);
+  json.field("host_seconds", r.host_seconds);
+  json.field("minstr_per_sec", r.minstr_per_sec);
   json.key("fetch_sources");
   write_source_counts(json, r.fetch_sources);
   json.key("prefetch_sources");
@@ -86,6 +88,9 @@ void print_run_summary(const cpu::RunResult& r) {
   std::printf("instructions: %llu committed in %llu cycles -> IPC %.3f\n",
               static_cast<unsigned long long>(r.instructions),
               static_cast<unsigned long long>(r.cycles), r.ipc);
+  std::printf("host        : %s\n",
+              sim::render_host_perf({r.host_seconds, r.minstr_per_sec})
+                  .c_str());
   std::printf(
       "fetch source: PB %s  L0 %s  L1 %s  L2 %s  Mem %s\n",
       fmt_pct(r.fetch_sources.fraction(FetchSource::PreBuffer)).c_str(),
@@ -199,6 +204,8 @@ int cmd_suite(const Options& opt) {
     }
     std::cout << table.to_text();
     std::printf("hmean IPC   : %.3f\n", suite.hmean_ipc);
+    std::printf("host        : %s\n",
+                sim::render_host_perf(suite.host).c_str());
   }
 
   if (sink.wanted()) {
@@ -215,6 +222,8 @@ int cmd_suite(const Options& opt) {
     write_source_counts(json, suite.fetch_sources());
     json.key("prefetch_sources");
     write_source_counts(json, suite.prefetch_sources());
+    json.key("host");
+    sim::write_host_perf(json, suite.host);
     json.end_object();
     if (!sink.finish()) return 1;
   }
@@ -235,11 +244,14 @@ int cmd_sweep(const Options& opt) {
 
   sim::Series series;
   series.label = sim::preset_label(opt.preset);
+  sim::HostPerf host;
   for (const std::uint64_t size : sizes) {
     const cpu::MachineConfig cfg =
         sim::make_config(opt.preset, opt.node, size);
-    series.values.push_back(
-        sim::run_suite(cfg, benchmarks, instrs, opt.jobs).hmean_ipc);
+    const sim::SuiteResult suite =
+        sim::run_suite(cfg, benchmarks, instrs, opt.jobs);
+    series.values.push_back(suite.hmean_ipc);
+    host = sim::merge_host_perf(host, suite.host);
   }
 
   if (!sink.owns_stdout()) {
@@ -247,6 +259,7 @@ int cmd_sweep(const Options& opt) {
         "HMEAN IPC vs L1 size, " + sim::preset_label(opt.preset) + " @ " +
             std::string(cacti::to_string(opt.node)),
         sizes, {series});
+    std::printf("host        : %s\n", sim::render_host_perf(host).c_str());
   }
 
   if (sink.wanted()) {
@@ -265,6 +278,8 @@ int cmd_sweep(const Options& opt) {
       json.end_object();
     }
     json.end_array();
+    json.key("host");
+    sim::write_host_perf(json, host);
     json.end_object();
     if (!sink.finish()) return 1;
   }

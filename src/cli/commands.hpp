@@ -43,7 +43,13 @@ int cmd_campaign_status(const Options& opt);
 int cmd_campaign_compare(const Options& opt);
 
 /// Emits the campaign's figure report (BENCH_<name>.json by default)
-/// from a complete store.
+/// from a complete store; a `.perf` sidecar next to the store adds the
+/// host-throughput section.
 int cmd_campaign_report(const Options& opt);
+
+/// Emits the host-throughput document (BENCH_perf.json by default) from
+/// a store's `.perf` sidecar: per-config Minstr/s plus total host
+/// seconds. Record-only — never gates.
+int cmd_campaign_perf(const Options& opt);
 
 }  // namespace prestage::cli

@@ -36,14 +36,16 @@ void print_usage(std::ostream& out) {
          "file,\n"
          "         replay a trace (native or raw ChampSim) through any\n"
          "         preset, or inspect a trace file\n"
-         "  campaign  run | resume | status | compare | report — execute "
-         "a\n"
-         "         declarative figure grid against a resumable JSONL "
-         "store\n"
-         "         (`prestage list` names the campaigns), check its\n"
-         "         coverage, diff two stores for IPC regressions, or "
+         "  campaign  run | resume | status | compare | report | perf —\n"
+         "         execute a declarative figure grid against a resumable\n"
+         "         JSONL store (`prestage list` names the campaigns), "
+         "check\n"
+         "         its coverage, diff two stores for IPC regressions, "
          "emit\n"
-         "         the BENCH_<name>.json figure report\n"
+         "         the BENCH_<name>.json figure report, or emit the\n"
+         "         BENCH_perf.json host-throughput report from the "
+         "store's\n"
+         "         .perf sidecar\n"
          "\n"
          "flags:\n"
          "  --preset SPEC   machine composition: a named preset\n"
@@ -137,7 +139,7 @@ int main(int argc, char** argv) {
   if (command == "campaign") {
     if (argc < 3) {
       std::cerr << "prestage: `campaign` needs a subcommand "
-                   "(run | resume | status | compare | report)\n\n";
+                   "(run | resume | status | compare | report | perf)\n\n";
       print_usage(std::cerr);
       return 2;
     }
@@ -162,6 +164,7 @@ int main(int argc, char** argv) {
       if (sub == "status") return cmd_campaign_status(parsed.options);
       if (sub == "compare") return cmd_campaign_compare(parsed.options);
       if (sub == "report") return cmd_campaign_report(parsed.options);
+      if (sub == "perf") return cmd_campaign_perf(parsed.options);
     } catch (const std::exception& e) {
       std::cerr << "prestage: " << e.what() << "\n";
       return 1;

@@ -1,0 +1,117 @@
+// Open-addressing hash map from Addr to a small index.
+//
+// std::unordered_map allocates a node per insert, which put a heap
+// allocation on every MemSystem transaction. AddrMap linear-probes a
+// power-of-two flat table and erases with backward-shift deletion (no
+// tombstones), so once the table has grown to its working-set high-water
+// mark, insert/find/erase never allocate. kNoAddr is reserved as the
+// empty-slot sentinel and must never be used as a key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace prestage {
+
+class AddrMap {
+ public:
+  explicit AddrMap(std::size_t initial_capacity = 16) {
+    slots_.resize(round_up_pow2(initial_capacity < 16 ? 16
+                                                      : initial_capacity));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pointer to the mapped value, or nullptr when @p key is absent.
+  [[nodiscard]] std::uint32_t* find(Addr key) noexcept {
+    std::size_t i = bucket(key);
+    while (slots_[i].key != kNoAddr) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask();
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const std::uint32_t* find(Addr key) const noexcept {
+    return const_cast<AddrMap*>(this)->find(key);
+  }
+
+  [[nodiscard]] bool contains(Addr key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Inserts a new key. Precondition: @p key is absent and != kNoAddr.
+  void insert(Addr key, std::uint32_t value) {
+    PRESTAGE_ASSERT(key != kNoAddr, "kNoAddr is the empty-slot sentinel");
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    std::size_t i = bucket(key);
+    while (slots_[i].key != kNoAddr) {
+      PRESTAGE_ASSERT(slots_[i].key != key, "duplicate AddrMap key");
+      i = (i + 1) & mask();
+    }
+    slots_[i] = {key, value};
+    ++size_;
+  }
+
+  /// Removes @p key. Precondition: present. Backward-shift deletion keeps
+  /// every remaining probe chain intact without tombstones.
+  void erase(Addr key) {
+    std::size_t i = bucket(key);
+    while (slots_[i].key != key) {
+      PRESTAGE_ASSERT(slots_[i].key != kNoAddr,
+                      "erasing an absent AddrMap key");
+      i = (i + 1) & mask();
+    }
+    std::size_t hole = i;
+    for (;;) {
+      i = (i + 1) & mask();
+      if (slots_[i].key == kNoAddr) break;
+      // An entry may fill the hole only if its home bucket lies at or
+      // before the hole along the probe order.
+      const std::size_t home = bucket(slots_[i].key);
+      const bool movable = ((i - home) & mask()) >= ((i - hole) & mask());
+      if (movable) {
+        slots_[hole] = slots_[i];
+        hole = i;
+      }
+    }
+    slots_[hole] = Slot{};
+    --size_;
+  }
+
+  void clear() noexcept {
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Addr key = kNoAddr;
+    std::uint32_t value = 0;
+  };
+
+  [[nodiscard]] std::size_t mask() const noexcept {
+    return slots_.size() - 1;
+  }
+  [[nodiscard]] std::size_t bucket(Addr key) const noexcept {
+    return static_cast<std::size_t>(hash_mix(key)) & mask();
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != kNoAddr) insert(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace prestage

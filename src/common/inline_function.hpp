@@ -1,0 +1,111 @@
+// Fixed-capacity, allocation-free callable wrapper.
+//
+// std::function heap-allocates any capture beyond its small-buffer limit
+// (and libstdc++'s limit is two pointers), which made every MemSystem
+// fill callback a steady-state allocation on the simulation fast path.
+// InlineFunction stores the callable in place and rejects oversized
+// captures at compile time, so storing a callback can never touch the
+// heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;  // primary template: see the partial specialization
+
+/// Move-only callable holder with @p Capacity bytes of inline storage.
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable signature mismatch");
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture too large for InlineFunction storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "capture over-aligned for InlineFunction storage");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &ops_for<Fn>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    PRESTAGE_ASSERT(ops_ != nullptr, "invoking an empty InlineFunction");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// Drops the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*move_to)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops ops_for = {
+      [](void* self, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(self)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) noexcept {
+        std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+      },
+  };
+
+  void take(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move_to(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace prestage

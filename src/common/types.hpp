@@ -103,6 +103,13 @@ inline constexpr int kNumFetchSources = 5;
   return v != 0 && (v & (v - 1)) == 0;
 }
 
+/// Smallest power of two >= v (with round_up_pow2(0) == 1).
+[[nodiscard]] constexpr std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1U;
+  return p;
+}
+
 /// log2 of a power of two.
 [[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
   unsigned n = 0;

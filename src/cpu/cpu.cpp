@@ -1,5 +1,7 @@
 #include "cpu/cpu.hpp"
 
+#include <chrono>
+
 #include "common/prestage_assert.hpp"
 #include "prefetch/registry.hpp"
 #include "workload/generator.hpp"
@@ -125,6 +127,7 @@ void Cpu::tick() {
 }
 
 RunResult Cpu::run() {
+  const auto host_start = std::chrono::steady_clock::now();
   const std::uint64_t target =
       cfg_.warmup_instructions + cfg_.max_instructions;
   // Generous wedge detector: even mcf-like IPC stays well above 1/400.
@@ -179,6 +182,16 @@ RunResult Cpu::run() {
   r.l2_misses = end.l2_misses - warm.l2_misses;
   r.dcache_misses = end.dcache_misses - warm.dcache_misses;
   r.prefetches_issued = end.prefetches - warm.prefetches;
+  r.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+  // Throughput over everything the kernel simulated, warmup included.
+  r.minstr_per_sec =
+      r.host_seconds > 0.0
+          ? static_cast<double>(backend_->committed()) / 1e6 /
+                r.host_seconds
+          : 0.0;
   return r;
 }
 

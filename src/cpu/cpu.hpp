@@ -44,6 +44,16 @@ struct RunResult {
   std::uint64_t l2_misses = 0;
   std::uint64_t dcache_misses = 0;
   std::uint64_t prefetches_issued = 0;
+
+  // --- host-throughput telemetry ---------------------------------------
+  // Wall-clock cost of the simulation itself (warmup included: that is
+  // real host work), measured around the run loop. Nondeterministic by
+  // nature, so these fields are excluded from golden pins and from the
+  // byte-stable campaign store lines; they flow into the perf sidecars
+  // and the `host` sections of the JSON reports instead.
+  double host_seconds = 0.0;
+  /// Millions of simulated instructions committed per host second.
+  double minstr_per_sec = 0.0;
 };
 
 class Cpu {

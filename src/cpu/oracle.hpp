@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "bpred/stream.hpp"
 #include "common/prestage_assert.hpp"
+#include "common/ring_buffer.hpp"
 #include "workload/trace.hpp"
 
 namespace prestage::cpu {
@@ -100,7 +100,10 @@ class Oracle {
   std::unique_ptr<workload::TraceSource> walker_;
   workload::StreamChunk chunk_;
   std::uint32_t offset_ = 0;
-  std::deque<workload::DynInst> window_;
+  /// Sliding window of generated-but-unreleased instructions. A growable
+  /// ring (not std::deque) so steady-state advance/release never touches
+  /// the heap once the window has hit its high-water size.
+  GrowableRingBuffer<workload::DynInst> window_;
   std::uint64_t base_seq_ = 0;
   std::vector<Addr> stack_snapshot_;
 };

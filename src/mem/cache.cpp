@@ -16,15 +16,11 @@ SetAssocCache::SetAssocCache(std::uint64_t size_bytes,
   PRESTAGE_ASSERT(lines % assoc_ == 0, "lines not divisible by ways");
   sets_ = lines / assoc_;
   PRESTAGE_ASSERT(is_pow2(sets_), "set count must be a power of two");
+  line_shift_ = log2_exact(line_);
+  set_shift_ = log2_exact(sets_);
+  tag_shift_ = line_shift_ + set_shift_;
+  set_mask_ = sets_ - 1;
   ways_.resize(sets_ * assoc_);
-}
-
-std::uint64_t SetAssocCache::set_index(Addr addr) const noexcept {
-  return (addr / line_) & (sets_ - 1);
-}
-
-Addr SetAssocCache::tag_of(Addr addr) const noexcept {
-  return addr / line_ / sets_;
 }
 
 SetAssocCache::Way* SetAssocCache::find(Addr addr) {
@@ -74,7 +70,7 @@ std::optional<Eviction> SetAssocCache::insert(Addr addr, bool dirty) {
   std::optional<Eviction> evicted;
   if (victim->valid) {
     const Addr victim_line =
-        (victim->tag * sets_ + set_index(addr)) * line_;
+        (victim->tag << tag_shift_) | (set_index(addr) << line_shift_);
     evicted = Eviction{victim_line, victim->dirty};
   }
   victim->tag = tag_of(addr);

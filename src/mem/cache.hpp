@@ -65,8 +65,15 @@ class SetAssocCache {
     bool dirty = false;
   };
 
-  [[nodiscard]] std::uint64_t set_index(Addr addr) const noexcept;
-  [[nodiscard]] Addr tag_of(Addr addr) const noexcept;
+  // Geometry is all powers of two (asserted at construction), so index
+  // and tag extraction are pure shift/mask — no divisions on the access
+  // fast path.
+  [[nodiscard]] std::uint64_t set_index(Addr addr) const noexcept {
+    return (addr >> line_shift_) & set_mask_;
+  }
+  [[nodiscard]] Addr tag_of(Addr addr) const noexcept {
+    return addr >> tag_shift_;
+  }
   [[nodiscard]] Way* find(Addr addr);
   [[nodiscard]] const Way* find(Addr addr) const;
 
@@ -74,6 +81,10 @@ class SetAssocCache {
   std::uint32_t line_;
   std::uint32_t assoc_;
   std::uint64_t sets_;
+  unsigned line_shift_ = 0;  ///< log2(line_)
+  unsigned set_shift_ = 0;   ///< log2(sets_)
+  unsigned tag_shift_ = 0;   ///< line_shift_ + set_shift_
+  std::uint64_t set_mask_ = 0;  ///< sets_ - 1
   std::uint64_t lru_clock_ = 0;
   std::vector<Way> ways_;  ///< sets_ * assoc_, set-major
 };

@@ -70,6 +70,7 @@ SuiteResult run_suite(const cpu::MachineConfig& cfg,
   }
   SuiteResult suite;
   suite.per_benchmark = run_parallel(configs, workers);
+  suite.host = aggregate_host_perf(suite.per_benchmark);
   std::vector<double> ipcs;
   ipcs.reserve(suite.per_benchmark.size());
   for (const auto& r : suite.per_benchmark) ipcs.push_back(r.ipc);

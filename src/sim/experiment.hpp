@@ -11,6 +11,7 @@
 
 #include "cpu/config.hpp"
 #include "cpu/cpu.hpp"
+#include "sim/report.hpp"
 
 namespace prestage::sim {
 
@@ -18,6 +19,8 @@ namespace prestage::sim {
 struct SuiteResult {
   std::vector<cpu::RunResult> per_benchmark;
   double hmean_ipc = 0.0;
+  /// Aggregated host telemetry over the suite (worker-seconds summed).
+  HostPerf host;
 
   /// Aggregated fetch-source distribution over the suite.
   [[nodiscard]] SourceBreakdown fetch_sources() const;

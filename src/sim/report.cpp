@@ -2,9 +2,39 @@
 
 #include <sstream>
 
+#include "common/json_writer.hpp"
 #include "common/prestage_assert.hpp"
 
 namespace prestage::sim {
+
+HostPerf aggregate_host_perf(const std::vector<cpu::RunResult>& runs) {
+  HostPerfAccumulator acc;
+  // Each run's simulated-instruction count is recovered from its own
+  // rate (RunResult::instructions excludes warmup; the rate does not).
+  for (const auto& r : runs) acc.add(r.host_seconds, r.minstr_per_sec);
+  return acc.result();
+}
+
+HostPerf merge_host_perf(const HostPerf& a, const HostPerf& b) {
+  HostPerfAccumulator acc;
+  acc.add(a);
+  acc.add(b);
+  return acc.result();
+}
+
+std::string render_host_perf(const HostPerf& perf) {
+  std::ostringstream out;
+  out << fmt(perf.host_seconds, 3) << " s host time, "
+      << fmt(perf.minstr_per_sec, 2) << " Minstr/s";
+  return out.str();
+}
+
+void write_host_perf(JsonWriter& json, const HostPerf& perf) {
+  json.begin_object();
+  json.field("host_seconds", perf.host_seconds);
+  json.field("minstr_per_sec", perf.minstr_per_sec);
+  json.end_object();
+}
 
 std::string render_size_chart(const std::string& title,
                               const std::vector<std::uint64_t>& sizes,

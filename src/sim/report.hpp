@@ -1,6 +1,8 @@
 // Report formatting shared by the bench harnesses: IPC-vs-size series
 // tables (the paper's line charts) and source-distribution tables (the
-// paper's stacked bars), each with a CSV block for plotting.
+// paper's stacked bars), each with a CSV block for plotting — plus the
+// host-throughput telemetry every report layer threads through (the
+// simulator's own speed is tracked alongside the simulated results).
 #pragma once
 
 #include <string>
@@ -8,8 +10,58 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "cpu/cpu.hpp"
+
+namespace prestage {
+class JsonWriter;
+}
 
 namespace prestage::sim {
+
+/// Aggregated wall-clock cost of a batch of simulations. `host_seconds`
+/// is summed per run (across parallel workers it is total worker-seconds,
+/// not elapsed time); `minstr_per_sec` is total simulated instructions
+/// over total worker-seconds — per-worker kernel throughput, which is
+/// the number the BENCH perf trajectory tracks.
+struct HostPerf {
+  double host_seconds = 0.0;
+  double minstr_per_sec = 0.0;
+};
+
+/// THE seconds-weighted fold, shared by every layer that aggregates
+/// host telemetry (suite/sweep aggregation, the campaign engine and
+/// sidecar summaries): accumulate (seconds, rate) pairs, then divide
+/// total simulated instructions by total worker-seconds exactly once.
+struct HostPerfAccumulator {
+  void add(double host_seconds, double minstr_per_sec) noexcept {
+    seconds_ += host_seconds;
+    minstr_ += minstr_per_sec * host_seconds;
+  }
+  void add(const HostPerf& perf) noexcept {
+    add(perf.host_seconds, perf.minstr_per_sec);
+  }
+  [[nodiscard]] HostPerf result() const noexcept {
+    return {seconds_, seconds_ > 0.0 ? minstr_ / seconds_ : 0.0};
+  }
+
+ private:
+  double seconds_ = 0.0;
+  double minstr_ = 0.0;  ///< simulated Minstr recovered as rate x time
+};
+
+/// Sums the per-run host telemetry of @p runs into one HostPerf.
+[[nodiscard]] HostPerf aggregate_host_perf(
+    const std::vector<cpu::RunResult>& runs);
+
+/// Folds another aggregate in (suite-of-suites accumulation, e.g. sweep).
+[[nodiscard]] HostPerf merge_host_perf(const HostPerf& a, const HostPerf& b);
+
+/// One human-readable line: "0.123 s host time, 4.56 Minstr/s".
+[[nodiscard]] std::string render_host_perf(const HostPerf& perf);
+
+/// The JSON shape every schema uses:
+/// {"host_seconds": s, "minstr_per_sec": m}.
+void write_host_perf(JsonWriter& json, const HostPerf& perf);
 
 /// One line-chart series: a label and one value per X position.
 struct Series {

@@ -13,6 +13,7 @@
 #include "bench/figures.hpp"
 #include "campaign/compare.hpp"
 #include "campaign/engine.hpp"
+#include "campaign/perf.hpp"
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/store.hpp"
@@ -311,6 +312,101 @@ TEST(CampaignReport, GridAggregatesAndReportAreDeterministic) {
   const std::string report = render();
   EXPECT_EQ(report, render()) << "report must be a pure function";
   EXPECT_NE(report.find("prestage-campaign-report-v1"), std::string::npos);
+}
+
+TEST(CampaignPerf, RecordRoundTripsAndAggregates) {
+  campaign::PerfRecord r;
+  r.key = "abc123";
+  r.config = "clgp-l0";
+  r.benchmark = "eon";
+  r.host_seconds = 0.25;
+  r.minstr_per_sec = 4.0;
+  const campaign::PerfRecord back =
+      campaign::decode_perf_line(campaign::encode_perf_line(r));
+  EXPECT_EQ(back.key, r.key);
+  EXPECT_EQ(back.config, r.config);
+  EXPECT_EQ(back.benchmark, r.benchmark);
+  EXPECT_DOUBLE_EQ(back.host_seconds, r.host_seconds);
+  EXPECT_DOUBLE_EQ(back.minstr_per_sec, r.minstr_per_sec);
+
+  campaign::PerfLog log;
+  log.add(r);
+  campaign::PerfRecord other = r;
+  other.key = "def456";
+  other.config = "base";
+  other.host_seconds = 0.75;
+  other.minstr_per_sec = 2.0;  // 1.5 Minstr over 0.75 s
+  log.add(other);
+  const campaign::PerfSummary summary = campaign::summarize_perf(log);
+  EXPECT_EQ(summary.total.points, 2u);
+  EXPECT_DOUBLE_EQ(summary.total.host_seconds, 1.0);
+  // (0.25*4 + 0.75*2) / 1.0 = 2.5: seconds-weighted, not a plain mean.
+  EXPECT_DOUBLE_EQ(summary.total.minstr_per_sec, 2.5);
+  ASSERT_EQ(summary.per_config.size(), 2u);
+  EXPECT_EQ(summary.per_config[0].first, "base");  // config-name order
+  EXPECT_EQ(summary.per_config[1].first, "clgp-l0");
+}
+
+TEST(CampaignEngine, PerfSidecarCoversExecutedPointsOnly) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("perf-store.jsonl");
+  const std::string sidecar = campaign::perf_log_path(path);
+  std::filesystem::remove(sidecar);
+
+  ASSERT_EQ(campaign::run_campaign(spec, path, 2).executed, 8u);
+  const campaign::PerfLog log = campaign::PerfLog::load(sidecar);
+  ASSERT_EQ(log.size(), 8u);
+
+  // Sidecar keys/configs mirror the store rows, and every record carries
+  // real wall-clock time.
+  const ResultStore store = ResultStore::load(path);
+  for (const campaign::PerfRecord& r : log.records()) {
+    const PointResult* p = store.find(r.key);
+    ASSERT_NE(p, nullptr) << r.key;
+    EXPECT_EQ(p->config, r.config);
+    EXPECT_EQ(p->benchmark, r.benchmark);
+    EXPECT_GT(r.host_seconds, 0.0);
+    EXPECT_GT(r.minstr_per_sec, 0.0);
+  }
+
+  // A fully reused rerun executes nothing and records nothing new.
+  const auto noop = campaign::run_campaign(spec, path, 2);
+  EXPECT_EQ(noop.executed, 0u);
+  EXPECT_DOUBLE_EQ(noop.host_seconds, 0.0);
+  EXPECT_EQ(campaign::PerfLog::load(sidecar).size(), 8u);
+}
+
+TEST(CampaignReport, HostSectionOnlyWithPerfRecords) {
+  const CampaignSpec spec = tiny_spec();
+  ResultStore store;
+  for (const RunPoint& p : campaign::expand(spec)) {
+    store.insert(campaign::simulate(p));
+  }
+  const campaign::ResultGrid grid(spec, store);
+
+  const auto render = [&grid](const campaign::PerfLog& perf) {
+    std::ostringstream out;
+    JsonWriter json(out, JsonWriter::Style::Compact);
+    campaign::write_report(json, grid, perf);
+    return out.str();
+  };
+
+  const std::string bare = render(campaign::PerfLog{});
+  EXPECT_EQ(bare.find("\"host\""), std::string::npos)
+      << "no sidecar -> no host section (report stays byte-stable)";
+
+  campaign::PerfLog perf;
+  for (const PointResult& p : store.entries()) {
+    campaign::PerfRecord r = campaign::perf_record_of(p);
+    r.host_seconds = 0.001;  // simulate() measured ~this; pin for shape
+    r.minstr_per_sec = 1.0;
+    perf.add(r);
+  }
+  const std::string with_host = render(perf);
+  EXPECT_NE(with_host.find("\"host\""), std::string::npos);
+  EXPECT_NE(with_host.find("\"per_config\""), std::string::npos);
+  EXPECT_TRUE(with_host.starts_with(bare.substr(0, bare.size() - 1)))
+      << "host section must be purely additive";
 }
 
 TEST(CampaignCompare, IdenticalStoresHaveNoRegressions) {

@@ -82,6 +82,10 @@ TEST(CliSmoke, RunEmitsHeadlineStatsAndJson) {
   EXPECT_EQ(result.at("benchmark").string, "eon");
   EXPECT_GT(result.at("ipc").number, 0.0);
   EXPECT_GE(result.at("instructions").number, 2000.0);
+  // Host-throughput telemetry: wall clock really elapsed, so both
+  // fields must be strictly positive.
+  EXPECT_GT(result.at("host_seconds").number, 0.0);
+  EXPECT_GT(result.at("minstr_per_sec").number, 0.0);
   check_breakdown(result.at("fetch_sources"));
   check_breakdown(result.at("prefetch_sources"));
 }
@@ -113,6 +117,18 @@ TEST(CliSmoke, SuiteJsonCoversAllBenchmarksWithHmean) {
   }
   EXPECT_GE(doc.at("hmean_ipc").number, min_ipc);
   EXPECT_LE(doc.at("hmean_ipc").number, max_ipc);
+  // Aggregated host telemetry sums the per-benchmark worker time.
+  const JsonValue& host = doc.at("host");
+  EXPECT_GT(host.at("host_seconds").number, 0.0);
+  EXPECT_GT(host.at("minstr_per_sec").number, 0.0);
+  double summed = 0.0;
+  for (const JsonValue& r : benchmarks.array) {
+    summed += r.at("host_seconds").number;
+  }
+  // Relative tolerance: the values round-tripped through the writer's
+  // %.10g, so the absolute error scales with the (host-dependent) sum.
+  EXPECT_NEAR(host.at("host_seconds").number, summed,
+              1e-9 + 1e-6 * summed);
 }
 
 TEST(CliSmoke, SweepJsonHasOnePointPerSize) {
@@ -333,6 +349,7 @@ TEST(CliTrace, ErrorPathsFailLoudly) {
 TEST(CliCampaign, RunStatusCompareReportFlow) {
   const std::string store = test_file("smoke.jsonl");
   std::remove(store.c_str());  // stores append: drop earlier runs' files
+  std::remove((store + ".perf").c_str());  // and their perf sidecars
   const std::string bench_json = test_file("BENCH_smoke.json");
   const std::string common =
       "--name smoke --instrs 900 --store " + store;
@@ -345,6 +362,7 @@ TEST(CliCampaign, RunStatusCompareReportFlow) {
   EXPECT_EQ(run.at("total").number, 8.0);
   EXPECT_EQ(run.at("executed").number, 8.0);
   EXPECT_EQ(run.at("reused").number, 0.0);
+  EXPECT_GT(run.at("host").at("host_seconds").number, 0.0);
 
   // Second run: everything is reused, nothing recomputes.
   rc = run_cli("campaign run " + common + " --json -", &output);
@@ -382,6 +400,63 @@ TEST(CliCampaign, RunStatusCompareReportFlow) {
       EXPECT_GT(v.number, 0.0);
     }
   }
+  // The run above left a .perf sidecar, so the report carries the host
+  // section (the BENCH perf trajectory).
+  ASSERT_TRUE(report.has("host"));
+  EXPECT_GT(report.at("host").at("host_seconds").number, 0.0);
+  EXPECT_EQ(report.at("host").at("points").number, 8.0);
+  EXPECT_FALSE(report.at("host").at("per_config").array.empty());
+}
+
+TEST(CliCampaign, PerfEmitsHostThroughputDoc) {
+  const std::string store = test_file("perf.jsonl");
+  std::remove(store.c_str());
+  std::remove((store + ".perf").c_str());
+  const std::string common = "--name smoke --instrs 600 --store " + store;
+  std::string output;
+
+  // Before any run there is no sidecar: record-only, but loud about it.
+  EXPECT_EQ(run_cli("campaign perf " + common + " --out -", &output), 1);
+  EXPECT_NE(output.find("no host telemetry"), std::string::npos) << output;
+
+  ASSERT_EQ(run_cli("campaign run " + common + " -j 2", &output), 0)
+      << output;
+  const int rc = run_cli("campaign perf " + common + " --out -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue doc = parse_json(output);
+  EXPECT_EQ(doc.at("schema").string, "prestage-campaign-perf-v1");
+  EXPECT_EQ(doc.at("campaign").string, "smoke");
+  EXPECT_EQ(doc.at("points").number, 8.0);
+  EXPECT_GT(doc.at("host_seconds").number, 0.0);
+  EXPECT_GT(doc.at("minstr_per_sec").number, 0.0);
+  const JsonValue& per_config = doc.at("per_config");
+  ASSERT_EQ(per_config.kind, JsonValue::Kind::Array);
+  ASSERT_EQ(per_config.array.size(), 2u);  // smoke grid: base + clgp-l0
+  double summed = 0.0;
+  for (const JsonValue& c : per_config.array) {
+    EXPECT_FALSE(c.at("config").string.empty());
+    EXPECT_GT(c.at("minstr_per_sec").number, 0.0);
+    summed += c.at("host_seconds").number;
+  }
+  // Relative tolerance: %.10g-serialized doubles on a possibly slow host.
+  EXPECT_NEAR(doc.at("host_seconds").number, summed,
+              1e-9 + 1e-6 * summed);
+
+  // A second generation at the same store path (different --instrs →
+  // different keys) appends 8 more sidecar records, but the document is
+  // scoped to the grid it names: still 8 points per budget, not 16.
+  ASSERT_EQ(run_cli("campaign run --name smoke --instrs 450 --store " +
+                        store + " -j 2",
+                    &output),
+            0)
+      << output;
+  ASSERT_EQ(run_cli("campaign perf " + common + " --out -", &output), 0);
+  EXPECT_EQ(parse_json(output).at("points").number, 8.0);
+  ASSERT_EQ(run_cli("campaign perf --name smoke --instrs 450 --store " +
+                        store + " --out -",
+                    &output),
+            0);
+  EXPECT_EQ(parse_json(output).at("points").number, 8.0);
 }
 
 TEST(CliCampaign, ResumeRecomputesOnlyMissingPoints) {

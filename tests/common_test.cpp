@@ -1,9 +1,15 @@
-// Unit tests for src/common: types, RNG, ring buffer, stats, tables.
+// Unit tests for src/common: types, RNG, ring buffers, the inline
+// callable, the open-addressing address map, stats, tables.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.hpp"
+#include "common/inline_function.hpp"
 #include "common/prestage_assert.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
@@ -165,6 +171,125 @@ TEST(RingBuffer, ClearAndPopBackN) {
   EXPECT_EQ(q.back(), 1);
   q.clear();
   EXPECT_TRUE(q.empty());
+}
+
+// Capacity is rounded up to a power of two internally (mask wraps), but
+// capacity()/full() must still enforce the requested hardware bound.
+TEST(RingBuffer, NonPow2CapacityStillBounds) {
+  RingBuffer<int> q(5);
+  EXPECT_EQ(q.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  EXPECT_TRUE(q.full());
+  EXPECT_THROW(q.push(99), SimError);
+  // FIFO order survives many wraps of the (8-slot) backing store.
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(q.pop(), i);
+    q.push(i + 5);
+  }
+  EXPECT_EQ(q.front(), 40);
+  EXPECT_EQ(q.back(), 44);
+}
+
+TEST(GrowableRingBuffer, GrowsAcrossWrapPreservingFifo) {
+  GrowableRingBuffer<int> q(2);
+  std::deque<int> ref;
+  Rng rng(9);
+  for (int step = 0; step < 2000; ++step) {
+    if (!ref.empty() && rng.chance(0.4)) {
+      EXPECT_EQ(q[0], ref.front());
+      q.pop_front();
+      ref.pop_front();
+    } else {
+      q.push_back(step);
+      ref.push_back(step);
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    if (!ref.empty()) {
+      EXPECT_EQ(q[ref.size() - 1], ref.back());
+    }
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(q[i], ref[i]);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop_front(), SimError);
+}
+
+TEST(InlineFunction, InvokesAndMoves) {
+  int calls = 0;
+  InlineFunction<int(int), 48> add = [&calls](int x) {
+    ++calls;
+    return x + 1;
+  };
+  EXPECT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(41), 42);
+
+  InlineFunction<int(int), 48> moved = std::move(add);
+  EXPECT_FALSE(static_cast<bool>(add));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved(1), 2);
+  EXPECT_EQ(calls, 2);
+
+  moved.reset();
+  EXPECT_FALSE(static_cast<bool>(moved));
+  EXPECT_THROW(moved(0), SimError);
+}
+
+TEST(InlineFunction, MoveOnlyCapturesAreDestroyed) {
+  auto counter = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = counter;
+  {
+    InlineFunction<int(), 48> fn = [held = std::move(counter)]() {
+      return *held;
+    };
+    EXPECT_EQ(fn(), 7);
+    InlineFunction<int(), 48> other = std::move(fn);
+    EXPECT_EQ(other(), 7);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destructor ran through the vtable
+}
+
+TEST(AddrMap, InsertFindErase) {
+  AddrMap map;
+  EXPECT_TRUE(map.empty());
+  map.insert(0x1000, 1);
+  map.insert(0x2000, 2);
+  ASSERT_NE(map.find(0x1000), nullptr);
+  EXPECT_EQ(*map.find(0x1000), 1u);
+  EXPECT_EQ(map.find(0x3000), nullptr);
+  map.erase(0x1000);
+  EXPECT_EQ(map.find(0x1000), nullptr);
+  EXPECT_EQ(*map.find(0x2000), 2u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_THROW(map.erase(0x9000), SimError);  // absent key: loud, no hang
+}
+
+// Randomized equivalence against std::unordered_map, heavy on erases so
+// the backward-shift deletion path is exercised across growth.
+TEST(AddrMap, MatchesUnorderedMapUnderChurn) {
+  AddrMap map(4);
+  std::unordered_map<Addr, std::uint32_t> ref;
+  Rng rng(17);
+  for (int step = 0; step < 20000; ++step) {
+    const Addr key = (rng.below(512) + 1) * 64;  // clustered: collisions
+    if (ref.count(key) == 0 && rng.chance(0.6)) {
+      const auto value = static_cast<std::uint32_t>(rng.below(1 << 20U));
+      map.insert(key, value);
+      ref.emplace(key, value);
+    } else if (ref.count(key) > 0) {
+      if (rng.chance(0.5)) {
+        map.erase(key);
+        ref.erase(key);
+      } else {
+        ASSERT_NE(map.find(key), nullptr);
+        EXPECT_EQ(*map.find(key), ref.at(key));
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(map.find(key), nullptr) << std::hex << key;
+    EXPECT_EQ(*map.find(key), value);
+  }
 }
 
 TEST(Stats, CounterAccumulates) {

@@ -1,10 +1,11 @@
 // Golden-number regression tests: pinned simulator outputs so silent
 // drift in any subsystem fails CTest loudly.
 //
-// The pins cover every prefetcher family the registry knows (base, FDP,
-// CLGP, next-line, stream) over a fixed 3-benchmark subset at a small
-// instruction budget. The simulator is fully deterministic, so IPC is
-// pinned to 1e-9 and fetch-source counters exactly.
+// The pins cover all ten of the paper's presets plus the registry's
+// extra prefetcher families (next-line, stream) over a fixed
+// 3-benchmark subset at a small instruction budget. The simulator is
+// fully deterministic, so IPC is pinned to 1e-9 and fetch-source
+// counters exactly.
 //
 // If a change INTENTIONALLY alters simulated behaviour (new timing
 // model, calibration fix), re-pin by running this binary with
@@ -62,6 +63,30 @@ TEST(Golden, BasePreset) {
          .fetch = {.pb = 0, .l0 = 0, .l1 = 2249, .l2 = 14, .mem = 26}});
 }
 
+TEST(Golden, BaseIdealPreset) {
+  check({.preset = "base-ideal",
+         .hmean_ipc = 0.42337091453727782,
+         .ipc = {0.38694698826260804, 0.62986672263616328,
+                 0.34316921141419338},
+         .fetch = {.pb = 0, .l0 = 0, .l1 = 2434, .l2 = 15, .mem = 26}});
+}
+
+TEST(Golden, BaseL0Preset) {
+  check({.preset = "base-l0",
+         .hmean_ipc = 0.41763559007954765,
+         .ipc = {0.38439361906592351, 0.60859866152910158,
+                 0.34028919761837256},
+         .fetch = {.pb = 0, .l0 = 1882, .l1 = 516, .l2 = 15, .mem = 26}});
+}
+
+TEST(Golden, BasePipelinedPreset) {
+  check({.preset = "base-pipelined",
+         .hmean_ipc = 0.42096530985102953,
+         .ipc = {0.3849361647526785, 0.62358441558441557,
+                 0.34187888110294534},
+         .fetch = {.pb = 0, .l0 = 0, .l1 = 2435, .l2 = 16, .mem = 26}});
+}
+
 TEST(Golden, FdpPreset) {
   check({.preset = "fdp",
          .hmean_ipc = 0.43780590540863101,
@@ -70,12 +95,44 @@ TEST(Golden, FdpPreset) {
          .fetch = {.pb = 17, .l0 = 0, .l1 = 2254, .l2 = 24, .mem = 4}});
 }
 
+TEST(Golden, FdpL0Preset) {
+  check({.preset = "fdp-l0",
+         .hmean_ipc = 0.4484272971039297,
+         .ipc = {0.41427880963888697, 0.69556147873449992,
+                 0.35229540918163671},
+         .fetch = {.pb = 337, .l0 = 1922, .l1 = 176, .l2 = 29, .mem = 4}});
+}
+
+TEST(Golden, FdpL0Pb16Preset) {
+  check({.preset = "fdp-l0-pb16",
+         .hmean_ipc = 0.45469006476401358,
+         .ipc = {0.41666666666666669, 0.7160582199952279,
+                 0.35696865147819878},
+         .fetch = {.pb = 431, .l0 = 1911, .l1 = 120, .l2 = 28, .mem = 3}});
+}
+
 TEST(Golden, ClgpPreset) {
   check({.preset = "clgp",
          .hmean_ipc = 0.44540963860235305,
          .ipc = {0.41359343765078926, 0.69195296287756514,
                  0.34814642919301503},
          .fetch = {.pb = 2444, .l0 = 0, .l1 = 24, .l2 = 17, .mem = 4}});
+}
+
+TEST(Golden, ClgpL0Preset) {
+  check({.preset = "clgp-l0",
+         .hmean_ipc = 0.44569635295462506,
+         .ipc = {0.4139643990616807, 0.69235205906102204,
+                 0.34830808520517731},
+         .fetch = {.pb = 2414, .l0 = 51, .l1 = 1, .l2 = 17, .mem = 4}});
+}
+
+TEST(Golden, ClgpL0Pb16Preset) {
+  check({.preset = "clgp-l0-pb16",
+         .hmean_ipc = 0.45788148110627441,
+         .ipc = {0.42022692253817062, 0.74355797819623393,
+                 0.35368656804384985},
+         .fetch = {.pb = 2463, .l0 = 32, .l1 = 1, .l2 = 17, .mem = 3}});
 }
 
 // The two sequential/stream families newly reachable through the

@@ -1,0 +1,341 @@
+// MemSystem stress tests.
+//
+// 1. Equivalence: the optimized arbiter (slot pool + lazy-upgrade grant
+//    heap + completion heap) must deliver exactly what a naive reference
+//    model delivers — same grants, same (ready, seq)-ordered completion
+//    stream, same counters — under randomized submit/writeback/merge
+//    traffic. The reference model is a direct transcription of the
+//    pre-optimization implementation: linear scans over pending and
+//    in-service vectors.
+//
+// 2. Allocation freedom: once warmed to its working-set high-water mark,
+//    MemSystem::submit/tick must not touch the heap. The test overrides
+//    global operator new/delete in this binary to count allocations
+//    around the steady-state phase.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/memsys.hpp"
+
+// --- allocation counting hook ----------------------------------------------
+// Overridden for the whole test binary; the counter is only inspected
+// around regions that exercise nothing but MemSystem.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace prestage::mem {
+namespace {
+
+// --- reference model ---------------------------------------------------
+
+/// The pre-optimization MemSystem, kept as the behavioral oracle: O(n)
+/// scans, map rebuilds, std::function callbacks. Slow and obviously
+/// correct.
+class RefMemSystem {
+ public:
+  using Callback = std::function<void(FetchSource, Cycle)>;
+
+  explicit RefMemSystem(const MemSystemConfig& config)
+      : config_(config),
+        l2_(config.l2_size_bytes, config.l2_line_bytes, config.l2_assoc) {}
+
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t grants[kNumReqTypes] = {};
+  std::uint64_t bus_busy_cycles = 0;
+
+  void submit(ReqType type, Addr addr, Cycle /*now*/, Callback cb) {
+    const Addr line = line_align(addr, config_.l1_line_bytes);
+    for (Txn& t : in_service_) {
+      if (t.line == line) {
+        t.callbacks.push_back(std::move(cb));
+        ++merges;
+        return;
+      }
+    }
+    for (Txn& t : pending_) {
+      if (!t.is_writeback && t.line == line) {
+        if (static_cast<int>(type) < static_cast<int>(t.type)) {
+          t.type = type;
+        }
+        t.callbacks.push_back(std::move(cb));
+        ++merges;
+        return;
+      }
+    }
+    Txn t;
+    t.line = line;
+    t.type = type;
+    t.seq = next_seq_++;
+    t.callbacks.push_back(std::move(cb));
+    pending_.push_back(std::move(t));
+  }
+
+  void submit_writeback(Addr addr, Cycle /*now*/) {
+    Txn t;
+    t.line = line_align(addr, config_.l2_line_bytes);
+    t.type = ReqType::Data;
+    t.seq = next_seq_++;
+    t.is_writeback = true;
+    pending_.push_back(std::move(t));
+  }
+
+  [[nodiscard]] bool in_flight(Addr addr) const {
+    const Addr line = line_align(addr, config_.l1_line_bytes);
+    for (const Txn& t : in_service_) {
+      if (t.line == line) return true;
+    }
+    for (const Txn& t : pending_) {
+      if (!t.is_writeback && t.line == line) return true;
+    }
+    return false;
+  }
+
+  void tick(Cycle now) {
+    deliver(now);
+    grant(now);
+  }
+
+  [[nodiscard]] const SetAssocCache& l2() const { return l2_; }
+
+ private:
+  struct Txn {
+    Addr line = kNoAddr;
+    ReqType type = ReqType::IPrefetch;
+    std::uint64_t seq = 0;
+    Cycle ready = kNoCycle;
+    FetchSource source = FetchSource::L2;
+    bool is_writeback = false;
+    std::vector<Callback> callbacks;
+  };
+
+  void deliver(Cycle now) {
+    for (;;) {
+      std::size_t best = in_service_.size();
+      for (std::size_t i = 0; i < in_service_.size(); ++i) {
+        if (in_service_[i].ready > now) continue;
+        if (best == in_service_.size() ||
+            in_service_[i].ready < in_service_[best].ready ||
+            (in_service_[i].ready == in_service_[best].ready &&
+             in_service_[i].seq < in_service_[best].seq)) {
+          best = i;
+        }
+      }
+      if (best == in_service_.size()) return;
+      Txn t = std::move(in_service_[best]);
+      in_service_.erase(in_service_.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+      for (Callback& cb : t.callbacks) cb(t.source, t.ready);
+    }
+  }
+
+  void grant(Cycle now) {
+    if (now < bus_free_at_ || pending_.empty()) return;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+      const Txn& a = pending_[i];
+      const Txn& b = pending_[best];
+      if (static_cast<int>(a.type) < static_cast<int>(b.type) ||
+          (a.type == b.type && a.seq < b.seq)) {
+        best = i;
+      }
+    }
+    Txn t = std::move(pending_[best]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+
+    ++grants[static_cast<std::size_t>(t.type)];
+    const Cycle transfer =
+        std::max<Cycle>(1, config_.l1_line_bytes / config_.transfer_bytes);
+    bus_free_at_ = now + transfer;
+    bus_busy_cycles += transfer;
+
+    if (t.is_writeback) {
+      ++writebacks;
+      l2_.insert(t.line, /*dirty=*/true);
+      return;
+    }
+    if (l2_.access(t.line)) {
+      ++l2_hits;
+      t.source = FetchSource::L2;
+      t.ready = now + static_cast<Cycle>(config_.l2_latency);
+    } else {
+      ++l2_misses;
+      t.source = FetchSource::Memory;
+      t.ready = now + static_cast<Cycle>(config_.l2_latency) +
+                static_cast<Cycle>(config_.mem_latency);
+      l2_.insert(line_align(t.line, config_.l2_line_bytes));
+    }
+    in_service_.push_back(std::move(t));
+  }
+
+  MemSystemConfig config_;
+  SetAssocCache l2_;
+  std::vector<Txn> pending_;
+  std::vector<Txn> in_service_;
+  Cycle bus_free_at_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+// --- equivalence stress --------------------------------------------------
+
+/// One delivered completion, tagged with the submission it answers.
+struct Event {
+  std::uint64_t submission;
+  FetchSource source;
+  Cycle ready;
+
+  bool operator==(const Event& other) const = default;
+};
+
+MemSystemConfig stress_config() {
+  MemSystemConfig cfg;
+  cfg.l2_size_bytes = 1 << 14U;  // small L2: plenty of misses + evictions
+  cfg.l2_latency = 7;
+  cfg.mem_latency = 31;
+  return cfg;
+}
+
+/// Drives @p submit / @p writeback / @p tick with a deterministic random
+/// schedule: bursty submissions over a small line pool (merge-heavy),
+/// occasional writebacks, and occasional multi-cycle gaps.
+template <typename SubmitFn, typename WritebackFn, typename TickFn>
+void drive(std::uint64_t seed, const SubmitFn& submit,
+           const WritebackFn& writeback, const TickFn& tick) {
+  Rng rng(seed);
+  std::uint64_t submission = 0;
+  Cycle now = 0;
+  for (int cycle = 0; cycle < 4000; ++cycle) {
+    const std::uint64_t burst = rng.below(4);  // 0..3 submissions
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      const auto type = static_cast<ReqType>(rng.below(3));
+      const Addr addr = rng.below(96) * 64 + rng.below(64);
+      submit(type, addr, now, submission++);
+    }
+    if (rng.chance(0.15)) writeback(rng.below(96) * 64, now);
+    tick(now);
+    now += 1 + rng.below(3) * (rng.chance(0.2) ? 1 : 0);  // jittered gaps
+  }
+  // Drain: no new traffic, enough cycles for the longest fill.
+  for (int i = 0; i < 300; ++i) tick(now++);
+}
+
+TEST(MemSystemStress, MatchesNaiveReferenceModel) {
+  for (const std::uint64_t seed : {11ULL, 23ULL, 47ULL, 91ULL}) {
+    MemSystem opt(stress_config());
+    RefMemSystem ref(stress_config());
+    std::vector<Event> opt_events;
+    std::vector<Event> ref_events;
+
+    drive(
+        seed,
+        [&](ReqType type, Addr addr, Cycle now, std::uint64_t id) {
+          opt.submit(type, addr, now, [&opt_events, id](FetchSource s,
+                                                        Cycle r) {
+            opt_events.push_back({id, s, r});
+          });
+          ref.submit(type, addr, now, [&ref_events, id](FetchSource s,
+                                                        Cycle r) {
+            ref_events.push_back({id, s, r});
+          });
+          EXPECT_EQ(opt.in_flight(addr), ref.in_flight(addr));
+        },
+        [&](Addr addr, Cycle now) {
+          opt.submit_writeback(addr, now);
+          ref.submit_writeback(addr, now);
+        },
+        [&](Cycle now) {
+          opt.tick(now);
+          ref.tick(now);
+        });
+
+    // Identical completion stream: same submissions answered, with the
+    // same sources and ready cycles, in the same (ready, seq) order.
+    ASSERT_EQ(opt_events.size(), ref_events.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < opt_events.size(); ++i) {
+      ASSERT_TRUE(opt_events[i] == ref_events[i])
+          << "seed " << seed << " event " << i << ": submission "
+          << opt_events[i].submission << " vs " << ref_events[i].submission;
+    }
+    EXPECT_GT(opt_events.size(), 0u);
+
+    EXPECT_EQ(opt.l2_hits.value(), ref.l2_hits);
+    EXPECT_EQ(opt.l2_misses.value(), ref.l2_misses);
+    EXPECT_EQ(opt.writebacks.value(), ref.writebacks);
+    EXPECT_EQ(opt.merges.value(), ref.merges);
+    EXPECT_EQ(opt.bus_busy_cycles.value(), ref.bus_busy_cycles);
+    for (int t = 0; t < kNumReqTypes; ++t) {
+      EXPECT_EQ(opt.grants[static_cast<std::size_t>(t)].value(),
+                ref.grants[t])
+          << "grant class " << t;
+    }
+    EXPECT_EQ(opt.l2().valid_lines(), ref.l2().valid_lines());
+  }
+}
+
+// --- allocation freedom ---------------------------------------------------
+
+/// One round of representative steady-state traffic over a fixed line
+/// pool: demand fills, prefetches, merges, writebacks, and full drains.
+void traffic_round(MemSystem& ms, Cycle& now, std::uint64_t& sink) {
+  Rng rng(now + 1);  // deterministic per-round schedule
+  for (int cycle = 0; cycle < 400; ++cycle) {
+    const std::uint64_t burst = rng.below(4);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      const auto type = static_cast<ReqType>(rng.below(3));
+      ms.submit(type, rng.below(64) * 64, now,
+                [&sink](FetchSource, Cycle ready) { sink += ready; });
+    }
+    if (rng.chance(0.2)) ms.submit_writeback(rng.below(64) * 128, now);
+    ms.tick(now++);
+  }
+  for (int i = 0; i < 300; ++i) ms.tick(now++);  // drain
+}
+
+TEST(MemSystemAlloc, SteadyStateSubmitAndTickAreAllocationFree) {
+  MemSystem ms(stress_config());
+  Cycle now = 0;
+  std::uint64_t sink = 0;
+
+  // Warm to the working-set high-water mark: every pool, heap and map
+  // grows during the first rounds and is reused afterwards.
+  for (int round = 0; round < 3; ++round) traffic_round(ms, now, sink);
+
+  const std::uint64_t before = g_allocations.load();
+  traffic_round(ms, now, sink);
+  const std::uint64_t after = g_allocations.load();
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state MemSystem traffic allocated " << (after - before)
+      << " times";
+  EXPECT_GT(sink, 0u);  // completions really fired
+}
+
+}  // namespace
+}  // namespace prestage::mem
