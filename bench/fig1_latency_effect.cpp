@@ -2,6 +2,10 @@
 // processor performance at 0.045um. The grid is the "fig1" campaign in
 // bench/figures.cpp; `prestage campaign run --name fig1` runs the same
 // experiment with a resumable store.
+#include <iostream>
+
 #include "bench/figures.hpp"
 
-int main() { return prestage::figures::run_and_print("fig1"); }
+int main() {
+  return prestage::figures::run_and_print("fig1", std::cout, std::cerr);
+}

@@ -1,6 +1,10 @@
 // Reproduces paper Figure 2(b): FDP with and without an L0 cache across
 // L1 sizes at 0.045um. The grid is the "fig2" campaign in
 // bench/figures.cpp.
+#include <iostream>
+
 #include "bench/figures.hpp"
 
-int main() { return prestage::figures::run_and_print("fig2"); }
+int main() {
+  return prestage::figures::run_and_print("fig2", std::cout, std::cerr);
+}

@@ -1,6 +1,10 @@
 // Reproduces paper Figure 4(b): CLGP with and without an L0 cache across
 // L1 sizes at 0.045um. The grid is the "fig4" campaign in
 // bench/figures.cpp.
+#include <iostream>
+
 #include "bench/figures.hpp"
 
-int main() { return prestage::figures::run_and_print("fig4"); }
+int main() {
+  return prestage::figures::run_and_print("fig4", std::cout, std::cerr);
+}

@@ -4,6 +4,7 @@
 // is the "fig5" campaign in bench/figures.cpp; this main adds the
 // headline analysis on top of the shared grid.
 #include <cstdio>
+#include <iostream>
 
 #include "bench/figures.hpp"
 #include "sim/report.hpp"
@@ -55,7 +56,8 @@ void budget_claim(const ResultGrid& grid) {
 
 int main() {
   const campaign::CampaignSpec& spec = *figures::find("fig5");
-  const campaign::ResultStore store = figures::run_in_memory(spec);
+  const campaign::ResultStore store = figures::run_in_memory(
+      spec, 0, figures::stream_progress(spec, std::cerr));
   const ResultGrid grid(spec, store);
   std::fputs(figures::render_text(grid).c_str(), stdout);
 

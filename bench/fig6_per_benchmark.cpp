@@ -3,6 +3,7 @@
 // the "fig6" campaign in bench/figures.cpp; this main adds the
 // CLGP-vs-FDP win count the paper calls out.
 #include <cstdio>
+#include <iostream>
 
 #include "bench/figures.hpp"
 
@@ -10,7 +11,8 @@ using namespace prestage;
 
 int main() {
   const campaign::CampaignSpec& spec = *figures::find("fig6");
-  const campaign::ResultStore store = figures::run_in_memory(spec);
+  const campaign::ResultStore store = figures::run_in_memory(
+      spec, 0, figures::stream_progress(spec, std::cerr));
   const campaign::ResultGrid grid(spec, store);
   std::fputs(figures::render_text(grid).c_str(), stdout);
 

@@ -1,6 +1,10 @@
 // Reproduces paper Figure 7: distribution of fetch sources across L1
 // sizes at 0.045um for FDP and CLGP, with and without an L0 cache. The
 // grid is the "fig7" campaign in bench/figures.cpp.
+#include <iostream>
+
 #include "bench/figures.hpp"
 
-int main() { return prestage::figures::run_and_print("fig7"); }
+int main() {
+  return prestage::figures::run_and_print("fig7", std::cout, std::cerr);
+}

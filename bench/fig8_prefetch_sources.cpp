@@ -3,11 +3,13 @@
 // for FDP and CLGP across L1 sizes at 0.045um. The grid is the "fig8"
 // campaign in bench/figures.cpp.
 #include <cstdio>
+#include <iostream>
 
 #include "bench/figures.hpp"
 
 int main() {
-  const int rc = prestage::figures::run_and_print("fig8");
+  const int rc =
+      prestage::figures::run_and_print("fig8", std::cout, std::cerr);
   if (rc != 0) return rc;
   std::printf(
       "Paper reference (averages): FDP PB 21.5%%, L2 37%%, Mem 12.5%%; "

@@ -1,6 +1,7 @@
 #include "bench/figures.hpp"
 
-#include <cstdio>
+#include <algorithm>
+#include <ostream>
 #include <sstream>
 
 #include "common/table.hpp"
@@ -83,20 +84,26 @@ const CampaignSpec* find(std::string_view name) {
   return nullptr;
 }
 
-ResultStore run_in_memory(const CampaignSpec& spec, unsigned jobs) {
+ResultStore run_in_memory(const CampaignSpec& spec, unsigned jobs,
+                          const campaign::Progress& progress) {
   const auto points = campaign::expand(spec);
-  const std::size_t step = std::max<std::size_t>(1, points.size() / 8);
-  const auto progress = [&](std::size_t done, std::size_t total) {
-    if (done % step == 0 || done == total) {
-      std::fprintf(stderr, "%s: %zu/%zu points\n", spec.name.c_str(), done,
-                   total);
-    }
-  };
   ResultStore store;
   for (auto& r : campaign::run_points(points, jobs, progress)) {
     store.insert(std::move(r));
   }
   return store;
+}
+
+campaign::Progress stream_progress(const CampaignSpec& spec,
+                                   std::ostream& err) {
+  const std::size_t step =
+      std::max<std::size_t>(1, campaign::expand(spec).size() / 8);
+  const std::string name = spec.name;
+  return [&err, step, name](std::size_t done, std::size_t total) {
+    if (done % step == 0 || done == total) {
+      err << name << ": " << done << '/' << total << " points\n";
+    }
+  };
 }
 
 namespace {
@@ -189,16 +196,17 @@ std::string render_text(const ResultGrid& grid) {
   return "";
 }
 
-int run_and_print(std::string_view name) {
+int run_and_print(std::string_view name, std::ostream& out,
+                  std::ostream& err) {
   const CampaignSpec* spec = find(name);
   if (!spec) {
-    std::fprintf(stderr, "unknown campaign '%.*s'\n",
-                 static_cast<int>(name.size()), name.data());
+    err << "unknown campaign '" << name << "'\n";
     return 2;
   }
-  const ResultStore store = run_in_memory(*spec);
+  const ResultStore store =
+      run_in_memory(*spec, 0, stream_progress(*spec, err));
   const ResultGrid grid(*spec, store);
-  std::fputs(render_text(grid).c_str(), stdout);
+  out << render_text(grid);
   return 0;
 }
 

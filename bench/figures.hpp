@@ -7,6 +7,7 @@
 // for CI and tests (2 presets x 2 sizes x 2 benchmarks).
 #pragma once
 
+#include <iosfwd>
 #include <string_view>
 #include <vector>
 
@@ -22,17 +23,29 @@ namespace prestage::figures {
 /// Lookup by campaign name ("fig5", "smoke", ...); nullptr if unknown.
 [[nodiscard]] const campaign::CampaignSpec* find(std::string_view name);
 
-/// Simulates the whole grid in memory (jobs 0 = auto), with progress
-/// lines on stderr, and returns a store holding every point.
+/// Simulates the whole grid in memory (jobs 0 = auto) and returns a
+/// store holding every point. Progress is the caller's: pass a
+/// campaign::Progress to see per-point completion (the library itself
+/// never writes to the console).
 [[nodiscard]] campaign::ResultStore run_in_memory(
-    const campaign::CampaignSpec& spec, unsigned jobs = 0);
+    const campaign::CampaignSpec& spec, unsigned jobs = 0,
+    const campaign::Progress& progress = {});
+
+/// A Progress that prints "name: done/total points" lines to @p err at
+/// roughly eighth-of-the-grid intervals; what the fig mains pass to
+/// run_in_memory.
+[[nodiscard]] campaign::Progress stream_progress(
+    const campaign::CampaignSpec& spec, std::ostream& err);
 
 /// Renders the paper's text charts (tables + CSV blocks) for the
 /// campaign's ReportKind from a complete grid.
 [[nodiscard]] std::string render_text(const campaign::ResultGrid& grid);
 
-/// Whole thin-main body: resolve @p name, run it, print the charts.
-/// Returns a process exit code.
-int run_and_print(std::string_view name);
+/// Whole thin-main body: resolve @p name, run it, write the charts to
+/// @p out (progress and errors to @p err). Returns a process exit
+/// code. The streams are parameters so this stays library-clean: the
+/// fig mains pass std::cout/std::cerr.
+int run_and_print(std::string_view name, std::ostream& out,
+                  std::ostream& err);
 
 }  // namespace prestage::figures

@@ -30,6 +30,7 @@ double harmonic_mean(const std::vector<double>& xs) {
   std::size_t n = 0;
   for (double x : xs) {
     if (x <= 0.0) continue;
+    // FP-deterministic: accumulates in the caller's vector order.
     inv_sum += 1.0 / x;
     ++n;
   }
@@ -39,6 +40,7 @@ double harmonic_mean(const std::vector<double>& xs) {
 double arithmetic_mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double sum = 0.0;
+  // FP-deterministic: accumulates in the caller's vector order.
   for (double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
 }

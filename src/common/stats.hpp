@@ -38,6 +38,7 @@ class Counter {
 class Distribution {
  public:
   void sample(double v) noexcept {
+    // FP-deterministic: samples arrive in simulation order.
     sum_ += v;
     ++count_;
     if (v < min_ || count_ == 1) min_ = v;

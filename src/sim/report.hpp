@@ -34,6 +34,9 @@ struct HostPerf {
 /// total simulated instructions by total worker-seconds exactly once.
 struct HostPerfAccumulator {
   void add(double host_seconds, double minstr_per_sec) noexcept {
+    // FP accumulation order is the caller's add() order; every caller
+    // folds in a deterministic sequence (suite vector order, campaign
+    // flush order), and the numbers are telemetry, never store-keyed.
     seconds_ += host_seconds;
     minstr_ += minstr_per_sec * host_seconds;
   }

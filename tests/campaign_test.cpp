@@ -214,6 +214,58 @@ TEST(CampaignEngine, ResumeAfterTruncationReproducesFreshBytes) {
   EXPECT_EQ(read_file(path), fresh);
 }
 
+TEST(CampaignEngine, PerfSidecarAppendsInStoreOrderForAnyWorkerCount) {
+  // The sidecar is written from inside run_ordered's serialized sink,
+  // so for any worker count its key sequence must equal the store's —
+  // this pins the locking discipline the .perf append path relies on.
+  const CampaignSpec spec = tiny_spec();
+  for (const unsigned jobs : {1u, 8u}) {
+    const std::string path = fresh_file("perf" + std::to_string(jobs));
+    std::filesystem::remove(campaign::perf_log_path(path));
+    ASSERT_EQ(campaign::run_campaign(spec, path, jobs).executed, 8u);
+
+    const ResultStore store = ResultStore::load(path);
+    std::vector<std::string> store_keys;
+    for (const PointResult& r : store.entries()) {
+      store_keys.push_back(r.key);
+    }
+    const auto log = campaign::PerfLog::load(campaign::perf_log_path(path));
+    ASSERT_EQ(log.size(), 8u) << jobs << " workers";
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log.records()[i].key, store_keys[i])
+          << "sidecar order diverged from store order at " << i << " with "
+          << jobs << " workers";
+      EXPECT_GE(log.records()[i].host_seconds, 0.0);
+    }
+  }
+}
+
+TEST(CampaignEngine, PerfSidecarKeepsRecomputedDuplicatesOnResume) {
+  // Kill-and-resume recomputes the dropped half; the append-only
+  // sidecar must record that host time twice while the store heals to
+  // a single generation.
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("store.jsonl");
+  std::filesystem::remove(campaign::perf_log_path(path));
+  ASSERT_EQ(campaign::run_campaign(spec, path, 8).executed, 8u);
+  const std::string fresh = read_file(path);
+
+  std::istringstream lines(fresh);
+  std::ostringstream half;
+  std::string line;
+  for (int i = 0; i < 4 && std::getline(lines, line); ++i) {
+    half << line << '\n';
+  }
+  { std::ofstream out(path, std::ios::trunc); out << half.str(); }
+  ASSERT_EQ(campaign::run_campaign(spec, path, 8).executed, 4u);
+
+  const auto log = campaign::PerfLog::load(campaign::perf_log_path(path));
+  EXPECT_EQ(log.size(), 12u) << "8 fresh + 4 recomputed records";
+  const auto scoped = campaign::scope_to_spec(log, spec);
+  EXPECT_EQ(scoped.size(), 12u) << "same-grid duplicates are kept";
+  EXPECT_EQ(campaign::aggregate_perf(scoped.records()).points, 12u);
+}
+
 TEST(CampaignEngine, TornFinalWriteHealsWithoutCorruptingNewRecords) {
   const CampaignSpec spec = tiny_spec();
   const std::string path = fresh_file("store.jsonl");
@@ -479,6 +531,39 @@ TEST(ParallelFor, PropagatesTheFirstBodyException) {
                                        }
                                      }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, StealingUnderUnevenLoadIsExactlyOnce) {
+  // Uneven per-task cost empties some worker deques early and forces
+  // the idle workers onto the stealing path; every index must still run
+  // exactly once (regression guard for the deque/steal locking).
+  std::vector<std::atomic<int>> hits(512);
+  std::atomic<long> checksum{0};
+  prestage::parallel_for_indexed(hits.size(), 8, [&](std::size_t i) {
+    volatile long spin = 0;
+    for (std::size_t k = 0; k < (i % 16) * 1500; ++k) spin = spin + 1;
+    hits[i].fetch_add(1);
+    checksum.fetch_add(static_cast<long>(i));
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(checksum.load(), 512L * 511L / 2);
+}
+
+TEST(ParallelFor, ConcurrentThrowsDrainCleanlyToOneException) {
+  // Every task throws at once: the first-error slot is written under
+  // contention from all workers, exactly one exception must surface,
+  // and the pool must still drain (join) rather than deadlock.
+  std::atomic<int> started{0};
+  EXPECT_THROW(prestage::parallel_for_indexed(128, 8,
+                                              [&](std::size_t) {
+                                                started.fetch_add(1);
+                                                throw std::runtime_error(
+                                                    "boom");
+                                              }),
+               std::runtime_error);
+  EXPECT_GE(started.load(), 1);
 }
 
 TEST(FigureRegistry, CampaignsResolveByUniqueName) {

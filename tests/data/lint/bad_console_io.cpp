@@ -1,0 +1,12 @@
+// Fixture: direct console writes from (what the config treats as)
+// library code — all four must be flagged.
+#include <cstdio>
+#include <iostream>
+
+void stream_write(int v) { std::cout << v << '\n'; }
+void stream_error(int v) { std::cerr << v << '\n'; }
+void printf_write(int v) { std::printf("%d\n", v); }
+void stderr_write(int v) { std::fprintf(stderr, "%d\n", v); }
+
+// A FILE* parameter is not the console: not flagged.
+void file_write(std::FILE* f, int v) { std::fprintf(f, "%d\n", v); }

@@ -1,0 +1,9 @@
+// Fixture: floating-point accumulation with no nearby comment saying
+// why the iteration sequence is deterministic.
+#include <vector>
+
+double fold(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc;
+}

@@ -1,0 +1,16 @@
+// Fixture: pointer-keyed ordering and hashing — the three pointer-keyed
+// containers must be flagged; the pointer-valued one must not.
+#include <map>
+#include <queue>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> by_address;
+std::set<const Node*> visited;
+std::priority_queue<Node*> frontier;
+
+// Pointer values only in the mapped type are fine: not flagged.
+std::map<int, Node*> by_id;

@@ -1,0 +1,28 @@
+// Fixture: iterating unordered containers (both range-for and explicit
+// iterators) — every iteration here must be flagged.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> counts;
+
+int range_for_over_member() {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+int iterator_walk() {
+  int total = 0;
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+int local_set() {
+  std::unordered_set<int> seen;
+  seen.insert(1);
+  int total = 0;
+  for (int v : seen) total += v;
+  return total;
+}

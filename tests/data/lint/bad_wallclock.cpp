@@ -1,0 +1,19 @@
+// Fixture: wall-clock and entropy reads — every use must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int libc_rand() { return rand(); }
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+long wall_seconds() { return std::time(nullptr); }
+
+double chrono_now() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

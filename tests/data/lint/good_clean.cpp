@@ -1,0 +1,32 @@
+// Fixture: determinism-clean code — ordered containers, a seeded
+// generator pattern, accumulation with an ordering comment, output via
+// an ostream parameter. Zero findings expected.
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+std::map<std::uint64_t, int> counts;
+
+int fold_counts() {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+double fold(const std::vector<double>& xs) {
+  double acc = 0.0;
+  // FP-deterministic: accumulates in the caller's vector order.
+  for (double x : xs) acc += x;
+  return acc;
+}
+
+/// xorshift-style seeded generator: deterministic for a given seed.
+std::uint64_t next(std::uint64_t& state) {
+  state ^= state << 13U;
+  state ^= state >> 7U;
+  state ^= state << 17U;
+  return state;
+}
+
+void report(std::ostream& out, int value) { out << value << '\n'; }

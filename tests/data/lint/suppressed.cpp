@@ -1,0 +1,17 @@
+// Fixture: suppression forms. The first three findings are properly
+// suppressed; the bare-NOLINT and wrong-rule ones must still fail.
+#include <cstdlib>
+#include <unordered_map>
+
+std::unordered_map<int, int> cache;
+
+int named_rule() { return rand(); }  // NOLINT(prestage-wallclock)
+
+int wildcard() { return rand(); }  // NOLINT(prestage-*)
+
+// NOLINTNEXTLINE(prestage-wallclock)
+int next_line() { return rand(); }
+
+int bare_marker() { return rand(); }  // NOLINT
+
+int wrong_rule() { return rand(); }  // NOLINT(prestage-console-io)

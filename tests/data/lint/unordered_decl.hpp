@@ -1,0 +1,10 @@
+// Fixture: the unordered container lives in a header; the iteration in
+// unordered_iter.cpp must still be caught via the cross-file index.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  std::unordered_map<std::string, int> entries_by_name;
+};

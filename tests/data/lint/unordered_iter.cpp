@@ -1,0 +1,10 @@
+// Fixture: iterates a container declared unordered in
+// unordered_decl.hpp — only flaggable when both files are scanned
+// together (cross-file declaration index).
+#include "unordered_decl.hpp"
+
+int count_entries(const Registry& r) {
+  int n = 0;
+  for (const auto& [name, id] : r.entries_by_name) n += id;
+  return n;
+}

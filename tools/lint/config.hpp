@@ -1,0 +1,69 @@
+// prestage-lint configuration: rule severities and path scoping.
+//
+// The config is a strict JSON document (parsed with common/json.hpp —
+// the same parser the result store trusts). Unknown top-level keys,
+// unknown rule IDs and unknown severities are hard errors so a typo in
+// the config cannot silently disable a rule.
+//
+//   {
+//     "schema": "prestage-lint-config-v1",
+//     "roots": ["src", "bench"],          // scanned when no files given
+//     "extensions": [".cpp", ".hpp"],
+//     "rules": {
+//       "prestage-wallclock": {
+//         "severity": "error",            // error | warn | off
+//         "paths": ["src/"],              // only applies under these
+//         "allow": ["src/cpu/cpu.cpp"]    // never applies under these
+//       }
+//     }
+//   }
+//
+// Path entries are prefixes of the forward-slash relative paths the
+// scanner reports ("src/campaign/" matches the directory, a full file
+// path matches just that file). An absent "paths" list means the rule
+// applies everywhere.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace prestage::lint {
+
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Severity { Error, Warn, Off };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct RuleConfig {
+  Severity severity = Severity::Error;
+  std::vector<std::string> paths;  // empty = everywhere
+  std::vector<std::string> allow;
+};
+
+struct Config {
+  std::vector<std::string> roots = {"src", "bench", "tools", "examples",
+                                    "tests"};
+  std::vector<std::string> extensions = {".cpp", ".hpp"};
+  std::map<std::string, RuleConfig> rules;  // absent rule = defaults
+
+  [[nodiscard]] const RuleConfig& rule(const std::string& id) const;
+  /// Severity after path scoping: Off when the rule does not apply to
+  /// @p path at all.
+  [[nodiscard]] Severity severity_for(const std::string& id,
+                                      const std::string& path) const;
+};
+
+/// Parses a config document; throws ConfigError on any malformed or
+/// unknown entry.
+[[nodiscard]] Config parse_config(const std::string& text);
+
+/// Loads @p path; throws ConfigError if unreadable or malformed.
+[[nodiscard]] Config load_config(const std::string& path);
+
+}  // namespace prestage::lint

@@ -1,0 +1,270 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace prestage::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// The raw-string prefixes: an identifier that is exactly one of these,
+/// immediately followed by '"', opens a raw string literal.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view src)
+      : src_(src) {
+    scan_.path = std::move(path);
+    scan_.line_comments.resize(2);
+  }
+
+  FileScan run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance_line();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    return std::move(scan_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance_line() {
+    ++pos_;
+    ++line_;
+    at_line_start_ = true;
+    if (scan_.line_comments.size() <= static_cast<std::size_t>(line_)) {
+      scan_.line_comments.resize(static_cast<std::size_t>(line_) + 1);
+    }
+  }
+
+  void append_comment(int line, std::string_view text) {
+    if (scan_.line_comments.size() <= static_cast<std::size_t>(line)) {
+      scan_.line_comments.resize(static_cast<std::size_t>(line) + 1);
+    }
+    auto& slot = scan_.line_comments[static_cast<std::size_t>(line)];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  }
+
+  void line_comment() {
+    const std::size_t start = pos_ + 2;
+    std::size_t end = start;
+    while (end < src_.size() && src_[end] != '\n') ++end;
+    append_comment(line_, src_.substr(start, end - start));
+    pos_ = end;  // leave the '\n' for the main loop
+  }
+
+  void block_comment() {
+    pos_ += 2;
+    std::size_t seg_start = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        append_comment(line_, src_.substr(seg_start, pos_ - seg_start));
+        pos_ += 2;
+        return;
+      }
+      if (src_[pos_] == '\n') {
+        append_comment(line_, src_.substr(seg_start, pos_ - seg_start));
+        advance_line();
+        at_line_start_ = false;  // a comment does not open a directive
+        seg_start = pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    append_comment(line_, src_.substr(seg_start, pos_ - seg_start));
+  }
+
+  /// Consumes a `#...` directive through any `\` continuations, still
+  /// recording comments so NOLINT works on (and after) directive lines.
+  void preprocessor_line() {
+    at_line_start_ = false;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '\\' && peek(1) == '\n') {
+        ++pos_;
+        advance_line();
+        at_line_start_ = false;
+        continue;
+      }
+      if (c == '\n') return;  // main loop advances the line
+      ++pos_;
+    }
+  }
+
+  void string_literal() {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+        continue;
+      }
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    emit(Token::Kind::String, "\"\"");
+  }
+
+  void char_literal() {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+        continue;
+      }
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+    emit(Token::Kind::Char, "''");
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    // Good enough for hex/float/suffix forms, including digit
+    // separators: 0x1Fu, 1'000'000, 1.5e-3f.
+    while (pos_ < src_.size() &&
+           (ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            src_[pos_] == '\'' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+              src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    emit(Token::Kind::Number, std::string(src_.substr(start, pos_ - start)));
+  }
+
+  void identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string_view text = src_.substr(start, pos_ - start);
+    if (raw_string_prefix(text) && pos_ < src_.size() && src_[pos_] == '"') {
+      consume_raw_string();
+      emit(Token::Kind::String, "\"\"");
+      return;
+    }
+    emit(Token::Kind::Ident, std::string(text));
+  }
+
+  void consume_raw_string() {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+        continue;
+      }
+      if (src_.compare(pos_, close.size(), close) == 0) {
+        pos_ += close.size();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void punct() {
+    // Multi-character tokens the rules key on; everything else is
+    // emitted one character at a time (so `>>` closes two templates).
+    const char c = src_[pos_];
+    if (c == ':' && peek(1) == ':') {
+      pos_ += 2;
+      emit(Token::Kind::Punct, "::");
+      return;
+    }
+    if (c == '-' && peek(1) == '>') {
+      pos_ += 2;
+      emit(Token::Kind::Punct, "->");
+      return;
+    }
+    if (c == '+' && peek(1) == '=') {
+      pos_ += 2;
+      emit(Token::Kind::Punct, "+=");
+      return;
+    }
+    ++pos_;
+    emit(Token::Kind::Punct, std::string(1, c));
+  }
+
+  void emit(Token::Kind kind, std::string text) {
+    scan_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  std::string_view src_;
+  FileScan scan_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+FileScan lex(std::string path, std::string_view source) {
+  return Lexer(std::move(path), source).run();
+}
+
+}  // namespace prestage::lint

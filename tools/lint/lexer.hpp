@@ -1,0 +1,44 @@
+// Lightweight C++ tokenizer for prestage-lint.
+//
+// This is not a compiler front end: it produces just enough structure
+// for the determinism rules — identifiers, numbers, string/char
+// literals collapsed to placeholders, and single-character punctuation
+// (with `::`, `->` and `+=` kept whole because the rules key on them).
+// Comments are not tokens; their text is collected per line so the
+// driver can honour `// NOLINT(prestage-*)` suppressions and rules can
+// look for ordering comments. Preprocessor directive lines (including
+// `\` continuations) are skipped entirely — `#include <unordered_map>`
+// must not look like a template instantiation — but comments on those
+// lines are still recorded.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prestage::lint {
+
+struct Token {
+  enum class Kind { Ident, Number, String, Char, Punct };
+  Kind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// One lexed translation unit: the code token stream plus the comment
+/// text seen on each line (index 0 unused; block comments contribute to
+/// every line they cover).
+struct FileScan {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<std::string> line_comments;
+
+  [[nodiscard]] std::string_view comment_on(int line) const {
+    if (line < 1 || line >= static_cast<int>(line_comments.size())) return {};
+    return line_comments[static_cast<std::size_t>(line)];
+  }
+};
+
+[[nodiscard]] FileScan lex(std::string path, std::string_view source);
+
+}  // namespace prestage::lint

@@ -1,0 +1,57 @@
+// prestage-lint driver: file collection, suppression handling, and the
+// human/JSON reports.
+//
+// Suppressions are clang-tidy-shaped:
+//
+//   code();  // NOLINT(prestage-wallclock)     this line, named rule(s)
+//   code();  // NOLINT(prestage-*)             this line, every rule
+//   // NOLINTNEXTLINE(prestage-wallclock)      the next line
+//
+// Every suppression must carry a rule list naming the rule it silences
+// (or the prestage-* wildcard); a bare NOLINT comment suppresses
+// nothing — silent blanket waivers are exactly what the linter exists
+// to prevent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/config.hpp"
+#include "lint/rules.hpp"
+
+namespace prestage::lint {
+
+struct ReportedFinding {
+  Finding finding;
+  Severity severity = Severity::Error;
+  bool suppressed = false;
+};
+
+struct LintResult {
+  std::vector<ReportedFinding> findings;  // sorted by (path, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t errors = 0;      // unsuppressed, severity error
+  std::size_t warnings = 0;    // unsuppressed, severity warn
+  std::size_t suppressed = 0;
+
+  [[nodiscard]] int exit_code() const { return errors > 0 ? 1 : 0; }
+};
+
+/// Collects the files to scan: @p files verbatim when non-empty,
+/// otherwise every file under the config's roots (relative to the
+/// current directory) with a configured extension, sorted.
+[[nodiscard]] std::vector<std::string> collect_files(
+    const Config& config, const std::vector<std::string>& files);
+
+/// Lints @p paths under @p config. Unreadable files throw ConfigError.
+[[nodiscard]] LintResult run_lint(const Config& config,
+                                  const std::vector<std::string>& paths);
+
+/// One line per finding plus a summary; what the CI log shows.
+void write_text(std::ostream& out, const LintResult& result);
+
+/// The machine-readable prestage-lint-v1 document.
+void write_json(std::ostream& out, const LintResult& result);
+
+}  // namespace prestage::lint

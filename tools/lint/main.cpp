@@ -1,0 +1,94 @@
+// prestage-lint: the project's determinism checker.
+//
+//   prestage-lint                               # scan the configured roots
+//   prestage-lint --config tools/lint/prestage-lint.json
+//   prestage-lint file.cpp other.hpp            # scan just these files
+//   prestage-lint --json out.json               # machine-readable report
+//   prestage-lint --list-rules
+//
+// Exit codes: 0 clean (or warnings/suppressed only), 1 unsuppressed
+// error findings, 2 usage or config errors.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/config.hpp"
+#include "lint/lint.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+constexpr const char* kDefaultConfig = "tools/lint/prestage-lint.json";
+
+int usage(std::ostream& out, int code) {
+  out << "usage: prestage-lint [--config FILE] [--json FILE] "
+         "[--list-rules] [files...]\n"
+         "Scans the configured roots (or the given files) for "
+         "determinism-rule violations.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prestage::lint;
+
+  std::string config_path;
+  std::string json_path;
+  bool list_rules = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "prestage-lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = value("--config");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "prestage-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& id : all_rule_ids()) std::cout << id << '\n';
+    return 0;
+  }
+
+  try {
+    Config config;
+    if (!config_path.empty()) {
+      config = load_config(config_path);
+    } else if (std::filesystem::exists(kDefaultConfig)) {
+      config = load_config(kDefaultConfig);
+    }
+    const LintResult result = run_lint(config, collect_files(config, files));
+    write_text(std::cout, result);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "prestage-lint: cannot write '" << json_path << "'\n";
+        return 2;
+      }
+      write_json(out, result);
+    }
+    return result.exit_code();
+  } catch (const ConfigError& e) {
+    std::cerr << "prestage-lint: " << e.what() << '\n';
+    return 2;
+  }
+}
