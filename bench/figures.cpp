@@ -58,16 +58,18 @@ const std::vector<CampaignSpec>& all_campaigns() {
          far, sizes);
     make("fig8", "Figure 8: prefetch sources (0.045um)",
          ReportKind::PrefetchSources, {"fdp", "clgp"}, far, sizes);
-    // The instruction-prefetcher family (related-work baselines next to
-    // the paper's pair): every registered scheme at matched L0/pre-buffer
-    // conditions, over a reduced size axis.
+    // The instruction-prefetcher family (related-work baselines and the
+    // later record/graph schemes next to the paper's pair): every
+    // registered scheme at matched L0/pre-buffer conditions, ablated
+    // across both nodes over a reduced size axis.
     make("family",
-         "Prefetcher family: sequential/stream baselines vs FDP/CLGP "
-         "(0.045um)",
+         "Prefetcher family: sequential/stream/MANA/program-map vs "
+         "FDP/CLGP",
          ReportKind::IpcVsSize,
-         {"next-line", "next-line-l0", "stream", "stream-l0", "fdp-l0",
-          "clgp-l0"},
-         far, {1024, 4096, 16384});
+         {"next-line", "next-line-l0", "stream", "stream-l0", "mana",
+          "mana-l0", "program-map", "program-map-l0", "fdp-l0", "clgp-l0"},
+         {cacti::TechNode::um090, cacti::TechNode::um045},
+         {1024, 4096, 16384});
     // Small grid for CI and tests: exercises the whole campaign path
     // (run, resume, compare, report) in seconds at low budgets.
     make("smoke", "CI smoke grid", ReportKind::IpcVsSize,

@@ -139,14 +139,36 @@ EOF
 fi
 
 # --- prefetcher-family grid --------------------------------------------------
-# The open-registry grid: sequential/stream baselines (next-line, stream)
+# The open-registry grid: sequential/stream/MANA/program-map families
 # next to FDP/CLGP, proving every registered scheme runs end to end
-# through the campaign pipeline.
+# through the campaign pipeline. Coverage is checked against `prestage
+# list` (not a hand-kept list) so a newly registered scheme that is
+# missing from the family campaign fails CI here.
 rm -f build/ci-family.jsonl build/ci-family.jsonl.perf
 ./build/src/cli/prestage campaign run --name family --instrs 800 \
   --store build/ci-family.jsonl -j 0 --json build/ci-campaign-family.json
 ./build/src/cli/prestage campaign report --name family --instrs 800 \
   --store build/ci-family.jsonl --out BENCH_family.json
+if command -v python3 > /dev/null; then
+  ./build/src/cli/prestage list |
+    awk '/^prefetchers/{f=1;next}/^[a-z]/{f=0}f{print $1}' \
+    > build/ci-registered.txt
+  python3 - <<'EOF'
+import json
+registered = set(open("build/ci-registered.txt").read().split())
+assert registered, "prestage list yielded no prefetchers"
+doc = json.load(open("BENCH_family.json"))
+covered = {s["preset"].split("@")[0].split("-l0")[0].split("-pb")[0]
+           for s in doc["series"]}
+missing = registered - covered - {"base"}
+assert not missing, f"family campaign misses registered schemes: {missing}"
+for series in doc["series"]:
+    assert "storage_bits" in series, series
+    if not series["preset"].startswith("base"):
+        assert series["storage_bits"] > 0, series
+print("family: every registered prefetcher is ablated, with storage bits")
+EOF
+fi
 
 # --- perf smoke --------------------------------------------------------------
 # Host-throughput telemetry: run one short campaign with --jobs 0 (all
@@ -165,6 +187,7 @@ import json
 doc = json.load(open("BENCH_perf.json"))
 assert doc["schema"] == "prestage-campaign-perf-v1", doc
 assert doc["points"] == 8, doc
+assert doc["dropped_lines"] == 0, doc  # a fresh sidecar has no torn lines
 assert doc["host_seconds"] > 0 and doc["minstr_per_sec"] > 0, doc
 assert doc["per_config"], doc
 assert all(c["minstr_per_sec"] > 0 for c in doc["per_config"]), doc

@@ -1,0 +1,33 @@
+#include "cacti/storage.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::cacti {
+
+std::uint32_t index_bits(std::uint64_t n) {
+  std::uint32_t bits = 0;
+  while ((1ULL << bits) < n) ++bits;
+  return bits;
+}
+
+std::uint32_t line_tag_bits(std::uint32_t line_bytes) {
+  PRESTAGE_ASSERT(line_bytes >= 1);
+  const std::uint32_t offset = index_bits(line_bytes);
+  PRESTAGE_ASSERT(offset < kPhysAddrBits);
+  return kPhysAddrBits - offset;
+}
+
+std::uint64_t line_buffer_bits(std::uint64_t entries,
+                               std::uint32_t line_bytes,
+                               std::uint32_t state_bits) {
+  const std::uint64_t per_entry =
+      8ULL * line_bytes + line_tag_bits(line_bytes) + state_bits;
+  return entries * per_entry;
+}
+
+std::uint64_t table_bits(std::uint64_t entries,
+                         std::uint64_t bits_per_entry) {
+  return entries * bits_per_entry;
+}
+
+}  // namespace prestage::cacti

@@ -1,0 +1,42 @@
+// Storage-budget accounting for prefetcher state, companion to the
+// access-time model: where cacti.hpp answers "how fast is this
+// structure", this module answers "how many bits of SRAM does it cost".
+//
+// The paper sizes its pre-buffers by the CACTI one-cycle bound but never
+// totals the state a scheme carries; the later prefetchers compared here
+// (MANA's record/HOBP tables, the program-map graph) live or die by that
+// budget, so every registered scheme reports its bill of bits through
+// IPrefetcher::storage_bits() using these helpers. Conventions:
+//
+//   * physical line addresses are kPhysAddrBits wide (tags are computed
+//     from that, minus the line-offset bits);
+//   * a line-granular buffer entry costs data + tag + state bits;
+//   * index widths are ceil(log2(entries)) — what a real encoder needs.
+#pragma once
+
+#include <cstdint>
+
+namespace prestage::cacti {
+
+/// Modeled physical address width (bits) for tag accounting.
+inline constexpr std::uint32_t kPhysAddrBits = 48;
+
+/// ceil(log2(n)): bits needed to index (or count to) @p n distinct
+/// values; 0 when n <= 1.
+[[nodiscard]] std::uint32_t index_bits(std::uint64_t n);
+
+/// Tag bits of a full line address: kPhysAddrBits minus the line offset.
+[[nodiscard]] std::uint32_t line_tag_bits(std::uint32_t line_bytes);
+
+/// Total bits of a line-granular buffer (pre-buffer, prestage buffer, L0):
+/// per entry, the line's data, its full tag, and @p state_bits of
+/// bookkeeping (valid/ready/consumers/... bits).
+[[nodiscard]] std::uint64_t line_buffer_bits(std::uint64_t entries,
+                                             std::uint32_t line_bytes,
+                                             std::uint32_t state_bits);
+
+/// Total bits of a uniform table: entries * bits_per_entry.
+[[nodiscard]] std::uint64_t table_bits(std::uint64_t entries,
+                                       std::uint64_t bits_per_entry);
+
+}  // namespace prestage::cacti

@@ -66,7 +66,10 @@ PerfLog PerfLog::load(const std::string& path) {
     try {
       log.add(decode_perf_line(line));
     } catch (const json::JsonError&) {
-      // torn tail or corrupt line: drop silently, telemetry is best-effort
+      // Torn tail or corrupt line: telemetry is best-effort and must
+      // never be fatal, but the loss is counted so truncation shows up
+      // as `dropped_lines` instead of quietly shrinking `points`.
+      log.note_dropped();
     }
   }
   return log;
@@ -100,6 +103,7 @@ PerfAggregate aggregate_perf(const std::vector<PerfRecord>& records) {
 PerfSummary summarize_perf(const PerfLog& log) {
   PerfSummary summary;
   summary.total = aggregate_perf(log.records());
+  summary.dropped_lines = log.dropped();
   std::map<std::string, Fold> by_config;
   for (const PerfRecord& r : log.records()) by_config[r.config].add(r);
   summary.per_config.reserve(by_config.size());
@@ -113,6 +117,7 @@ PerfLog scope_to_spec(const PerfLog& log, const CampaignSpec& spec) {
   std::set<std::string> keys;
   for (const RunPoint& p : expand(spec)) keys.insert(p.key());
   PerfLog scoped;
+  scoped.note_dropped(log.dropped());
   for (const PerfRecord& r : log.records()) {
     if (keys.count(r.key) > 0) scoped.add(r);
   }
@@ -127,6 +132,8 @@ void write_perf_aggregate(JsonWriter& json, const PerfAggregate& agg) {
 
 void write_perf_summary(JsonWriter& json, const PerfSummary& summary) {
   write_perf_aggregate(json, summary.total);
+  json.field("dropped_lines",
+             static_cast<std::uint64_t>(summary.dropped_lines));
   json.key("per_config");
   json.begin_array();
   for (const auto& [config, agg] : summary.per_config) {

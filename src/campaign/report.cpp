@@ -2,6 +2,7 @@
 
 #include "common/prestage_assert.hpp"
 #include "common/stats.hpp"
+#include "prefetch/registry.hpp"
 #include "sim/experiment.hpp"
 
 namespace prestage::campaign {
@@ -99,6 +100,11 @@ void write_ipc_vs_size(JsonWriter& json, const ResultGrid& grid) {
       json.field("preset", preset);
       json.field("label", sim::preset_label(preset));
       json.field("node", cacti::to_string(node));
+      // The scheme's storage budget is a property of the composition at
+      // this node, not of the L1 axis: one value per series.
+      json.field("storage_bits",
+                 prefetch::probe_storage_bits(sim::make_config(
+                     preset, node, spec.l1_sizes.front())));
       json.key("hmean_ipc");
       json.begin_array();
       for (const std::uint64_t size : spec.l1_sizes) {

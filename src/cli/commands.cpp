@@ -162,6 +162,7 @@ int cmd_run(const Options& opt) {
     json.begin_object();
     json.field("schema", "prestage-run-v1");
     write_config_fields(json, opt, instrs);
+    json.field("storage_bits", machine.prefetcher().storage_bits());
     json.key("result");
     write_run_result(json, r);
     json.end_object();
@@ -500,10 +501,15 @@ int cmd_trace_info(const Options& opt) {
 int cmd_list(const Options& opt) {
   (void)opt;
   std::cout << "prefetchers (composable: <prefetcher>[+l0][+ideal]"
-               "[+pipelined][+pb<N>][@node]):\n";
+               "[+pipelined][+pb<N>][@node]; storage at the default "
+               "composition):\n";
   for (const auto& info :
        prefetch::PrefetcherRegistry::instance().entries()) {
-    std::printf("  %-12s %s\n", info.name.c_str(),
+    cpu::MachineConfig probe_cfg;
+    probe_cfg.prefetcher = info.name;
+    std::printf("  %-12s %8llu bits  %s\n", info.name.c_str(),
+                static_cast<unsigned long long>(
+                    prefetch::probe_storage_bits(probe_cfg)),
                 info.description.c_str());
   }
   std::cout << "presets:\n";

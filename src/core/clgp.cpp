@@ -1,5 +1,6 @@
 #include "core/clgp.hpp"
 
+#include "cacti/storage.hpp"
 #include "common/prestage_assert.hpp"
 #include "prefetch/registry.hpp"
 
@@ -112,6 +113,13 @@ void ClgpPrestager::on_recovery(Cycle now) {
   consumers_resets.add();
 }
 
+std::uint64_t ClgpPrestager::storage_bits() const {
+  // Prestage buffer with the consumers counter (paper §3.2.3: a small
+  // saturating count per entry) on top of the valid/in-flight state.
+  return cacti::line_buffer_bits(config_.entries, config_.line_bytes,
+                                 2 + 4);
+}
+
 void register_clgp_prestager(prefetch::PrefetcherRegistry& r) {
   r.add({.name = "clgp",
          .label = "CLGP",
@@ -127,6 +135,7 @@ void register_clgp_prestager(prefetch::PrefetcherRegistry& r) {
            cfg.disable_consumers = in.config.clgp_disable_consumers;
            cfg.filter_resident = in.config.clgp_filter_resident;
            cfg.transfer_on_use = in.config.clgp_transfer_on_use;
+           cfg.line_bytes = in.config.line_bytes;
            prefetch::PrefetcherBuild b;
            b.prefetcher = std::make_unique<ClgpPrestager>(
                cfg, *cltq, in.caches, in.mem);

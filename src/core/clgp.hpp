@@ -36,6 +36,7 @@ struct ClgpConfig {
   int pb_latency = 1;             ///< buffer access latency
   bool pb_pipelined = false;      ///< 16-entry buffers are pipelined (§5)
   std::uint32_t scan_per_cycle = 2;  ///< CLTQ entries examined per cycle
+  std::uint32_t line_bytes = 64;     ///< for storage accounting
 
   // --- ablation knobs (paper behaviour when all false) ------------------
   bool disable_consumers = false;  ///< free entries on first use (FDP-style)
@@ -63,6 +64,7 @@ class ClgpPrestager final : public prefetch::IPrefetcher {
   [[nodiscard]] std::uint64_t prefetches() const override {
     return prefetches_issued.value();
   }
+  [[nodiscard]] std::uint64_t storage_bits() const override;
 
   [[nodiscard]] PrestageBuffer& buffer() { return buffer_; }
   [[nodiscard]] const PrestageBuffer& buffer() const { return buffer_; }

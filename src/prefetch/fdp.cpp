@@ -1,5 +1,6 @@
 #include "prefetch/fdp.hpp"
 
+#include "cacti/storage.hpp"
 #include "common/prestage_assert.hpp"
 #include "prefetch/registry.hpp"
 
@@ -153,6 +154,12 @@ void FdpPrefetcher::on_recovery(Cycle now) {
   (void)now;
 }
 
+std::uint64_t FdpPrefetcher::storage_bits() const {
+  // Fully-associative prefetch buffer: data + tag + valid/in-flight
+  // state per entry. FDP keeps no history tables.
+  return cacti::line_buffer_bits(config_.entries, config_.line_bytes, 2);
+}
+
 std::uint32_t FdpPrefetcher::valid_entries() const {
   std::uint32_t n = 0;
   for (const Entry& e : entries_) n += (e.allocated && e.valid);
@@ -171,6 +178,7 @@ void register_fdp_prefetcher(PrefetcherRegistry& r) {
            cfg.entries = in.config.prebuffer_entries;
            cfg.pb_latency = in.timings.prebuffer_latency;
            cfg.pb_pipelined = in.config.prebuffer_pipelined;
+           cfg.line_bytes = in.config.line_bytes;
            PrefetcherBuild b;
            b.prefetcher = std::make_unique<FdpPrefetcher>(
                cfg, *ftq, in.caches, in.mem);

@@ -35,6 +35,7 @@ struct FdpConfig {
   int pb_latency = 1;             ///< buffer access latency
   bool pb_pipelined = false;      ///< 16-entry buffers are pipelined (§5)
   std::uint32_t scan_per_cycle = 2;  ///< FTQ lines examined per cycle
+  std::uint32_t line_bytes = 64;     ///< for storage accounting
 };
 
 class FdpPrefetcher final : public IPrefetcher {
@@ -56,6 +57,7 @@ class FdpPrefetcher final : public IPrefetcher {
   [[nodiscard]] std::uint64_t prefetches() const override {
     return prefetches_issued.value();
   }
+  [[nodiscard]] std::uint64_t storage_bits() const override;
 
   // --- statistics -------------------------------------------------------
   Counter prefetches_issued;   ///< transfers actually started (L1/L2/mem)

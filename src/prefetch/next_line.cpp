@@ -1,5 +1,6 @@
 #include "prefetch/next_line.hpp"
 
+#include "cacti/storage.hpp"
 #include "common/prestage_assert.hpp"
 #include "prefetch/registry.hpp"
 
@@ -82,6 +83,11 @@ void NextLinePrefetcher::on_line_request(Addr line, Cycle now) {
                 });
     prefetches_issued.add();
   }
+}
+
+std::uint64_t NextLinePrefetcher::storage_bits() const {
+  // Just the prefetch buffer; next-line keeps no history state.
+  return cacti::line_buffer_bits(config_.entries, config_.line_bytes, 2);
 }
 
 void register_next_line_prefetcher(PrefetcherRegistry& r) {

@@ -45,6 +45,7 @@ class NextLinePrefetcher final : public IPrefetcher {
   [[nodiscard]] std::uint64_t prefetches() const override {
     return prefetches_issued.value();
   }
+  [[nodiscard]] std::uint64_t storage_bits() const override;
 
   Counter prefetches_issued;
 

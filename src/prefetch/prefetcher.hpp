@@ -59,6 +59,11 @@ class IPrefetcher {
 
   /// Total prefetch transfers started (reporting).
   [[nodiscard]] virtual std::uint64_t prefetches() const { return 0; }
+
+  /// CACTI-style storage budget: total SRAM bits of the scheme's private
+  /// state (pre-buffer data+tags plus any record tables), accounted with
+  /// the cacti/storage.hpp helpers. 0 for schemes that carry none.
+  [[nodiscard]] virtual std::uint64_t storage_bits() const { return 0; }
 };
 
 /// The no-prefetch baseline: the fetch stage sees no pre-buffer at all.

@@ -1,0 +1,257 @@
+#include "prefetch/program_map.hpp"
+
+#include "cacti/storage.hpp"
+#include "common/prestage_assert.hpp"
+#include "prefetch/registry.hpp"
+
+namespace prestage::prefetch {
+
+ProgramMapPrefetcher::ProgramMapPrefetcher(const ProgramMapConfig& config,
+                                           frontend::FetchTargetQueue& ftq,
+                                           mem::IFetchCaches& caches,
+                                           mem::MemSystem& mem)
+    : config_(config),
+      ftq_(ftq),
+      caches_(caches),
+      mem_(mem),
+      port_(config.pb_latency, config.pb_pipelined),
+      entries_(config.entries),
+      map_(config.map_entries) {
+  PRESTAGE_ASSERT(config.entries >= 1 && config.map_entries >= 1 &&
+                  config.depth >= 1);
+}
+
+ProgramMapPrefetcher::Entry* ProgramMapPrefetcher::find(Addr line) {
+  for (Entry& e : entries_) {
+    if (e.allocated && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+const ProgramMapPrefetcher::Entry* ProgramMapPrefetcher::find(
+    Addr line) const {
+  return const_cast<ProgramMapPrefetcher*>(this)->find(line);
+}
+
+ProgramMapPrefetcher::Entry* ProgramMapPrefetcher::allocate() {
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.allocated) return &e;
+  }
+  for (Entry& e : entries_) {
+    if (!e.valid) continue;  // in flight
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  return victim;
+}
+
+std::size_t ProgramMapPrefetcher::map_index(Addr start) const {
+  return static_cast<std::size_t>((start / config_.line_bytes) %
+                                  map_.size());
+}
+
+const ProgramMapPrefetcher::Node* ProgramMapPrefetcher::lookup(
+    Addr start) const {
+  const Node& n = map_[map_index(start)];
+  return n.valid && n.start == start ? &n : nullptr;
+}
+
+std::uint32_t ProgramMapPrefetcher::recorded_edges(Addr start) const {
+  const Node* n = lookup(start);
+  if (n == nullptr) return 0;
+  std::uint32_t count = 0;
+  for (const Edge& e : n->edges) count += (e.target != kNoAddr);
+  return count;
+}
+
+PreBufferProbe ProgramMapPrefetcher::probe(Addr line) const {
+  const Entry* e = find(line);
+  if (e == nullptr) return {};
+  return PreBufferProbe{true, e->ready};
+}
+
+void ProgramMapPrefetcher::on_fetch_from_pb(Addr line, Cycle now) {
+  (void)now;
+  Entry* e = find(line);
+  PRESTAGE_ASSERT(e != nullptr, "PB consume of absent line");
+  caches_.fill_promoted(line);
+  e->allocated = false;
+  e->valid = false;
+}
+
+void ProgramMapPrefetcher::record_block(const frontend::FetchBlock& block,
+                                        Addr successor) {
+  if (successor == kNoAddr || block.length == 0) return;
+  Node& n = map_[map_index(block.start)];
+  if (!n.valid || n.start != block.start) {
+    // Allocate (or displace the colliding node — direct-mapped).
+    n = Node{};
+    n.start = block.start;
+    n.valid = true;
+    nodes_recorded.add();
+  }
+  n.span_lines = frontend::lines_in_block(block, config_.line_bytes);
+
+  // Edge update: strengthen a matching successor, else take an empty
+  // slot, else displace the weakest edge (decay-and-replace).
+  for (Edge& e : n.edges) {
+    if (e.target == successor) {
+      if (e.confidence < kMaxConfidence) ++e.confidence;
+      edges_strengthened.add();
+      return;
+    }
+  }
+  Edge* slot = nullptr;
+  for (Edge& e : n.edges) {
+    if (e.target == kNoAddr) {
+      slot = &e;
+      break;
+    }
+    if (slot == nullptr || e.confidence < slot->confidence) slot = &e;
+  }
+  PRESTAGE_ASSERT(slot != nullptr);
+  slot->target = successor;
+  slot->confidence = 1;
+  // A call or forward branch jumps ahead; a return or loop closes
+  // backward. The classification feeds the stats (and tests) — the
+  // traversal itself follows both kinds.
+  slot->backward = successor <= block.start;
+  if (slot->backward) backward_edges.add();
+}
+
+void ProgramMapPrefetcher::traverse(Addr start, Cycle now) {
+  const Node* n = lookup(start);
+  if (n == nullptr) return;  // frontier not mapped yet
+  traversals.add();
+  for (std::uint32_t hops = 0; hops < config_.depth; ++hops) {
+    const Edge* best = nullptr;
+    for (const Edge& e : n->edges) {
+      if (e.target == kNoAddr) continue;
+      if (best == nullptr || e.confidence > best->confidence) best = &e;
+    }
+    if (best == nullptr) return;
+    const Addr target = best->target;
+    // The successor node knows the block's span; an unmapped target
+    // still gets its entry line staged — it IS the discontinuity.
+    const Node* tn = lookup(target);
+    const std::uint32_t span = tn != nullptr ? tn->span_lines : 1;
+    const Addr first_line =
+        target / config_.line_bytes * config_.line_bytes;
+    for (std::uint32_t d = 0; d < span; ++d) {
+      prestage(first_line + static_cast<Addr>(d) * config_.line_bytes,
+               now);
+    }
+    if (tn == nullptr) return;
+    n = tn;
+  }
+}
+
+void ProgramMapPrefetcher::prestage(Addr target, Cycle now) {
+  // One-cycle filtering only (pre-buffer + L0); L1-resident lines are
+  // staged from the L1's prefetch port (paper §3.1.1/§3.2.3).
+  if (find(target) != nullptr) {
+    sources_.add(FetchSource::PreBuffer);
+    return;
+  }
+  if (caches_.probe_l0(target)) {
+    sources_.add(FetchSource::L0);
+    return;
+  }
+  Entry* e = allocate();
+  if (e == nullptr) return;  // all entries in flight: drop the request
+  if (caches_.probe_l1(target)) {
+    if (!caches_.prefetch_port().can_accept(now)) return;
+    const Cycle done = caches_.prefetch_port().issue(now);
+    *e = Entry{target, done, ++lru_clock_, e->gen + 1, true, true};
+    sources_.add(FetchSource::L1);
+    prefetches_issued.add();
+    return;
+  }
+  *e = Entry{target, kNoCycle, ++lru_clock_, e->gen + 1, true, false};
+  const std::uint64_t gen = e->gen;
+  Entry* slot = e;
+  mem_.submit(mem::ReqType::IPrefetch, target, now,
+              [this, slot, target, gen](FetchSource src, Cycle ready) {
+                if (!slot->allocated || slot->gen != gen ||
+                    slot->line != target) {
+                  return;
+                }
+                slot->ready = ready;
+                slot->valid = true;
+                sources_.add(src);
+              });
+  prefetches_issued.add();
+}
+
+void ProgramMapPrefetcher::tick(Cycle now) {
+  // Record: each queued block's successor is the next block in the
+  // stream; an edge is entered once both ends are oracle-verified. The
+  // per-entry prefetch_line cursor (unused by this queue's fetch side)
+  // doubles as the "already recorded" marker.
+  std::uint32_t recorded = 0;
+  for (std::size_t b = 0;
+       b + 1 < ftq_.size() && recorded < config_.record_per_cycle; ++b) {
+    auto& entry = ftq_.entry(b);
+    if (entry.prefetch_line != 0) continue;
+    entry.prefetch_line = 1;
+    ++recorded;
+    const frontend::FetchBlock& block = entry.block;
+    const frontend::FetchBlock& next = ftq_.entry(b + 1).block;
+    const bool retired_edge = !block.fully_wrong() &&
+                              block.culprit_index < 0 &&
+                              block.wrong_from >= block.length &&
+                              !next.fully_wrong();
+    if (retired_edge) record_block(block, next.start);
+  }
+
+  // Traverse: walk the map ahead of the youngest block whenever the
+  // frontier moves.
+  if (ftq_.size() == 0) return;
+  const Addr frontier = ftq_.entry(ftq_.size() - 1).block.start;
+  if (frontier == kNoAddr || frontier == last_frontier_) return;
+  last_frontier_ = frontier;
+  traverse(frontier, now);
+}
+
+void ProgramMapPrefetcher::on_recovery(Cycle now) {
+  (void)now;
+  // The walked path was squashed with the FTQ; the map is retired
+  // control flow and survives.
+  last_frontier_ = kNoAddr;
+}
+
+std::uint64_t ProgramMapPrefetcher::storage_bits() const {
+  // Prestage buffer plus the program-map node table: per node, the
+  // start-PC tag, the span, and two edges of target + 2-bit confidence
+  // + direction.
+  const std::uint64_t edge_bits = cacti::kPhysAddrBits + 2 + 1;
+  const std::uint64_t node_bits =
+      cacti::kPhysAddrBits + 3 + kMaxEdges * edge_bits + 1;
+  return cacti::line_buffer_bits(config_.entries, config_.line_bytes, 2) +
+         cacti::table_bits(config_.map_entries, node_bits);
+}
+
+void register_program_map_prefetcher(PrefetcherRegistry& r) {
+  r.add({.name = "program-map",
+         .label = "PMap",
+         .description =
+             "program-map traversal: call/branch graph built from "
+             "retired control flow, walked ahead of fetch to stage "
+             "discontinuity targets (arXiv 2406.06738)",
+         .build = [](const BuildInputs& in) {
+           auto ftq = std::make_unique<frontend::FetchTargetQueue>(
+               in.config.queue_blocks, in.config.line_bytes);
+           ProgramMapConfig cfg;
+           cfg.entries = in.config.prebuffer_entries;
+           cfg.pb_latency = in.timings.prebuffer_latency;
+           cfg.pb_pipelined = in.config.prebuffer_pipelined;
+           cfg.line_bytes = in.config.line_bytes;
+           PrefetcherBuild b;
+           b.prefetcher = std::make_unique<ProgramMapPrefetcher>(
+               cfg, *ftq, in.caches, in.mem);
+           b.queue = std::move(ftq);
+           return b;
+         }});
+}
+
+}  // namespace prestage::prefetch

@@ -14,6 +14,8 @@ class PrefetcherRegistry;
 void register_fdp_prefetcher(PrefetcherRegistry& r);        // fdp.cpp
 void register_next_line_prefetcher(PrefetcherRegistry& r);  // next_line.cpp
 void register_stream_prefetcher(PrefetcherRegistry& r);     // stream.cpp
+void register_mana_prefetcher(PrefetcherRegistry& r);       // mana.cpp
+void register_program_map_prefetcher(PrefetcherRegistry& r);  // program_map.cpp
 }  // namespace prestage::prefetch
 
 namespace prestage::core {
@@ -48,6 +50,8 @@ PrefetcherRegistry::PrefetcherRegistry() {
   core::register_clgp_prestager(*this);
   register_next_line_prefetcher(*this);
   register_stream_prefetcher(*this);
+  register_mana_prefetcher(*this);
+  register_program_map_prefetcher(*this);
 }
 
 PrefetcherRegistry& PrefetcherRegistry::instance() {
@@ -96,6 +100,24 @@ PrefetcherBuild build_prefetcher(const BuildInputs& in) {
                   "prefetcher factory '" + info->name +
                       "' returned an incomplete build");
   return b;
+}
+
+std::uint64_t probe_storage_bits(const cpu::MachineConfig& config) {
+  // The bill of bits is a static property of the built structures, so a
+  // throwaway cache/memory pair is enough to let the factory run; the
+  // references only need to outlive this call.
+  const cpu::DerivedTimings timings = cpu::DerivedTimings::from(config);
+  mem::IFetchCachesConfig cache_cfg;
+  cache_cfg.l1_size_bytes = config.l1i_size;
+  cache_cfg.line_bytes = config.line_bytes;
+  cache_cfg.l1_latency = timings.l1i_latency;
+  cache_cfg.has_l0 = config.has_l0;
+  cache_cfg.l0_size_bytes = timings.l0_size;
+  mem::IFetchCaches caches(cache_cfg);
+  mem::MemSystem mem{mem::MemSystemConfig{}};
+  const PrefetcherBuild b =
+      build_prefetcher({config, timings, caches, mem});
+  return b.prefetcher->storage_bits();
 }
 
 }  // namespace prestage::prefetch

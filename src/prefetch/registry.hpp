@@ -93,4 +93,10 @@ struct PrefetcherRegistrar {
 /// Throws SimError naming every registered scheme on an unknown name.
 [[nodiscard]] PrefetcherBuild build_prefetcher(const BuildInputs& in);
 
+/// Storage budget (IPrefetcher::storage_bits) of the scheme @p config
+/// names, built against throwaway cache/memory instances. Used by the
+/// CLI and campaign reports to account state without running anything.
+[[nodiscard]] std::uint64_t probe_storage_bits(
+    const cpu::MachineConfig& config);
+
 }  // namespace prestage::prefetch

@@ -1,5 +1,6 @@
 #include "prefetch/stream.hpp"
 
+#include "cacti/storage.hpp"
 #include "common/prestage_assert.hpp"
 #include "prefetch/registry.hpp"
 
@@ -164,6 +165,16 @@ void StreamPrefetcher::on_recovery(Cycle now) {
   region_trigger_ = kNoAddr;
   region_last_ = kNoAddr;
   region_lines_ = 0;
+}
+
+std::uint64_t StreamPrefetcher::storage_bits() const {
+  // Pre-buffer plus the direct-mapped region table: each region record
+  // holds a trigger-line tag and the recorded length.
+  const std::uint64_t record_bits =
+      cacti::line_tag_bits(config_.line_bytes) +
+      cacti::index_bits(config_.max_region_lines + 1);
+  return cacti::line_buffer_bits(config_.entries, config_.line_bytes, 2) +
+         cacti::table_bits(config_.table_entries, record_bits);
 }
 
 void register_stream_prefetcher(PrefetcherRegistry& r) {

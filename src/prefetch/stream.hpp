@@ -63,6 +63,7 @@ class StreamPrefetcher final : public IPrefetcher {
   [[nodiscard]] std::uint64_t prefetches() const override {
     return prefetches_issued.value();
   }
+  [[nodiscard]] std::uint64_t storage_bits() const override;
 
   // --- statistics -------------------------------------------------------
   Counter prefetches_issued;  ///< transfers started (L1/L2/mem)

@@ -399,6 +399,63 @@ TEST(CampaignPerf, RecordRoundTripsAndAggregates) {
   EXPECT_EQ(summary.per_config[1].first, "clgp-l0");
 }
 
+TEST(CampaignPerf, FoldIsDurationWeightedAcrossUnequalPoints) {
+  // A 1-second point at 10 Minstr/s (10 Minstr) plus a 3-second point
+  // at 2 Minstr/s (6 Minstr) is 16 Minstr over 4 seconds = 4.0 — the
+  // plain mean of the rates (6.0) would overweight the short point.
+  campaign::PerfRecord fast;
+  fast.key = "k1";
+  fast.config = "base";
+  fast.host_seconds = 1.0;
+  fast.minstr_per_sec = 10.0;
+  campaign::PerfRecord slow;
+  slow.key = "k2";
+  slow.config = "base";
+  slow.host_seconds = 3.0;
+  slow.minstr_per_sec = 2.0;
+  const campaign::PerfAggregate agg = campaign::aggregate_perf({fast, slow});
+  EXPECT_EQ(agg.points, 2u);
+  EXPECT_DOUBLE_EQ(agg.host_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(agg.minstr_per_sec, 4.0)
+      << "aggregate rate must be total instructions / total seconds";
+}
+
+TEST(CampaignPerf, CorruptSidecarLinesAreCountedNotSilent) {
+  const std::string path = fresh_file("torn.perf");
+  campaign::PerfRecord r;
+  r.key = "k1";
+  r.config = "base";
+  r.benchmark = "eon";
+  r.host_seconds = 0.5;
+  r.minstr_per_sec = 2.0;
+  {
+    std::ofstream out(path);
+    out << campaign::encode_perf_line(r) << '\n';
+    out << "{\"key\":\"torn";  // killed mid-append: no closing brace
+  }
+  const campaign::PerfLog log = campaign::PerfLog::load(path);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.dropped(), 1u);
+
+  const campaign::PerfSummary summary = campaign::summarize_perf(log);
+  EXPECT_EQ(summary.total.points, 1u);
+  EXPECT_EQ(summary.dropped_lines, 1u)
+      << "truncated telemetry must be visible, not silently smaller";
+
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::Compact);
+  json.begin_object();
+  campaign::write_perf_summary(json, summary);
+  json.end_object();
+  EXPECT_NE(out.str().find("\"dropped_lines\":1"), std::string::npos)
+      << out.str();
+
+  // Scoping to a spec must carry the dropped count along.
+  const campaign::PerfLog scoped =
+      campaign::scope_to_spec(log, tiny_spec());
+  EXPECT_EQ(scoped.dropped(), 1u);
+}
+
 TEST(CampaignEngine, PerfSidecarCoversExecutedPointsOnly) {
   const CampaignSpec spec = tiny_spec();
   const std::string path = fresh_file("perf-store.jsonl");

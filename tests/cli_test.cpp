@@ -427,6 +427,8 @@ TEST(CliCampaign, PerfEmitsHostThroughputDoc) {
   EXPECT_EQ(doc.at("schema").string, "prestage-campaign-perf-v1");
   EXPECT_EQ(doc.at("campaign").string, "smoke");
   EXPECT_EQ(doc.at("points").number, 8.0);
+  EXPECT_EQ(doc.at("dropped_lines").number, 0.0)
+      << "a fresh sidecar must report zero torn lines";
   EXPECT_GT(doc.at("host_seconds").number, 0.0);
   EXPECT_GT(doc.at("minstr_per_sec").number, 0.0);
   const JsonValue& per_config = doc.at("per_config");

@@ -172,5 +172,81 @@ TEST(Golden, StreamL0Preset) {
          .fetch = {.pb = 210, .l0 = 1893, .l1 = 310, .l2 = 15, .mem = 26}});
 }
 
+// The MANA and program-map families (registered by this repo's later
+// growth): grammar round-trips first — the composition grammar has to
+// pick up new registered names without a presets-table edit — then
+// pinned runs including one node / pre-buffer variant each.
+
+TEST(Golden, NewFamilySpecsRoundTripThroughTheGrammar) {
+  const struct {
+    const char* spec;
+    const char* canonical;
+  } kCases[] = {
+      {"mana", "mana"},
+      {"mana+l0", "mana-l0"},
+      {"mana-l0", "mana-l0"},
+      {"mana+pb16", "mana-pb16"},
+      {"mana-l0@0.09um", "mana-l0@090"},
+      {"program-map", "program-map"},
+      {"program-map+l0", "program-map-l0"},
+      {"program-map+pb16+l0", "program-map-l0-pb16"},
+      {"program-map@090", "program-map@090"},
+  };
+  for (const auto& kase : kCases) {
+    const auto c = parse_spec(kase.spec);
+    ASSERT_TRUE(c.has_value()) << kase.spec;
+    EXPECT_EQ(canonical_name(*c), kase.canonical) << kase.spec;
+    EXPECT_EQ(parse_spec(canonical_name(*c)), c) << kase.spec;
+  }
+}
+
+TEST(Golden, ManaPreset) {
+  check({.preset = "mana",
+         .hmean_ipc = 0.40792680972889894,
+         .ipc = {0.37688442211055279, 0.57589714066398001,
+                 0.33732433951658236},
+         .fetch = {.pb = 219, .l0 = 0, .l1 = 2037, .l2 = 14, .mem = 26}});
+}
+
+TEST(Golden, ManaL0Preset) {
+  check({.preset = "mana-l0",
+         .hmean_ipc = 0.42035597411283165,
+         .ipc = {0.38503497401013925, 0.62087514223647455,
+                 0.34141207259486828},
+         .fetch = {.pb = 163, .l0 = 1887, .l1 = 363, .l2 = 15, .mem = 26}});
+}
+
+TEST(Golden, ManaNodeVariantPreset) {
+  check({.preset = "mana@090",
+         .hmean_ipc = 0.42626881510707815,
+         .ipc = {0.39246467817896391, 0.61157530059099241,
+                 0.35030062459868078},
+         .fetch = {.pb = 250, .l0 = 0, .l1 = 2043, .l2 = 17, .mem = 26}});
+}
+
+TEST(Golden, ProgramMapPreset) {
+  check({.preset = "program-map",
+         .hmean_ipc = 0.40737314618739867,
+         .ipc = {0.37681341455755823, 0.56961184397836195,
+                 0.33842770133092714},
+         .fetch = {.pb = 758, .l0 = 0, .l1 = 1524, .l2 = 14, .mem = 26}});
+}
+
+TEST(Golden, ProgramMapL0Preset) {
+  check({.preset = "program-map-l0",
+         .hmean_ipc = 0.41938666191449669,
+         .ipc = {0.38481272447408926, 0.61521115211152111,
+                 0.34139264990328821},
+         .fetch = {.pb = 189, .l0 = 1892, .l1 = 330, .l2 = 15, .mem = 26}});
+}
+
+TEST(Golden, ProgramMapPb16VariantPreset) {
+  check({.preset = "program-map-pb16",
+         .hmean_ipc = 0.40653603186542059,
+         .ipc = {0.37671877943115462, 0.56917970602181134,
+                 0.3369266183818988},
+         .fetch = {.pb = 792, .l0 = 0, .l1 = 1486, .l2 = 14, .mem = 26}});
+}
+
 }  // namespace
 }  // namespace prestage::sim

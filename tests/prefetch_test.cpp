@@ -1,14 +1,18 @@
 // Unit tests for the baseline prefetchers: FDP (paper §3.1),
-// next-N-line (§2.1) and the stream/discontinuity scheme, plus the
-// NonePrefetcher contract and the prefetcher registry.
+// next-N-line (§2.1), the stream/discontinuity scheme, MANA
+// (arXiv 2102.01764) and the program-map traversal scheme
+// (arXiv 2406.06738), plus the NonePrefetcher contract and the
+// prefetcher registry.
 #include <gtest/gtest.h>
 
 #include "frontend/fetch_queue.hpp"
 #include "mem/ifetch_caches.hpp"
 #include "mem/memsys.hpp"
 #include "prefetch/fdp.hpp"
+#include "prefetch/mana.hpp"
 #include "prefetch/next_line.hpp"
 #include "prefetch/prefetcher.hpp"
+#include "prefetch/program_map.hpp"
 #include "prefetch/registry.hpp"
 #include "prefetch/stream.hpp"
 
@@ -370,11 +374,325 @@ TEST(Stream, LongRunsChainAtTheRegionCap) {
   EXPECT_EQ(rig.stream.regions_recorded.value(), 2u);
 }
 
+// --- MANA -------------------------------------------------------------------
+
+struct ManaRig {
+  mem::IFetchCaches caches;
+  mem::MemSystem mem;
+  ManaPrefetcher mana;
+
+  explicit ManaRig(const ManaConfig& cfg = {})
+      : caches(FdpRig::make_caches(false)),
+        mem(FdpRig::make_mem()),
+        mana(cfg, caches, mem) {}
+
+  void run_cycles(Cycle from, Cycle to) {
+    for (Cycle t = from; t <= to; ++t) {
+      mem.tick(t);
+      mana.tick(t);
+    }
+  }
+
+  /// Feeds a consecutive run of @p lines starting at @p start.
+  void request_run(Addr start, int lines, Cycle now) {
+    for (int i = 0; i < lines; ++i) {
+      mana.on_line_request(start + static_cast<Addr>(i) * 64, now);
+    }
+  }
+};
+
+TEST(Mana, RecordsARegionWithItsFootprintOnDiscontinuity) {
+  ManaRig rig;
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);  // trigger 0x1000, footprint +1,+2
+  EXPECT_EQ(rig.mana.recorded_footprint(0x1000), 0u)
+      << "region still open";
+  rig.mana.on_line_request(0x8000, 0);  // discontinuity finalizes it
+  EXPECT_EQ(rig.mana.recorded_footprint(0x1000), 0b11u);
+  EXPECT_EQ(rig.mana.records_created.value(), 1u);
+  EXPECT_EQ(rig.mana.prefetches_issued.value(), 0u)
+      << "recording alone must not prefetch";
+}
+
+TEST(Mana, FootprintIsABitmapNotARunLength) {
+  ManaRig rig;
+  rig.mem.tick(0);
+  rig.mana.on_line_request(0x1000, 0);
+  rig.mana.on_line_request(0x1080, 0);  // +2 lines -> bit 1
+  rig.mana.on_line_request(0x1100, 0);  // +4 lines -> bit 3
+  rig.mana.on_line_request(0x8000, 0);  // finalize
+  EXPECT_EQ(rig.mana.recorded_footprint(0x1000), 0b1010u)
+      << "only the touched lines are in the footprint";
+}
+
+TEST(Mana, ReplaysTheFootprintOnTriggerReencounter) {
+  ManaRig rig;
+  rig.mem.l2().insert(0x1040);
+  rig.mem.l2().insert(0x1080);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);
+  rig.mana.on_line_request(0x8000, 0);  // record {0x1000, footprint 0b11}
+
+  rig.mana.on_line_request(0x1000, 1);  // trigger re-encountered
+  EXPECT_EQ(rig.mana.record_replays.value(), 1u);
+  rig.run_cycles(1, 30);
+  EXPECT_TRUE(rig.mana.probe(0x1040).present);
+  EXPECT_TRUE(rig.mana.probe(0x1080).present);
+  EXPECT_FALSE(rig.mana.probe(0x10C0).present) << "footprint is 2 lines";
+  EXPECT_EQ(rig.mana.prefetches_issued.value(), 2u);
+}
+
+TEST(Mana, ChainReplayRunsAheadAcrossDiscontinuities) {
+  ManaRig rig;
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);   // region A
+  rig.request_run(0x8000, 2, 0);   // finalizes A, opens region B
+  rig.mana.on_line_request(0x20000, 0);  // finalizes B, chains A -> B
+  EXPECT_EQ(rig.mana.records_created.value(), 2u);
+
+  rig.mana.on_line_request(0x1000, 1);
+  EXPECT_EQ(rig.mana.record_replays.value(), 1u);
+  EXPECT_EQ(rig.mana.chain_replays.value(), 1u)
+      << "the successor record replays ahead of fetch";
+  rig.run_cycles(1, 60);
+  EXPECT_TRUE(rig.mana.probe(0x1040).present);
+  EXPECT_TRUE(rig.mana.probe(0x1080).present);
+  EXPECT_TRUE(rig.mana.probe(0x8000).present)
+      << "the chained trigger itself is prestaged";
+  EXPECT_TRUE(rig.mana.probe(0x8040).present);
+  EXPECT_EQ(rig.mana.prefetches_issued.value(), 4u);
+}
+
+TEST(Mana, HobpEvictionInvalidatesDependentRecords) {
+  ManaConfig cfg;
+  cfg.hobpt_entries = 1;  // every new pattern evicts the previous one
+  ManaRig rig(cfg);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 2, 0);
+  rig.mana.on_line_request(0x100000, 0);  // record A (pattern of 0x1000)
+  EXPECT_EQ(rig.mana.recorded_footprint(0x1000), 0b1u);
+  rig.mana.on_line_request(0x100040, 0);
+  rig.mana.on_line_request(0x200000, 0);  // record B evicts A's pattern
+  EXPECT_EQ(rig.mana.hobp_invalidations.value(), 1u);
+  EXPECT_EQ(rig.mana.recorded_footprint(0x1000), 0u)
+      << "records lose their trigger with the evicted pattern";
+  EXPECT_EQ(rig.mana.recorded_footprint(0x100000), 0b1u);
+}
+
+TEST(Mana, RecoveryAbandonsTheOpenRegionAndBreaksTheChain) {
+  ManaRig rig;
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 3, 0);
+  rig.mana.on_line_request(0x8000, 0);  // {0x1000, 0b11} recorded
+  rig.request_run(0x2000, 2, 1);        // open wrong-path region
+  rig.mana.on_recovery(2);
+  rig.request_run(0xA000, 2, 3);        // post-recovery region B
+  rig.mana.on_line_request(0x20000, 4); // finalizes B, NOT chained to A
+  EXPECT_EQ(rig.mana.recorded_footprint(0x2000), 0u)
+      << "recovery must drop the in-flight region";
+  EXPECT_EQ(rig.mana.recorded_footprint(0x1000), 0b11u)
+      << "recorded regions survive recovery";
+  EXPECT_EQ(rig.mana.recorded_footprint(0xA000), 0b1u);
+
+  rig.mana.on_line_request(0x1000, 10);  // replay A: no successor
+  EXPECT_EQ(rig.mana.record_replays.value(), 1u);
+  EXPECT_EQ(rig.mana.chain_replays.value(), 0u)
+      << "recovery breaks the successor chain at the squash point";
+}
+
+TEST(Mana, ConsumePromotesAndFrees) {
+  ManaRig rig;
+  rig.mem.l2().insert(0x1040);
+  rig.mem.tick(0);
+  rig.request_run(0x1000, 2, 0);
+  rig.mana.on_line_request(0x8000, 0);
+  rig.mana.on_line_request(0x1000, 1);
+  rig.run_cycles(1, 30);
+  ASSERT_TRUE(rig.mana.probe(0x1040).present);
+  rig.mana.on_fetch_from_pb(0x1040, 31);
+  EXPECT_FALSE(rig.mana.probe(0x1040).present);
+  EXPECT_TRUE(rig.caches.probe_l1(0x1040));
+}
+
+// --- program-map traversal --------------------------------------------------
+
+struct ProgramMapRig {
+  frontend::FetchTargetQueue ftq{8, 64};
+  mem::IFetchCaches caches;
+  mem::MemSystem mem;
+  ProgramMapPrefetcher pm;
+
+  explicit ProgramMapRig(const ProgramMapConfig& cfg = {})
+      : caches(FdpRig::make_caches(false)),
+        mem(FdpRig::make_mem()),
+        pm(cfg, ftq, caches, mem) {}
+
+  /// An oracle-verified block, as a retired control-flow edge source.
+  void push_block(Addr start, std::uint32_t len = 8) {
+    frontend::FetchBlock b;
+    b.start = start;
+    b.length = len;
+    b.oracle_base_seq = 0;
+    b.wrong_from = len;
+    ftq.push_block(b);
+  }
+
+  /// A block whose tail ran down the wrong path.
+  void push_partial(Addr start, std::uint32_t len, std::uint32_t wrong_from) {
+    frontend::FetchBlock b;
+    b.start = start;
+    b.length = len;
+    b.oracle_base_seq = 0;
+    b.wrong_from = wrong_from;
+    ftq.push_block(b);
+  }
+
+  /// A block fetched entirely down the wrong path.
+  void push_wrong(Addr start, std::uint32_t len = 8) {
+    frontend::FetchBlock b;
+    b.start = start;
+    b.length = len;
+    b.wrong_from = 0;  // oracle_base_seq stays kNoSeq: fully wrong
+    ftq.push_block(b);
+  }
+
+  void run_cycles(Cycle from, Cycle to) {
+    for (Cycle t = from; t <= to; ++t) {
+      mem.tick(t);
+      pm.tick(t);
+    }
+  }
+};
+
+TEST(ProgramMap, RecordsConsecutiveRetiredBlocksAsEdges) {
+  ProgramMapRig rig;
+  rig.push_block(0x1000);
+  rig.push_block(0x8000);
+  rig.mem.tick(0);
+  rig.pm.tick(0);
+  EXPECT_EQ(rig.pm.recorded_edges(0x1000), 1u);
+  EXPECT_EQ(rig.pm.nodes_recorded.value(), 1u);
+  EXPECT_EQ(rig.pm.prefetches_issued.value(), 0u)
+      << "the frontier block is not mapped yet: nothing to traverse";
+}
+
+TEST(ProgramMap, WrongPathBlocksNeverEnterTheMap) {
+  ProgramMapRig rig;
+  rig.push_partial(0x1000, 8, 4);  // wrong-path suffix: not retired
+  rig.push_block(0x8000);
+  rig.push_wrong(0xF000);          // fully wrong successor
+  rig.mem.tick(0);
+  rig.pm.tick(0);
+  EXPECT_EQ(rig.pm.recorded_edges(0x1000), 0u)
+      << "a block with a wrong-path suffix must not be recorded";
+  EXPECT_EQ(rig.pm.recorded_edges(0x8000), 0u)
+      << "an edge into a fully wrong block must not be recorded";
+  EXPECT_EQ(rig.pm.nodes_recorded.value(), 0u);
+}
+
+TEST(ProgramMap, TraversalPrestagesTheSuccessorChain) {
+  ProgramMapRig rig;
+  rig.push_block(0x1000, 8);
+  rig.push_block(0x8000, 32);  // 128 bytes: spans 2 lines
+  rig.push_block(0xA000, 8);
+  rig.mem.tick(0);
+  rig.pm.tick(0);  // records 0x1000 -> 0x8000 and 0x8000 -> 0xA000
+
+  rig.push_block(0x1000, 8);  // frontier returns to the mapped node
+  rig.run_cycles(1, 60);
+  EXPECT_GE(rig.pm.traversals.value(), 1u);
+  EXPECT_TRUE(rig.pm.probe(0x8000).present);
+  EXPECT_TRUE(rig.pm.probe(0x8040).present)
+      << "the successor block's whole span is prestaged";
+  EXPECT_TRUE(rig.pm.probe(0xA000).present)
+      << "the walk continues to the successor's successor";
+}
+
+TEST(ProgramMap, RepeatedEdgesStrengthenInsteadOfDuplicating) {
+  ProgramMapRig rig;
+  rig.push_block(0x1000);
+  rig.push_block(0x8000);
+  rig.mem.tick(0);
+  rig.pm.tick(0);
+  rig.ftq.flush();
+  rig.push_block(0x1000);
+  rig.push_block(0x8000);
+  rig.mem.tick(1);
+  rig.pm.tick(1);
+  EXPECT_EQ(rig.pm.recorded_edges(0x1000), 1u) << "same edge, one slot";
+  EXPECT_EQ(rig.pm.edges_strengthened.value(), 1u);
+}
+
+TEST(ProgramMap, TraversalFollowsTheHighestConfidenceEdge) {
+  ProgramMapRig rig;
+  const auto observe = [&rig](Addr from, Addr to, Cycle now) {
+    rig.ftq.flush();
+    rig.push_block(from);
+    rig.push_block(to);
+    rig.mem.tick(now);
+    rig.pm.tick(now);
+  };
+  observe(0x1000, 0x8000, 0);  // A -> B, confidence 1
+  observe(0x1000, 0x9000, 1);  // A -> C, confidence 1
+  observe(0x1000, 0x8000, 2);  // A -> B, confidence 2
+  EXPECT_EQ(rig.pm.recorded_edges(0x1000), 2u);
+
+  rig.ftq.flush();
+  rig.push_block(0x1000);  // frontier at the mapped node
+  rig.run_cycles(3, 60);
+  EXPECT_TRUE(rig.pm.probe(0x8000).present)
+      << "the stronger successor is the one walked";
+  EXPECT_FALSE(rig.pm.probe(0x9000).present);
+  EXPECT_EQ(rig.pm.prefetches_issued.value(), 1u);
+}
+
+TEST(ProgramMap, BackwardEdgesAreClassified) {
+  ProgramMapRig rig;
+  rig.push_block(0x8000);
+  rig.push_block(0x1000);  // return/loop: target below the source
+  rig.mem.tick(0);
+  rig.pm.tick(0);
+  EXPECT_EQ(rig.pm.recorded_edges(0x8000), 1u);
+  EXPECT_EQ(rig.pm.backward_edges.value(), 1u);
+}
+
+TEST(ProgramMap, RecoveryResetsTheFrontierButKeepsTheMap) {
+  ProgramMapRig rig;
+  rig.push_block(0x1000);
+  rig.push_block(0x8000);
+  rig.mem.tick(0);
+  rig.pm.tick(0);
+  rig.ftq.flush();  // the CPU flushes the FTQ on recovery
+  rig.pm.on_recovery(1);
+  EXPECT_EQ(rig.pm.recorded_edges(0x1000), 1u)
+      << "the map records retired control flow and survives recovery";
+
+  rig.push_block(0x1000);
+  rig.run_cycles(1, 60);
+  EXPECT_EQ(rig.pm.traversals.value(), 1u);
+  EXPECT_TRUE(rig.pm.probe(0x8000).present);
+}
+
+TEST(ProgramMap, ConsumePromotesAndFrees) {
+  ProgramMapRig rig;
+  rig.push_block(0x1000);
+  rig.push_block(0x8000);
+  rig.mem.tick(0);
+  rig.pm.tick(0);
+  rig.push_block(0x1000);
+  rig.run_cycles(1, 60);
+  ASSERT_TRUE(rig.pm.probe(0x8000).present);
+  rig.pm.on_fetch_from_pb(0x8000, 61);
+  EXPECT_FALSE(rig.pm.probe(0x8000).present);
+  EXPECT_TRUE(rig.caches.probe_l1(0x8000));
+}
+
 // --- registry ---------------------------------------------------------------
 
 TEST(Registry, EveryBuiltinSchemeIsRegistered) {
   auto& registry = PrefetcherRegistry::instance();
-  for (const char* name : {"base", "fdp", "clgp", "next-line", "stream"}) {
+  for (const char* name : {"base", "fdp", "clgp", "next-line", "stream",
+                           "mana", "program-map"}) {
     const PrefetcherInfo* info = registry.find(name);
     ASSERT_NE(info, nullptr) << name;
     EXPECT_EQ(info->name, name);
@@ -417,7 +735,8 @@ TEST(Registry, UnknownNameThrowsNamingTheRegisteredSchemes) {
   } catch (const SimError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("no-such-scheme"), std::string::npos) << what;
-    for (const char* name : {"base", "fdp", "clgp", "next-line", "stream"}) {
+    for (const char* name : {"base", "fdp", "clgp", "next-line", "stream",
+                             "mana", "program-map"}) {
       EXPECT_NE(what.find(name), std::string::npos) << name;
     }
   }
@@ -447,6 +766,50 @@ TEST(Registry, OutOfTreeRegistrationIsOpen) {
   PrefetcherBuild b = build_prefetcher(
       {.config = cfg, .timings = timings, .caches = caches, .mem = mem});
   EXPECT_NE(b.prefetcher, nullptr);
+}
+
+TEST(Registry, DuplicateRegistrationIsAHardError) {
+  // Last-wins would let a typo'd registration silently shadow a real
+  // scheme; a colliding name must fail loudly, naming the collision.
+  auto& registry = PrefetcherRegistry::instance();
+  const auto info = [] {
+    PrefetcherInfo i;
+    i.name = "dup-probe";
+    i.label = "DupProbe";
+    i.description = "duplicate-registration regression probe";
+    i.build = [](const BuildInputs& in) {
+      PrefetcherBuild b;
+      b.queue = std::make_unique<frontend::FetchTargetQueue>(
+          in.config.queue_blocks, in.config.line_bytes);
+      b.prefetcher = std::make_unique<NonePrefetcher>();
+      return b;
+    };
+    return i;
+  }();
+  if (registry.find("dup-probe") == nullptr) registry.add(info);
+  try {
+    registry.add(info);
+    FAIL() << "expected SimError on duplicate registration";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("dup-probe"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_NE(registry.find("dup-probe"), nullptr)
+      << "the original registration survives the rejected duplicate";
+}
+
+TEST(Registry, StorageBudgetsAreAccountedPerScheme) {
+  // Every real prefetcher carries CACTI-backed storage accounting; the
+  // no-prefetcher baseline is storage-free by definition.
+  for (const char* name : {"fdp", "clgp", "next-line", "stream", "mana",
+                           "program-map"}) {
+    cpu::MachineConfig cfg;
+    cfg.prefetcher = name;
+    EXPECT_GT(probe_storage_bits(cfg), 0u) << name;
+  }
+  cpu::MachineConfig base;
+  base.prefetcher = "base";
+  EXPECT_EQ(probe_storage_bits(base), 0u);
 }
 
 }  // namespace
