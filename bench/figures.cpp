@@ -74,6 +74,18 @@ const std::vector<CampaignSpec>& all_campaigns() {
     // (run, resume, compare, report) in seconds at low budgets.
     make("smoke", "CI smoke grid", ReportKind::IpcVsSize,
          {"base", "clgp-l0"}, far, {1024, 4096}, {"eon", "gzip"});
+    // The same grid under phase sampling: what CI diffs against "smoke"
+    // to assert reconstruction fidelity and host-seconds reduction. The
+    // knobs pin ~80 intervals at the CI budget with k <= 4 and a
+    // three-interval detailed warm-up — measured to land inside the
+    // reported error bar at >= 5x effective speedup on every point.
+    make("smoke-sampled", "CI smoke grid (phase-sampled)",
+         ReportKind::IpcVsSize, {"base", "clgp-l0"}, far, {1024, 4096},
+         {"eon", "gzip"});
+    c.back().sampling.enabled = true;
+    c.back().sampling.interval_instructions = 5000;
+    c.back().sampling.max_clusters = 4;
+    c.back().sampling.warmup_intervals = 3;
     return c;
   }();
   return campaigns;

@@ -4,7 +4,8 @@
 // CampaignSpec here; the per-figure bench mains and the `prestage
 // campaign` CLI subcommands both resolve campaigns from this registry,
 // so a figure is defined exactly once. A small "smoke" grid rides along
-// for CI and tests (2 presets x 2 sizes x 2 benchmarks).
+// for CI and tests (2 presets x 2 sizes x 2 benchmarks), plus its
+// phase-sampled twin "smoke-sampled" that CI diffs against it.
 #pragma once
 
 #include <iosfwd>
@@ -17,7 +18,7 @@
 
 namespace prestage::figures {
 
-/// All built-in campaigns, figure order then "smoke".
+/// All built-in campaigns, figure order then "smoke"/"smoke-sampled".
 [[nodiscard]] const std::vector<campaign::CampaignSpec>& all_campaigns();
 
 /// Lookup by campaign name ("fig5", "smoke", ...); nullptr if unknown.

@@ -1,0 +1,82 @@
+// BBV-profiler microbenchmarks: the sampling subsystem's profiling pass
+// streams every dynamic instruction of a workload once, so accumulator
+// add/finish throughput and the whole-profile pass bound how cheap a
+// sampling plan is relative to the detailed simulation it replaces.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sample/bbv.hpp"
+#include "sample/kmeans.hpp"
+#include "workload/synthetic_spec.hpp"
+
+namespace {
+
+using namespace prestage;
+
+/// Projected-BBV accumulation over a synthetic block working set.
+void BM_SignatureAdd(benchmark::State& state) {
+  sample::SignatureAccumulator acc(
+      static_cast<std::uint32_t>(state.range(0)));
+  Rng rng(1);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 256; ++i) {
+    blocks.push_back(0x400000 + rng.below(1 << 16) * 4);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    acc.add(blocks[i++ % blocks.size()], 12);
+  }
+  benchmark::DoNotOptimize(acc.finish());
+}
+BENCHMARK(BM_SignatureAdd)->Arg(16)->Arg(64)->Arg(256);
+
+/// Interval close: L2 normalization + reset.
+void BM_SignatureFinish(benchmark::State& state) {
+  sample::SignatureAccumulator acc(16);
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 64; ++i) {
+      acc.add(0x400000 + rng.below(1 << 12) * 4, 10);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(acc.finish());
+  }
+}
+BENCHMARK(BM_SignatureFinish);
+
+/// The full profiling pass over a synthetic benchmark trace — the
+/// one-time cost a sampling plan amortizes across a campaign grid.
+void BM_ProfileSource(benchmark::State& state) {
+  const workload::SyntheticWorkloadSpec spec("eon", 1);
+  const auto budget = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto source = spec.make_source(18);  // the Cpu's oracle trace seed
+    benchmark::DoNotOptimize(
+        sample::profile_source(*source, budget, budget / 40, 16, 256));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProfileSource)->Arg(100000)->Arg(400000);
+
+/// Deterministic k-means over profiled signatures (BIC model selection
+/// across k = 1..max is inside, as build_plan runs it).
+void BM_ClusterIntervals(benchmark::State& state) {
+  const workload::SyntheticWorkloadSpec spec("eon", 1);
+  auto source = spec.make_source(18);
+  const sample::TraceProfile profile =
+      sample::profile_source(*source, 400000, 5000, 16, 256);
+  std::vector<std::vector<double>> points;
+  for (const auto& iv : profile.intervals) points.push_back(iv.signature);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample::cluster_points(points, 4, 1));
+  }
+}
+BENCHMARK(BM_ClusterIntervals);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -195,6 +195,70 @@ print("perf smoke: BENCH_perf.json records host throughput (record-only)")
 EOF
 fi
 
+# --- sampled campaign --------------------------------------------------------
+# The phase-sampled twin of the smoke grid. Three gates: (1) the sampled
+# store is byte-identical across worker counts, like every other store;
+# (2) every reconstructed IPC lands within its own reported error bar of
+# the paired full-run point; (3) the perf sidecar's effective speedup
+# (budget over simulated instructions — the deterministic lower bound)
+# is at least 5x. The budget matches the knobs pinned in the registry:
+# smaller budgets starve the clusterer and the fidelity gate gets noisy.
+SAMPLE_INSTRS=400000
+./build/src/cli/prestage sample profile --bench eon --instrs $SAMPLE_INSTRS \
+  --interval 5000 > /dev/null
+./build/src/cli/prestage sample plan --bench eon --instrs $SAMPLE_INSTRS \
+  --interval 5000 --max-k 4 --warmup 3 --out build/ci-plan.psck \
+  --json build/ci-sample-plan.json
+./build/src/cli/prestage sample run --preset clgp-l0 --bench eon \
+  --instrs $SAMPLE_INSTRS --plan build/ci-plan.psck \
+  --json build/ci-sample-run.json
+rm -f build/ci-sampled-base.jsonl build/ci-sampled-base.jsonl.perf
+./build/src/cli/prestage campaign run --name smoke --instrs $SAMPLE_INSTRS \
+  --store build/ci-sampled-base.jsonl -j 0 > /dev/null
+rm -f build/ci-sampled.jsonl build/ci-sampled.jsonl.perf
+./build/src/cli/prestage campaign run --name smoke-sampled \
+  --instrs $SAMPLE_INSTRS --store build/ci-sampled.jsonl -j 0 > /dev/null
+rm -f build/ci-sampled-j2.jsonl build/ci-sampled-j2.jsonl.perf
+./build/src/cli/prestage campaign run --name smoke-sampled \
+  --instrs $SAMPLE_INSTRS --store build/ci-sampled-j2.jsonl -j 2 > /dev/null
+cmp build/ci-sampled.jsonl build/ci-sampled-j2.jsonl
+echo "sampled: store bytes identical for -j 0 and -j 2"
+./build/src/cli/prestage campaign perf --name smoke-sampled \
+  --instrs $SAMPLE_INSTRS --store build/ci-sampled.jsonl \
+  --out BENCH_perf_sampled.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+
+def load(path):
+    points = {}
+    for line in open(path):
+        p = json.loads(line)
+        points[(p["preset"], p["node"], p["l1i_size"], p["benchmark"])] = p
+    return points
+
+full = load("build/ci-sampled-base.jsonl")
+sampled = load("build/ci-sampled.jsonl")
+assert len(full) == len(sampled) == 8, (len(full), len(sampled))
+for key, s in sampled.items():
+    f_ipc = full[key]["result"]["ipc"]
+    blk = s["result"]["sampling"]
+    err = abs(s["result"]["ipc"] - f_ipc)
+    assert err <= blk["ipc_error"], (key, err, blk["ipc_error"])
+    # Per-point floor; the >= 5x gate is on the grid aggregate below,
+    # where the sidecar's budget/simulated ratio is deterministic.
+    assert blk["simulated_instructions"] * 4.5 <= s["instructions"], (key, blk)
+print("sampled: all 8 reconstructions inside their error bars")
+
+perf = json.load(open("BENCH_perf_sampled.json"))
+assert perf["schema"] == "prestage-campaign-perf-v1", perf
+assert perf["sampled_points"] == 8, perf
+assert perf["effective_speedup"] >= 5.0, perf
+print("sampled: perf sidecar reports effective speedup "
+      f"{perf['effective_speedup']:.1f}x (>= 5x gate)")
+EOF
+fi
+
 # --- sanitizer smoke ---------------------------------------------------------
 # ASan+UBSan build of the CLI, then one run per *registered* prefetcher
 # (with an L0, matching the family grid) — the preset list is derived

@@ -48,11 +48,19 @@ CompareResult compare_stores(const ResultStore& baseline,
     d.ipc_baseline = b.result.ipc;
     d.ipc_candidate = c->result.ipc;
     d.delta_pct = ipc_delta_pct(d.ipc_baseline, d.ipc_candidate);
-    if (d.delta_pct < -threshold_pct) {
+    // Sampled estimates carry confidence half-widths; the pair's
+    // combined band (in percent of baseline IPC) widens the gate so a
+    // delta inside sampling noise never classifies.
+    if ((b.result.sampled || c->result.sampled) && d.ipc_baseline > 0.0) {
+      d.error_band_pct = (b.result.ipc_error + c->result.ipc_error) /
+                         d.ipc_baseline * 100.0;
+    }
+    const double gate = std::max(threshold_pct, d.error_band_pct);
+    if (d.delta_pct < -gate) {
       out.max_regression_pct =
           std::max(out.max_regression_pct, -d.delta_pct);
       out.regressions.push_back(std::move(d));
-    } else if (d.delta_pct > threshold_pct) {
+    } else if (d.delta_pct > gate) {
       out.improvements.push_back(std::move(d));
     }
   }

@@ -35,6 +35,12 @@ struct Delta {
   double ipc_baseline = 0.0;
   double ipc_candidate = 0.0;
   double delta_pct = 0.0;  ///< (candidate/baseline - 1) * 100
+  /// Combined sampling error of the pair, as a percentage of baseline
+  /// IPC (0 for two full runs). Error-bar-aware gating: a delta only
+  /// classifies as regression/improvement when it exceeds BOTH the
+  /// threshold and this band — a sampled estimate inside its own error
+  /// bars is noise, not a regression.
+  double error_band_pct = 0.0;
 };
 
 /// Per-config unpaired-point tally (keys present in one store only).

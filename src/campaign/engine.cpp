@@ -7,12 +7,12 @@
 
 #include "campaign/perf.hpp"
 #include "common/parallel.hpp"
+#include "sample/runner.hpp"
 #include "sim/report.hpp"
 
 namespace prestage::campaign {
 
 PointResult simulate(const RunPoint& point) {
-  cpu::Cpu machine(point.machine_config());
   PointResult r;
   r.key = point.key();
   r.preset = point.preset;  // the grid's spelling, for provenance
@@ -22,7 +22,13 @@ PointResult simulate(const RunPoint& point) {
   r.l1i_size = point.l1i_size;
   r.instructions = point.instructions;
   r.seed = point.seed;
-  r.result = machine.run();
+  if (point.sampling.enabled) {
+    r.result = sample::run_sampled_point(point.machine_config(),
+                                         point.sampling);
+  } else {
+    cpu::Cpu machine(point.machine_config());
+    r.result = machine.run();
+  }
   return r;
 }
 

@@ -24,6 +24,11 @@ std::string encode_perf_line(const PerfRecord& r) {
   json.field("benchmark", r.benchmark);
   json.field("host_seconds", r.host_seconds);
   json.field("minstr_per_sec", r.minstr_per_sec);
+  if (r.sampled) {
+    json.field("sampled", true);
+    json.field("budget_minstr", r.budget_minstr);
+    json.field("simulated_minstr", r.simulated_minstr);
+  }
   json.end_object();
   return out.str();
 }
@@ -43,6 +48,11 @@ PerfRecord decode_perf_line(std::string_view line) {
   };
   r.host_seconds = number("host_seconds");
   r.minstr_per_sec = number("minstr_per_sec");
+  if (doc.has("sampled")) {
+    r.sampled = doc.at("sampled").boolean;
+    r.budget_minstr = number("budget_minstr");
+    r.simulated_minstr = number("simulated_minstr");
+  }
   return r;
 }
 
@@ -53,6 +63,12 @@ PerfRecord perf_record_of(const PointResult& r) {
   p.benchmark = r.benchmark;
   p.host_seconds = r.result.host_seconds;
   p.minstr_per_sec = r.result.minstr_per_sec;
+  if (r.result.sampled) {
+    p.sampled = true;
+    p.budget_minstr = static_cast<double>(r.instructions) / 1e6;
+    p.simulated_minstr =
+        static_cast<double>(r.result.sample_simulated_instructions) / 1e6;
+  }
   return p;
 }
 
@@ -81,14 +97,27 @@ namespace {
 struct Fold {
   sim::HostPerfAccumulator acc;
   std::size_t points = 0;
+  std::size_t sampled_points = 0;
+  double budget_minstr = 0.0;
+  double simulated_minstr = 0.0;
 
   void add(const PerfRecord& r) {
     acc.add(r.host_seconds, r.minstr_per_sec);
     ++points;
+    if (r.sampled) {
+      ++sampled_points;
+      // Record arrival order: deterministic sums.
+      budget_minstr += r.budget_minstr;
+      simulated_minstr += r.simulated_minstr;
+    }
   }
   [[nodiscard]] PerfAggregate aggregate() const {
     const sim::HostPerf perf = acc.result();
-    return {points, perf.host_seconds, perf.minstr_per_sec};
+    PerfAggregate agg{points, perf.host_seconds, perf.minstr_per_sec};
+    agg.sampled_points = sampled_points;
+    agg.budget_minstr = budget_minstr;
+    agg.simulated_minstr = simulated_minstr;
+    return agg;
   }
 };
 
@@ -128,6 +157,15 @@ void write_perf_aggregate(JsonWriter& json, const PerfAggregate& agg) {
   json.field("points", static_cast<std::uint64_t>(agg.points));
   json.field("host_seconds", agg.host_seconds);
   json.field("minstr_per_sec", agg.minstr_per_sec);
+  // Sampled rollup only when present: full-run documents stay
+  // byte-identical to the pre-sampling schema.
+  if (agg.sampled_points > 0) {
+    json.field("sampled_points",
+               static_cast<std::uint64_t>(agg.sampled_points));
+    json.field("budget_minstr", agg.budget_minstr);
+    json.field("simulated_minstr", agg.simulated_minstr);
+    json.field("effective_speedup", agg.effective_speedup());
+  }
 }
 
 void write_perf_summary(JsonWriter& json, const PerfSummary& summary) {

@@ -30,6 +30,14 @@ struct PerfRecord {
   std::string benchmark;
   double host_seconds = 0.0;
   double minstr_per_sec = 0.0;
+
+  /// Sampled points additionally record what they *estimated* versus
+  /// what they actually simulated — the sidecar evidence behind the
+  /// sampled-vs-full speedup claim. Full-run records omit these fields
+  /// on disk, so existing sidecars parse (and re-encode) unchanged.
+  bool sampled = false;
+  double budget_minstr = 0.0;     ///< estimated (full-run) Minstr
+  double simulated_minstr = 0.0;  ///< timing-simulated Minstr
 };
 
 /// The sidecar path for a result store.
@@ -76,6 +84,18 @@ struct PerfAggregate {
   std::size_t points = 0;
   double host_seconds = 0.0;
   double minstr_per_sec = 0.0;
+
+  /// Sampled-point rollup (0 when the records were all full runs). The
+  /// JSON shape only carries these when sampled_points > 0, so full-run
+  /// BENCH_perf.json documents are byte-unchanged.
+  std::size_t sampled_points = 0;
+  double budget_minstr = 0.0;
+  double simulated_minstr = 0.0;
+  /// budget/simulated instruction ratio — the deterministic lower bound
+  /// on the effective sampling speedup (skip/profile overhead excluded).
+  [[nodiscard]] double effective_speedup() const {
+    return simulated_minstr > 0.0 ? budget_minstr / simulated_minstr : 0.0;
+  }
 };
 
 [[nodiscard]] PerfAggregate aggregate_perf(

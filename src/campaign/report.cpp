@@ -1,5 +1,7 @@
 #include "campaign/report.hpp"
 
+#include <algorithm>
+
 #include "common/prestage_assert.hpp"
 #include "common/stats.hpp"
 #include "prefetch/registry.hpp"
@@ -35,13 +37,16 @@ const PointResult* ResultGrid::at(const std::string& preset,
                                   cacti::TechNode node,
                                   std::uint64_t l1i_size,
                                   const std::string& benchmark) const {
+  // The sampling block participates in the key, so a sampled grid's
+  // lookups must resolve it exactly the way expand() did.
   const RunPoint point{.preset = preset,
                        .config = canonical(preset),
                        .node = node,
                        .l1i_size = l1i_size,
                        .benchmark = benchmark,
                        .instructions = instructions_,
-                       .seed = spec_->seed};
+                       .seed = spec_->seed,
+                       .sampling = spec_->sampling.resolve(instructions_)};
   return store_->find(point.key());
 }
 
@@ -205,6 +210,30 @@ void write_report(JsonWriter& json, const ResultGrid& grid,
     case ReportKind::PerBenchmark: write_per_benchmark(json, grid); break;
     case ReportKind::FetchSources: write_sources(json, grid, false); break;
     case ReportKind::PrefetchSources: write_sources(json, grid, true); break;
+  }
+
+  // Additive sampling summary: present only when the grid was sampled,
+  // so full-run report documents are byte-identical to the pre-sampling
+  // schema.
+  if (spec.sampling.enabled) {
+    double max_err = 0.0;
+    std::uint64_t cold = 0;
+    std::uint64_t simulated = 0;
+    std::size_t points = 0;
+    for (const PointResult& r : grid.store().entries()) {
+      if (!r.result.sampled) continue;
+      ++points;
+      max_err = std::max(max_err, r.result.ipc_error);
+      cold += r.result.sample_cold_starts;
+      simulated += r.result.sample_simulated_instructions;
+    }
+    json.key("sampling");
+    json.begin_object();
+    json.field("points", points);
+    json.field("max_ipc_error", max_err);
+    json.field("cold_starts", cold);
+    json.field("simulated_instructions", simulated);
+    json.end_object();
   }
 
   if (!perf.empty()) {

@@ -24,6 +24,7 @@ class ResultGrid {
   ResultGrid(const CampaignSpec& spec, const ResultStore& store);
 
   [[nodiscard]] const CampaignSpec& spec() const { return *spec_; }
+  [[nodiscard]] const ResultStore& store() const { return *store_; }
   /// Benchmark axis with an empty spec list resolved to the full suite.
   [[nodiscard]] const std::vector<std::string>& benchmarks() const {
     return benchmarks_;

@@ -46,6 +46,7 @@ std::string RunPoint::descriptor() const {
                 static_cast<unsigned long long>(instructions),
                 static_cast<unsigned long long>(seed));
   out += buf;
+  out += sampling.descriptor_suffix();  // empty unless sampling enabled
   return out;
 }
 
@@ -67,6 +68,8 @@ cpu::MachineConfig RunPoint::machine_config() const {
 std::vector<RunPoint> expand(const CampaignSpec& spec) {
   const std::vector<std::string> benches = spec.resolved_benchmarks();
   const std::uint64_t instrs = spec.resolved_instructions();
+  const sample::ResolvedSamplingParams sampling =
+      spec.sampling.resolve(instrs);
   std::vector<RunPoint> points;
   points.reserve(spec.presets.size() * spec.nodes.size() *
                  spec.l1_sizes.size() * benches.size());
@@ -90,7 +93,8 @@ std::vector<RunPoint> expand(const CampaignSpec& spec) {
                                     .l1i_size = size,
                                     .benchmark = bench,
                                     .instructions = instrs,
-                                    .seed = spec.seed});
+                                    .seed = spec.seed,
+                                    .sampling = sampling});
         }
       }
     }

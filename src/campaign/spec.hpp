@@ -22,6 +22,7 @@
 
 #include "cacti/tech.hpp"
 #include "cpu/config.hpp"
+#include "sample/params.hpp"
 #include "sim/presets.hpp"
 
 namespace prestage::campaign {
@@ -58,6 +59,12 @@ struct CampaignSpec {
   std::uint64_t instructions = 0;  ///< 0 -> sim::default_instructions()
   std::uint64_t seed = 1;
 
+  /// Sampled-simulation block. Disabled (the default) leaves every run
+  /// point, key and store byte exactly as a full-run campaign; enabled
+  /// estimates each point from phase-clustered representative slices
+  /// (src/sample/) and records error bars alongside the estimates.
+  sample::SamplingParams sampling;
+
   /// The benchmark axis with the empty-list default resolved to the full
   /// suite. Run-point keys embed the resolved values, so every consumer
   /// (expansion, status, report) must resolve through these two — never
@@ -80,10 +87,15 @@ struct RunPoint {
   std::uint64_t instructions = 0;  ///< always resolved (never 0)
   std::uint64_t seed = 1;
 
+  /// Resolved sampling parameters; disabled for full-run points.
+  sample::ResolvedSamplingParams sampling;
+
   /// Canonical text form, e.g.
   /// "preset=clgp-l0-pb16|node=0.045um|l1=4096|bench=eon|instrs=2000|seed=1".
   /// The preset= token carries `config` (the canonical spelling), so
-  /// "fdp+l0" and "fdp-l0" grids share keys.
+  /// "fdp+l0" and "fdp-l0" grids share keys. Sampled points append the
+  /// resolved sampling suffix ("|sample=..."), so a sampled estimate can
+  /// never alias a full-run result; full-run descriptors are unchanged.
   [[nodiscard]] std::string descriptor() const;
 
   /// Content-hash key: 16 hex digits of FNV-1a 64 over descriptor().

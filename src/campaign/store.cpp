@@ -66,6 +66,20 @@ std::string encode_line(const PointResult& r) {
   write_source_counts(json, r.result.fetch_sources);
   json.key("prefetch_sources");
   write_source_counts(json, r.result.prefetch_sources);
+  // Additive sampling block: only sampled estimates carry it, so every
+  // full-run store (and golden pin) stays byte-identical.
+  if (r.result.sampled) {
+    json.key("sampling");
+    json.begin_object();
+    json.field("ipc_error", r.result.ipc_error);
+    json.field("intervals", r.result.sample_intervals);
+    json.field("clusters", r.result.sample_clusters);
+    json.field("slices", r.result.sample_slices);
+    json.field("cold_starts", r.result.sample_cold_starts);
+    json.field("simulated_instructions",
+               r.result.sample_simulated_instructions);
+    json.end_object();
+  }
   json.end_object();
   json.end_object();
   return out.str();
@@ -102,6 +116,17 @@ PointResult decode_line(std::string_view line) {
   r.result.dcache_misses = read_u64(res, "dcache_misses");
   r.result.fetch_sources = read_breakdown(res.at("fetch_sources"));
   r.result.prefetch_sources = read_breakdown(res.at("prefetch_sources"));
+  if (res.has("sampling")) {
+    const json::Value& s = res.at("sampling");
+    r.result.sampled = true;
+    r.result.ipc_error = read_double(s, "ipc_error");
+    r.result.sample_intervals = read_u64(s, "intervals");
+    r.result.sample_clusters = read_u64(s, "clusters");
+    r.result.sample_slices = read_u64(s, "slices");
+    r.result.sample_cold_starts = read_u64(s, "cold_starts");
+    r.result.sample_simulated_instructions =
+        read_u64(s, "simulated_instructions");
+  }
   return r;
 }
 

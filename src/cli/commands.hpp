@@ -52,4 +52,16 @@ int cmd_campaign_report(const Options& opt);
 /// seconds. Record-only — never gates.
 int cmd_campaign_perf(const Options& opt);
 
+/// Streams one BBV profiling pass over a workload (--bench or --trace)
+/// and reports its interval/phase structure.
+int cmd_sample_profile(const Options& opt);
+
+/// Profiles and clusters a workload into a sampling plan; --out saves it
+/// as a PSCK checkpoint.
+int cmd_sample_plan(const Options& opt);
+
+/// Executes one sampled run point (fresh plan, or --plan checkpoint) and
+/// reconstructs whole-run statistics with a confidence half-width.
+int cmd_sample_run(const Options& opt);
+
 }  // namespace prestage::cli

@@ -36,6 +36,11 @@ void print_usage(std::ostream& out) {
          "file,\n"
          "         replay a trace (native or raw ChampSim) through any\n"
          "         preset, or inspect a trace file\n"
+         "  sample  profile | plan | run — phase-profile a workload into\n"
+         "         interval BBVs, cluster them into a sampling plan\n"
+         "         (optionally saved as a PSCK checkpoint with --out), or\n"
+         "         run one sampled point and reconstruct whole-run\n"
+         "         statistics with an error bar\n"
          "  campaign  run | resume | status | compare | report | perf —\n"
          "         execute a declarative figure grid against a resumable\n"
          "         JSONL store (`prestage list` names the campaigns), "
@@ -71,6 +76,20 @@ void print_usage(std::ostream& out) {
          "file)\n"
          "  --max-records N cap on imported ChampSim records (default "
          "all)\n"
+         "  --intervals N   trace info: N-interval BBV phase-similarity "
+         "summary\n"
+         "\n"
+         "sample flags:\n"
+         "  --interval N    BBV interval length in instructions (default\n"
+         "                  budget/40, clamped)\n"
+         "  --dim N         projected BBV dimension (default 16)\n"
+         "  --max-k N       k-means cluster cap (default 6)\n"
+         "  --warm-lines N  checkpoint warm-up window in cache lines "
+         "(default 256)\n"
+         "  --warmup N      detailed warm-up depth in intervals (default "
+         "1)\n"
+         "  --out FILE      sample plan: write a PSCK checkpoint\n"
+         "  --plan FILE     sample run: execute a saved PSCK checkpoint\n"
          "\n"
          "campaign flags:\n"
          "  --name NAME     campaign from the registry (see `prestage "
@@ -132,6 +151,41 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "prestage: unknown trace subcommand '" << sub << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (command == "sample") {
+    if (argc < 3) {
+      std::cerr << "prestage: `sample` needs a subcommand "
+                   "(profile | plan | run)\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    const std::string_view sub = argv[2];
+    if (sub == "--help" || sub == "-h" || sub == "help") {
+      print_usage(std::cout);
+      return 0;
+    }
+    const ParseResult parsed = parse_options(argc, argv, 3);
+    if (parsed.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (!parsed.error.empty()) {
+      std::cerr << "prestage: " << parsed.error << "\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    try {
+      if (sub == "profile") return cmd_sample_profile(parsed.options);
+      if (sub == "plan") return cmd_sample_plan(parsed.options);
+      if (sub == "run") return cmd_sample_run(parsed.options);
+    } catch (const std::exception& e) {
+      std::cerr << "prestage: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "prestage: unknown sample subcommand '" << sub << "'\n\n";
     print_usage(std::cerr);
     return 2;
   }

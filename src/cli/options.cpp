@@ -227,6 +227,78 @@ ParseResult parse_options(int argc, char** argv, int first) {
       }
       opt.trace_format = format;
       ++i;
+    } else if (arg == "--interval") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n) {
+        result.error =
+            std::string("--interval needs a positive instruction count, "
+                        "got '") + v + "'";
+        return result;
+      }
+      opt.sample_interval = *n;
+      ++i;
+    } else if (arg == "--dim") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n || *n > 4096) {
+        result.error = std::string("--dim needs a dimension in 1..4096, "
+                                   "got '") + v + "'";
+        return result;
+      }
+      opt.bbv_dim = static_cast<std::uint32_t>(*n);
+      ++i;
+    } else if (arg == "--max-k") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n || *n > 64) {
+        result.error = std::string("--max-k needs a cluster cap in 1..64, "
+                                   "got '") + v + "'";
+        return result;
+      }
+      opt.max_clusters = static_cast<std::uint32_t>(*n);
+      ++i;
+    } else if (arg == "--warm-lines") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n || *n > (1ULL << 20U)) {
+        result.error = std::string("--warm-lines needs a line count in "
+                                   "1..1M, got '") + v + "'";
+        return result;
+      }
+      opt.warm_lines = static_cast<std::uint32_t>(*n);
+      ++i;
+    } else if (arg == "--warmup") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n || *n > 64) {
+        result.error = std::string("--warmup needs an interval count in "
+                                   "1..64, got '") + v + "'";
+        return result;
+      }
+      opt.warmup_intervals = static_cast<std::uint32_t>(*n);
+      ++i;
+    } else if (arg == "--intervals") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      const auto n = parse_u64(v);
+      if (!n || *n > 1000000) {
+        result.error = std::string("--intervals needs a count in 1..1M, "
+                                   "got '") + v + "'";
+        return result;
+      }
+      opt.info_intervals = *n;
+      ++i;
+    } else if (arg == "--plan") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      opt.plan_path = v;
+      ++i;
     } else if (arg == "--max-records") {
       const char* v = need_value(i, arg);
       if (!v) return result;

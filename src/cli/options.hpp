@@ -42,6 +42,17 @@ struct Options {
   std::string store_path;     ///< --store: result store (JSONL)
   std::string baseline_path;  ///< --baseline: compare reference store
   double threshold_pct = 2.0;  ///< --threshold: regression bound (%)
+
+  // --- sample subcommands -------------------------------------------------
+  // All zeros mean "resolve a default against the instruction budget"
+  // (sample::SamplingParams::resolve), so the flags below only pin knobs.
+  std::uint64_t sample_interval = 0;  ///< --interval: BBV interval length
+  std::uint32_t bbv_dim = 0;          ///< --dim: projected BBV dimension
+  std::uint32_t max_clusters = 0;     ///< --max-k: k-means upper bound
+  std::uint32_t warm_lines = 0;       ///< --warm-lines: checkpoint window
+  std::uint32_t warmup_intervals = 0;  ///< --warmup: detailed-warmup depth
+  std::uint64_t info_intervals = 0;   ///< --intervals: trace info phase scan
+  std::string plan_path;              ///< --plan: PSCK checkpoint to run
 };
 
 /// Result of parsing argv: options on success, message on failure.

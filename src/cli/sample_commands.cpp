@@ -1,0 +1,377 @@
+// The `prestage sample` subcommands: the CLI surface of the sampled
+// simulation subsystem.
+//
+//   sample profile  — one streaming BBV pass over a workload; prints the
+//                     interval/phase structure the clusterer consumes
+//   sample plan     — profile + cluster into a sampling plan; optionally
+//                     saved as a PSCK checkpoint (--out)
+//   sample run      — execute one sampled point (fresh plan or --plan
+//                     checkpoint) and reconstruct whole-run statistics
+//                     with a confidence half-width
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "cli/commands.hpp"
+#include "cli/json_sink.hpp"
+#include "common/json_writer.hpp"
+#include "common/table.hpp"
+#include "sample/bbv.hpp"
+#include "sample/checkpoint.hpp"
+#include "sample/plan.hpp"
+#include "sample/runner.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/champsim.hpp"
+#include "workload/profiles.hpp"
+#include "workload/synthetic_spec.hpp"
+#include "workload/trace_file.hpp"
+
+namespace prestage::cli {
+namespace {
+
+/// The workload a sample subcommand operates on: --trace (native or
+/// ChampSim, sniffed like `trace replay`) or a single --bench synthetic
+/// benchmark. Null with a message on stderr when the request is invalid.
+std::shared_ptr<const workload::WorkloadSpec> resolve_sample_workload(
+    const Options& opt) {
+  if (!opt.trace_path.empty()) {
+    workload::TraceFormat format;
+    if (opt.trace_format == "native") {
+      format = workload::TraceFormat::Native;
+    } else if (opt.trace_format == "champsim") {
+      format = workload::TraceFormat::ChampSim;
+    } else {
+      format = workload::detect_trace_format(opt.trace_path);
+    }
+    if (format == workload::TraceFormat::Native) {
+      return workload::load_replay_spec(opt.trace_path);
+    }
+    return workload::import_champsim_trace(opt.trace_path, opt.max_records);
+  }
+  if (opt.benchmarks.size() > 1) {
+    std::cerr << "prestage: `sample` takes a single --bench\n";
+    return nullptr;
+  }
+  const std::string benchmark =
+      opt.benchmarks.empty() ? "eon" : opt.benchmarks.front();
+  bool known = false;
+  for (const auto name : workload::benchmark_names()) {
+    if (name == benchmark) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    std::cerr << "prestage: unknown benchmark '" << benchmark
+              << "' (see `prestage list`)\n";
+    return nullptr;
+  }
+  // The same (benchmark, seed) spec the sampled runner's cache builds,
+  // so `sample run` and campaign sampling see identical workloads.
+  return std::make_shared<const workload::SyntheticWorkloadSpec>(
+      benchmark, cpu::MachineConfig{}.seed);
+}
+
+/// CLI sampling knobs as the user-facing params block (zeros = default).
+sample::SamplingParams sampling_params(const Options& opt) {
+  sample::SamplingParams p;
+  p.enabled = true;
+  p.interval_instructions = opt.sample_interval;
+  p.dim = opt.bbv_dim;
+  p.max_clusters = opt.max_clusters;
+  p.warm_lines = opt.warm_lines;
+  p.warmup_intervals = opt.warmup_intervals;
+  return p;
+}
+
+void write_params_fields(JsonWriter& json,
+                         const sample::ResolvedSamplingParams& p) {
+  json.field("interval_instructions", p.interval_instructions);
+  json.field("dim", p.dim);
+  json.field("max_clusters", p.max_clusters);
+  json.field("warm_lines", p.warm_lines);
+  json.field("warmup_intervals", p.warmup_intervals);
+}
+
+void print_params(const sample::ResolvedSamplingParams& p,
+                  const std::string& workload, std::uint64_t budget) {
+  std::printf("workload    : %s, %llu instruction budget\n",
+              workload.c_str(), static_cast<unsigned long long>(budget));
+  std::printf("sampling    : interval %llu instrs, dim %u, max k %u, "
+              "%u warm lines, %u warm-up intervals\n",
+              static_cast<unsigned long long>(p.interval_instructions),
+              p.dim, p.max_clusters, p.warm_lines, p.warmup_intervals);
+}
+
+}  // namespace
+
+int cmd_sample_profile(const Options& opt) {
+  const auto spec = resolve_sample_workload(opt);
+  if (!spec) return 2;
+  const std::uint64_t budget =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+  const std::uint64_t seed = cpu::MachineConfig{}.seed;
+  const sample::ResolvedSamplingParams params =
+      sampling_params(opt).resolve(budget);
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  if (!sink.owns_stdout()) print_params(params, spec->name(), budget);
+
+  // Trace seed `seed + 17` matches both build_plan and the Cpu's oracle,
+  // so the intervals printed here are exactly the ones a plan would use.
+  const auto source = spec->make_source(seed + 17);
+  const sample::TraceProfile profile = sample::profile_source(
+      *source, budget, params.interval_instructions, params.dim,
+      params.warm_lines);
+
+  if (!sink.owns_stdout()) {
+    std::printf("profile     : %zu intervals over %llu instructions, "
+                "%llu unique blocks\n",
+                profile.intervals.size(),
+                static_cast<unsigned long long>(profile.total_instructions),
+                static_cast<unsigned long long>(profile.unique_blocks));
+    double min_sim = 1.0;
+    for (std::size_t i = 1; i < profile.intervals.size(); ++i) {
+      min_sim = std::min(
+          min_sim, sample::cosine_similarity(
+                       profile.intervals[i - 1].signature,
+                       profile.intervals[i].signature));
+    }
+    if (profile.intervals.size() > 1) {
+      std::printf("phases      : min adjacent BBV similarity %.3f\n",
+                  min_sim);
+    }
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-sample-profile-v1");
+    json.field("workload", spec->name());
+    json.field("seed", seed);
+    json.field("budget", budget);
+    write_params_fields(json, params);
+    json.field("total_instructions", profile.total_instructions);
+    json.field("unique_blocks", profile.unique_blocks);
+    json.key("intervals");
+    json.begin_array();
+    for (std::size_t i = 0; i < profile.intervals.size(); ++i) {
+      const sample::IntervalProfile& iv = profile.intervals[i];
+      json.begin_object();
+      json.field("start", iv.start);
+      json.field("instructions", iv.instructions);
+      if (i > 0) {
+        json.field("similarity_to_prev",
+                   sample::cosine_similarity(
+                       profile.intervals[i - 1].signature, iv.signature));
+      }
+      json.field("warm_lines",
+                 static_cast<std::uint64_t>(iv.warm_lines.size()));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_sample_plan(const Options& opt) {
+  const auto spec = resolve_sample_workload(opt);
+  if (!spec) return 2;
+  const std::uint64_t budget =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+  const std::uint64_t seed = cpu::MachineConfig{}.seed;
+  const sample::ResolvedSamplingParams params =
+      sampling_params(opt).resolve(budget);
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  if (!sink.owns_stdout()) print_params(params, spec->name(), budget);
+
+  const sample::SamplePlan plan =
+      sample::build_plan(*spec, seed, budget, params);
+  std::uint64_t sliced = 0;
+  for (const sample::Slice& s : plan.slices) sliced += s.instructions;
+
+  if (!opt.out_path.empty()) {
+    sample::write_checkpoint_file(opt.out_path, {plan, {}});
+  }
+
+  if (!sink.owns_stdout()) {
+    std::printf("clusters    : k=%u of %llu intervals (BIC over k:",
+                plan.clusters,
+                static_cast<unsigned long long>(plan.intervals));
+    for (const double bic : plan.bic_by_k) std::printf(" %.0f", bic);
+    std::printf(")\n");
+    Table t({"slice", "interval", "start", "instrs", "cluster", "weight"});
+    for (std::size_t i = 0; i < plan.slices.size(); ++i) {
+      const sample::Slice& s = plan.slices[i];
+      t.add_row({std::to_string(i), std::to_string(s.interval_index),
+                 std::to_string(s.start), std::to_string(s.instructions),
+                 std::to_string(s.cluster), fmt(s.weight, 4)});
+    }
+    std::cout << t.to_text();
+    std::printf("coverage    : %llu of %llu instructions simulated "
+                "(%.1fx reduction)\n",
+                static_cast<unsigned long long>(sliced),
+                static_cast<unsigned long long>(budget),
+                sliced > 0 ? static_cast<double>(budget) /
+                                 static_cast<double>(sliced)
+                           : 0.0);
+    if (!opt.out_path.empty()) {
+      std::printf("checkpoint  : wrote %s (PSCK v%u)\n",
+                  opt.out_path.c_str(), sample::kCheckpointVersion);
+    }
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-sample-plan-v1");
+    json.field("workload", plan.workload);
+    json.field("seed", plan.seed);
+    json.field("budget", budget);
+    write_params_fields(json, plan.params);
+    json.field("total_instructions", plan.total_instructions);
+    json.field("intervals", plan.intervals);
+    json.field("unique_blocks", plan.unique_blocks);
+    json.field("clusters", plan.clusters);
+    json.key("bic_by_k");
+    json.begin_array();
+    for (const double bic : plan.bic_by_k) json.value(bic);
+    json.end_array();
+    json.key("slices");
+    json.begin_array();
+    for (const sample::Slice& s : plan.slices) {
+      json.begin_object();
+      json.field("start", s.start);
+      json.field("instructions", s.instructions);
+      json.field("interval_index", s.interval_index);
+      json.field("cluster", s.cluster);
+      json.field("weight", s.weight);
+      json.field("warm_lines",
+                 static_cast<std::uint64_t>(s.warm_lines.size()));
+      json.end_object();
+    }
+    json.end_array();
+    json.field("simulated_instructions", sliced);
+    if (!opt.out_path.empty()) {
+      json.field("checkpoint", opt.out_path);
+      json.field("checkpoint_version", sample::kCheckpointVersion);
+    }
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+int cmd_sample_run(const Options& opt) {
+  const auto spec = resolve_sample_workload(opt);
+  if (!spec) return 2;
+  const std::uint64_t budget =
+      opt.instructions > 0 ? opt.instructions : sim::default_instructions();
+
+  cpu::MachineConfig cfg =
+      sim::make_config(opt.preset, opt.node, opt.l1i_size);
+  cfg.benchmark = spec->name();
+  cfg.max_instructions = budget;
+  if (!opt.trace_path.empty()) cfg.workload = spec;
+
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+  if (!sink.owns_stdout()) {
+    std::printf("machine     : %s @ %s, L1=%llu\n",
+                sim::preset_label(opt.preset).c_str(),
+                std::string(cacti::to_string(opt.node)).c_str(),
+                static_cast<unsigned long long>(opt.l1i_size));
+  }
+
+  cpu::RunResult r;
+  sample::ResolvedSamplingParams params;
+  if (!opt.plan_path.empty()) {
+    const sample::Checkpoint ckpt =
+        sample::read_checkpoint_file(opt.plan_path);
+    if (ckpt.plan.workload != spec->name()) {
+      std::cerr << "prestage: checkpoint '" << opt.plan_path
+                << "' was built for workload '" << ckpt.plan.workload
+                << "', not '" << spec->name() << "'\n";
+      return 2;
+    }
+    params = ckpt.plan.params;
+    if (!sink.owns_stdout()) {
+      std::printf("checkpoint  : %s (PSCK v%u, %zu slices)\n",
+                  opt.plan_path.c_str(), sample::kCheckpointVersion,
+                  ckpt.plan.slices.size());
+    }
+    r = sample::run_sampled_point_with_plan(cfg, spec, ckpt.plan);
+  } else {
+    params = sampling_params(opt).resolve(budget);
+    if (!sink.owns_stdout()) print_params(params, spec->name(), budget);
+    r = sample::run_sampled_point(cfg, params);
+  }
+
+  const double speedup =
+      r.sample_simulated_instructions > 0
+          ? static_cast<double>(budget) /
+                static_cast<double>(r.sample_simulated_instructions)
+          : 0.0;
+  if (!sink.owns_stdout()) {
+    std::printf("estimate    : IPC %.3f +/- %.3f (%llu cycles over %llu "
+                "instructions)\n",
+                r.ipc, r.ipc_error,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("slices      : %llu of %llu clusters, %llu cold starts\n",
+                static_cast<unsigned long long>(r.sample_slices),
+                static_cast<unsigned long long>(r.sample_clusters),
+                static_cast<unsigned long long>(r.sample_cold_starts));
+    std::printf("speedup     : simulated %llu of %llu instructions "
+                "(%.1fx)\n",
+                static_cast<unsigned long long>(
+                    r.sample_simulated_instructions),
+                static_cast<unsigned long long>(budget), speedup);
+    std::printf("host        : %s\n",
+                sim::render_host_perf({r.host_seconds, r.minstr_per_sec})
+                    .c_str());
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-sample-run-v1");
+    json.field("preset", opt.preset);
+    json.field("node", cacti::to_string(opt.node));
+    json.field("l1i_size", opt.l1i_size);
+    json.field("workload", spec->name());
+    json.field("budget", budget);
+    write_params_fields(json, params);
+    json.key("result");
+    json.begin_object();
+    json.field("ipc", r.ipc);
+    json.field("ipc_error", r.ipc_error);
+    json.field("cycles", r.cycles);
+    json.field("instructions", r.instructions);
+    json.field("mispredicts_per_kilo_instr", r.mispredicts_per_kilo_instr);
+    json.field("lines_fetched", r.lines_fetched);
+    json.field("prefetches_issued", r.prefetches_issued);
+    json.field("intervals", r.sample_intervals);
+    json.field("clusters", r.sample_clusters);
+    json.field("slices", r.sample_slices);
+    json.field("cold_starts", r.sample_cold_starts);
+    json.field("simulated_instructions", r.sample_simulated_instructions);
+    json.field("effective_speedup", speedup);
+    json.field("host_seconds", r.host_seconds);
+    json.field("minstr_per_sec", r.minstr_per_sec);
+    json.end_object();
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace prestage::cli

@@ -95,6 +95,14 @@ Cpu::Cpu(const MachineConfig& config)
 
 Cpu::~Cpu() = default;
 
+void Cpu::warm_ifetch(const std::vector<Addr>& warm_lines) {
+  PRESTAGE_ASSERT(cycle_ == 0, "warm_ifetch after simulation started");
+  for (const Addr line : warm_lines) {
+    caches_->fill_demand(line);
+    mem_->l2().insert(line);
+  }
+}
+
 void Cpu::do_recovery(Cycle now) {
   backend_->squash_younger_than_culprit();
   queue_->flush();

@@ -45,6 +45,22 @@ struct RunResult {
   std::uint64_t dcache_misses = 0;
   std::uint64_t prefetches_issued = 0;
 
+  // --- sampled-simulation estimates (src/sample/) -----------------------
+  // When `sampled` is set, the counters above are whole-run *estimates*
+  // reconstructed from weighted representative slices, and ipc carries a
+  // confidence half-width. Full runs leave every field here at its
+  // default, and the campaign store only serializes them when sampled —
+  // full-run store bytes and golden pins are unchanged.
+  bool sampled = false;
+  double ipc_error = 0.0;  ///< half-width of the IPC confidence interval
+  std::uint64_t sample_intervals = 0;
+  std::uint64_t sample_clusters = 0;
+  std::uint64_t sample_slices = 0;
+  std::uint64_t sample_cold_starts = 0;  ///< slices without restored state
+  /// Instructions actually timing-simulated (sum over slices) — the
+  /// numerator of the effective-speedup claim.
+  std::uint64_t sample_simulated_instructions = 0;
+
   // --- host-throughput telemetry ---------------------------------------
   // Wall-clock cost of the simulation itself (warmup included: that is
   // real host work), measured around the run loop. Nondeterministic by
@@ -70,6 +86,17 @@ class Cpu {
 
   /// Advances a single cycle (integration tests).
   void tick();
+
+  /// Functional i-cache warm-up before run(): replays @p warm_lines (oldest
+  /// first) as demand fills into L0/L1 and tags into the L2, the way a
+  /// sampled slice inherits the cache contents its checkpoint recorded.
+  /// Deterministic; must be called before the first tick.
+  void warm_ifetch(const std::vector<Addr>& warm_lines);
+
+  /// Mutable prefetcher access for checkpoint restore (src/sample/).
+  [[nodiscard]] prefetch::IPrefetcher& prefetcher_mut() {
+    return *prefetcher_;
+  }
 
   [[nodiscard]] Cycle cycle() const noexcept { return cycle_; }
   [[nodiscard]] const Backend& backend() const { return *backend_; }

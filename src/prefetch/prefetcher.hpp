@@ -9,6 +9,9 @@
 // L1 — filtered by FDP, copied by CLGP — ul2/Mem = fetched from below).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/port.hpp"
@@ -64,6 +67,33 @@ class IPrefetcher {
   /// state (pre-buffer data+tags plus any record tables), accounted with
   /// the cacti/storage.hpp helpers. 0 for schemes that carry none.
   [[nodiscard]] virtual std::uint64_t storage_bits() const { return 0; }
+
+  // --- sampling checkpoints (src/sample/) -------------------------------
+  // A scheme may serialize its *learned, committed-control-flow* state —
+  // record tables, successor graphs — so a sampled run can carry it from
+  // one slice to the next instead of cold-restarting every slice.
+  // Transient timing state (in-flight pre-buffer entries, ready cycles)
+  // must NOT be saved: it is only meaningful inside one simulation.
+  // The default declines, and the sampler falls back to a conservative
+  // cold restart (counted in RunResult::sample_cold_starts).
+
+  /// Appends a self-contained snapshot of learned state to @p out and
+  /// returns true; returns false (writing nothing) when the scheme does
+  /// not support checkpointing.
+  [[nodiscard]] virtual bool save_state(std::vector<std::uint8_t>& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores a snapshot produced by save_state() on a same-shape
+  /// instance. Returns false (leaving the scheme cold) when unsupported
+  /// or when the bytes do not match the scheme's layout.
+  [[nodiscard]] virtual bool restore_state(const std::uint8_t* data,
+                                           std::size_t size) {
+    (void)data;
+    (void)size;
+    return false;
+  }
 };
 
 /// The no-prefetch baseline: the fetch stage sees no pre-buffer at all.
@@ -77,6 +107,15 @@ class NonePrefetcher final : public IPrefetcher {
   void on_recovery(Cycle) override {}
   [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
     return sources_;
+  }
+  // No learned state: the checkpoint is trivially empty, never a cold
+  // restart.
+  [[nodiscard]] bool save_state(std::vector<std::uint8_t>&) const override {
+    return true;
+  }
+  [[nodiscard]] bool restore_state(const std::uint8_t*,
+                                   std::size_t) override {
+    return true;
   }
 
  private:

@@ -65,6 +65,14 @@ class StreamPrefetcher final : public IPrefetcher {
   }
   [[nodiscard]] std::uint64_t storage_bits() const override;
 
+  // Checkpointing (sampling): the region table is learned from committed
+  // control flow only (recovery keeps it), so it is exactly the state a
+  // sampled run may legally carry across slices. In-flight pre-buffer
+  // entries are transient timing state and are not saved.
+  [[nodiscard]] bool save_state(std::vector<std::uint8_t>& out) const override;
+  [[nodiscard]] bool restore_state(const std::uint8_t* data,
+                                   std::size_t size) override;
+
   // --- statistics -------------------------------------------------------
   Counter prefetches_issued;  ///< transfers started (L1/L2/mem)
   Counter regions_recorded;   ///< regions finalized into the table

@@ -1,0 +1,83 @@
+// Basic-block-vector profiling (SimPoint-style, Sherwood et al.).
+//
+// One streaming pass over a workload::TraceSource chops the dynamic
+// instruction stream into fixed-size intervals and summarizes each as a
+// basic-block vector: per-block instruction counts, random-projected to
+// a small dimension so interval signatures are O(dim) regardless of the
+// code footprint. Blocks are identified by their stream start PC (the
+// granularity the front-end fetches at), weighted by instruction count —
+// faithful to SimPoint's BBV while matching this simulator's stream
+// decomposition. Projection signs come from a stateless hash of the
+// block address, so two profiles of the same trace are bit-identical
+// with no RNG and no iteration-order sensitivity.
+//
+// The same pass captures, at every interval boundary, the trailing
+// window of instruction-line addresses — the functional-warming
+// checkpoint a sampled run replays into any cache geometry before
+// simulating the interval (checkpoint.hpp stores them; runner.cpp
+// applies them via Cpu::warm_ifetch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/trace.hpp"
+
+namespace prestage::sample {
+
+/// Streaming accumulator for one interval's projected BBV. Reused by the
+/// profiler and by `prestage trace info --intervals`.
+class SignatureAccumulator {
+ public:
+  explicit SignatureAccumulator(std::uint32_t dim) : acc_(dim, 0.0) {}
+
+  /// Adds @p weight dynamic instructions executed by the block whose
+  /// stream starts at @p block_pc.
+  void add(Addr block_pc, std::uint64_t weight);
+
+  /// L2-normalized signature; the accumulator resets for the next
+  /// interval. An empty interval yields the zero vector.
+  [[nodiscard]] std::vector<double> finish();
+
+ private:
+  std::vector<double> acc_;
+};
+
+/// Cosine similarity of two equal-dim signatures (1.0 = same phase).
+/// Zero vectors compare as similarity 0.
+[[nodiscard]] double cosine_similarity(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+/// One profiled interval.
+struct IntervalProfile {
+  std::uint64_t start = 0;         ///< first instruction (stream-aligned)
+  std::uint64_t instructions = 0;  ///< actual length (>= nominal)
+  std::vector<double> signature;   ///< unit-norm projected BBV
+  /// Trailing instruction-line addresses (oldest first, deduplicated
+  /// against the previous line) observed before `start` — the functional
+  /// i-cache warm-up stream for a slice beginning here.
+  std::vector<Addr> warm_lines;
+};
+
+/// Whole-trace profile: what the clusterer and planner consume.
+struct TraceProfile {
+  std::uint64_t total_instructions = 0;  ///< sum over intervals
+  std::uint64_t interval_instructions = 0;  ///< nominal interval length
+  std::uint32_t dim = 0;
+  std::uint64_t unique_blocks = 0;  ///< distinct stream-start PCs seen
+  std::vector<IntervalProfile> intervals;
+};
+
+/// Streams @p source for at least @p total_instructions, closing each
+/// interval at the first stream boundary at or past the nominal length —
+/// so every interval start is stream-aligned and a sliced replay of the
+/// same source lands exactly on it. Deterministic: same source state,
+/// same profile.
+[[nodiscard]] TraceProfile profile_source(workload::TraceSource& source,
+                                          std::uint64_t total_instructions,
+                                          std::uint64_t interval_instructions,
+                                          std::uint32_t dim,
+                                          std::uint32_t warm_lines);
+
+}  // namespace prestage::sample

@@ -1,0 +1,191 @@
+#include "sample/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/prestage_assert.hpp"
+#include "common/rng.hpp"
+
+namespace prestage::sample {
+
+namespace {
+
+constexpr std::uint32_t kMaxIterations = 64;
+
+[[nodiscard]] double sq_dist(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    // Fixed dimension order: deterministic sum.
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+struct KmeansRun {
+  std::vector<std::uint32_t> assignment;
+  std::vector<std::vector<double>> centroids;
+  double rss = 0.0;  ///< sum of squared point-to-centroid distances
+};
+
+/// One full k-means run at fixed k: k-means++ seeding from @p rng,
+/// Lloyd iterations with lowest-index tie-breaking, empty clusters
+/// reseeded from the farthest point.
+[[nodiscard]] KmeansRun run_kmeans(
+    const std::vector<std::vector<double>>& points, std::uint32_t k,
+    Rng& rng) {
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  KmeansRun run;
+  run.centroids.reserve(k);
+
+  // k-means++: first center uniform, later centers drawn with
+  // probability proportional to squared distance from the chosen set.
+  run.centroids.push_back(points[rng.below(n)]);
+  std::vector<double> best_sq(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    best_sq[i] = sq_dist(points[i], run.centroids[0]);
+  }
+  while (run.centroids.size() < k) {
+    double total = 0.0;
+    for (const double v : best_sq) {
+      // Fixed point order: deterministic sum.
+      total += v;
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      const double target = rng.uniform() * total;
+      double cum = 0.0;
+      pick = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Prefix-sum walk in point order; the draw maps to a unique
+        // point, ties impossible for target < total.
+        cum += best_sq[i];
+        if (cum > target) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with a center; any pick is equivalent —
+      // take a deterministic draw to keep the stream position fixed.
+      pick = rng.below(n);
+    }
+    run.centroids.push_back(points[pick]);
+    for (std::size_t i = 0; i < n; ++i) {
+      best_sq[i] = std::min(best_sq[i], sq_dist(points[i], points[pick]));
+    }
+  }
+
+  run.assignment.assign(n, 0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+  std::vector<std::uint64_t> counts(k, 0);
+  for (std::uint32_t iter = 0; iter < kMaxIterations; ++iter) {
+    // Assign: nearest centroid, strict improvement only, so the lowest
+    // centroid index wins ties.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double d = sq_dist(points[i], run.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (run.assignment[i] != best) {
+        run.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update: mean of assigned points; an empty cluster is reseeded from
+    // the point farthest from its centroid (lowest index on ties).
+    for (std::uint32_t c = 0; c < k; ++c) {
+      std::fill(sums[c].begin(), sums[c].end(), 0.0);
+      counts[c] = 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = run.assignment[i];
+      for (std::size_t d = 0; d < dim; ++d) {
+        // Fixed point order per cluster: deterministic sums.
+        sums[c][d] += points[i][d];
+      }
+      ++counts[c];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        std::size_t far_i = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              sq_dist(points[i], run.centroids[run.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        run.centroids[c] = points[far_i];
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        run.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  run.rss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Fixed point order: deterministic sum.
+    run.rss += sq_dist(points[i], run.centroids[run.assignment[i]]);
+  }
+  return run;
+}
+
+/// X-means BIC (lower is better here): model fit via per-coordinate
+/// variance plus a k(dim+1)·ln(n) complexity penalty.
+[[nodiscard]] double bic_score(double rss, std::size_t n, std::size_t dim,
+                               std::uint32_t k) {
+  const double variance =
+      rss / (static_cast<double>(n) * static_cast<double>(dim)) + 1e-12;
+  return static_cast<double>(n) * static_cast<double>(dim) *
+             std::log(variance) +
+         static_cast<double>(k) * (static_cast<double>(dim) + 1.0) *
+             std::log(static_cast<double>(n));
+}
+
+}  // namespace
+
+ClusterResult cluster_points(const std::vector<std::vector<double>>& points,
+                             std::uint32_t max_k, std::uint64_t seed) {
+  PRESTAGE_ASSERT(!points.empty() && max_k > 0);
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  const auto k_limit =
+      static_cast<std::uint32_t>(std::min<std::size_t>(max_k, n));
+
+  ClusterResult best;
+  double best_bic = std::numeric_limits<double>::infinity();
+  for (std::uint32_t k = 1; k <= k_limit; ++k) {
+    // Each k gets its own Rng stream, so adding max_k never perturbs the
+    // runs for smaller k.
+    Rng rng(hash_mix(seed + 0x5eedULL * k));
+    KmeansRun run = run_kmeans(points, k, rng);
+    const double bic = bic_score(run.rss, n, dim, k);
+    best.bic_by_k.push_back(bic);
+    // Strict improvement: ties keep the smaller (simpler) k.
+    if (bic < best_bic) {
+      best_bic = bic;
+      best.k = k;
+      best.assignment = std::move(run.assignment);
+      best.centroids = std::move(run.centroids);
+    }
+  }
+  return best;
+}
+
+}  // namespace prestage::sample

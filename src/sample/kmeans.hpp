@@ -1,0 +1,33 @@
+// Deterministic k-means clustering of interval signatures.
+//
+// SimPoint picks representative slices by clustering interval BBVs and
+// choosing the interval nearest each centroid. Everything here is
+// deterministic by construction: seeding is k-means++ driven by the
+// repo's fixed-stream Rng, every tie (nearest centroid, farthest point,
+// representative choice) breaks toward the lowest index, and the number
+// of clusters is chosen by the Bayesian information criterion over
+// k = 1..max_k (X-means flavor, Pelleg & Moore) — so the same profile
+// always yields the same plan, on any host, at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prestage::sample {
+
+/// Result of clustering n points at the BIC-selected k.
+struct ClusterResult {
+  std::uint32_t k = 0;
+  std::vector<std::uint32_t> assignment;       ///< point -> cluster
+  std::vector<std::vector<double>> centroids;  ///< k x dim
+  std::vector<double> bic_by_k;                ///< index k-1 -> BIC score
+};
+
+/// Clusters @p points (each the same dimension) for k = 1..max_k and
+/// returns the k minimizing BIC. @p seed fixes the k-means++ draws.
+/// Requires at least one point; k never exceeds the point count.
+[[nodiscard]] ClusterResult cluster_points(
+    const std::vector<std::vector<double>>& points, std::uint32_t max_k,
+    std::uint64_t seed);
+
+}  // namespace prestage::sample

@@ -1,0 +1,37 @@
+#include "sample/params.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::sample {
+
+ResolvedSamplingParams SamplingParams::resolve(std::uint64_t budget) const {
+  PRESTAGE_ASSERT(budget > 0, "sampling: zero instruction budget");
+  ResolvedSamplingParams r;
+  r.enabled = enabled;
+  // Default interval: ~40 intervals across the budget, clamped so tiny
+  // budgets still form at least a handful of intervals and huge budgets
+  // keep the profile pass cheap.
+  r.interval_instructions =
+      interval_instructions > 0
+          ? interval_instructions
+          : std::clamp<std::uint64_t>(budget / 40, 1000, 1000000);
+  r.dim = dim > 0 ? dim : 16;
+  r.max_clusters = max_clusters > 0 ? max_clusters : 6;
+  r.warm_lines = warm_lines > 0 ? warm_lines : 256;
+  r.warmup_intervals = warmup_intervals > 0 ? warmup_intervals : 1;
+  return r;
+}
+
+std::string ResolvedSamplingParams::descriptor_suffix() const {
+  if (!enabled) return "";
+  char buf[112];
+  std::snprintf(buf, sizeof buf, "|sample=iv%llu,dim%u,k%u,warm%u,wu%u",
+                static_cast<unsigned long long>(interval_instructions), dim,
+                max_clusters, warm_lines, warmup_intervals);
+  return buf;
+}
+
+}  // namespace prestage::sample

@@ -1,0 +1,228 @@
+#include "sample/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+#include "common/stats.hpp"
+#include "sample/sliced_source.hpp"
+#include "workload/synthetic_spec.hpp"
+
+namespace prestage::sample {
+
+namespace {
+
+/// Weighted per-instruction rate of @p counts across slices, scaled to
+/// @p budget instructions.
+[[nodiscard]] std::uint64_t scale_counter(
+    const std::vector<cpu::RunResult>& slices,
+    const std::vector<double>& weights, std::uint64_t budget,
+    std::uint64_t (*get)(const cpu::RunResult&)) {
+  double rate = 0.0;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    // Fixed slice order: deterministic sum.
+    rate += weights[i] * static_cast<double>(get(slices[i])) /
+            static_cast<double>(slices[i].instructions);
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(rate * static_cast<double>(budget)));
+}
+
+}  // namespace
+
+std::shared_ptr<const workload::WorkloadSpec> base_workload(
+    const cpu::MachineConfig& cfg) {
+  if (cfg.workload) return cfg.workload;
+  // Synthetic specs are pure functions of (benchmark, seed); cache them
+  // so a campaign grid synthesizes each program once.
+  static std::mutex mutex;
+  static std::map<std::pair<std::string, std::uint64_t>,
+                  std::shared_ptr<const workload::WorkloadSpec>>
+      cache;
+  const std::pair<std::string, std::uint64_t> key{cfg.benchmark, cfg.seed};
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto spec = std::make_shared<const workload::SyntheticWorkloadSpec>(
+      cfg.benchmark, cfg.seed);
+  const std::lock_guard<std::mutex> lock(mutex);
+  return cache.emplace(key, std::move(spec)).first->second;
+}
+
+cpu::RunResult run_sampled_point_with_plan(
+    const cpu::MachineConfig& cfg,
+    const std::shared_ptr<const workload::WorkloadSpec>& base,
+    const SamplePlan& plan) {
+  PRESTAGE_ASSERT(!plan.slices.empty(), "sampling plan with no slices");
+  const auto host_start = std::chrono::steady_clock::now();
+  const std::uint64_t budget = cfg.max_instructions;
+
+  std::vector<cpu::RunResult> slices;
+  std::vector<double> weights;
+  slices.reserve(plan.slices.size());
+  weights.reserve(plan.slices.size());
+  std::uint64_t cold_starts = 0;
+  std::uint64_t simulated = 0;
+
+  // Learned prefetcher state carried slice to slice (slices are in
+  // ascending trace order, so state only ever moves forward in time).
+  std::vector<std::uint8_t> carried_state;
+  bool have_state = false;
+
+  for (const Slice& slice : plan.slices) {
+    cpu::MachineConfig slice_cfg = cfg;
+    // Detailed warm-up: start `warmup_instructions` before the measured
+    // region so caches, branch predictor and prefetcher tables are
+    // architecturally warm when statistics open at `slice.start`. The
+    // functional i-warm checkpoint covers the warm-up's own cold front.
+    slice_cfg.workload =
+        std::make_shared<const SlicedWorkloadSpec>(base, slice.warm_start);
+    slice_cfg.max_instructions = slice.instructions;
+    slice_cfg.warmup_instructions = slice.start - slice.warm_start;
+
+    cpu::Cpu machine(slice_cfg);
+    machine.warm_ifetch(slice.warm_lines);
+    const bool restored =
+        have_state && machine.prefetcher_mut().restore_state(
+                          carried_state.data(), carried_state.size());
+    if (!restored) ++cold_starts;
+
+    cpu::RunResult r = machine.run();
+    PRESTAGE_ASSERT(r.instructions > 0, "sampled slice committed nothing");
+    simulated += r.instructions + (slice.start - slice.warm_start);
+
+    carried_state.clear();
+    have_state = machine.prefetcher().save_state(carried_state);
+
+    weights.push_back(slice.weight);
+    slices.push_back(std::move(r));
+  }
+
+  // Whole-run reconstruction: CPI is the weighted mean of per-cluster
+  // slice CPIs; every event counter is the weighted per-instruction rate
+  // scaled back to the full budget.
+  double cpi = 0.0;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    // Fixed slice order: deterministic sum.
+    cpi += weights[i] * static_cast<double>(slices[i].cycles) /
+           static_cast<double>(slices[i].instructions);
+  }
+  PRESTAGE_ASSERT(cpi > 0.0);
+
+  cpu::RunResult out;
+  out.benchmark = cfg.benchmark;
+  out.instructions = budget;
+  out.cycles = static_cast<Cycle>(
+      std::llround(cpi * static_cast<double>(budget)));
+  out.ipc = 1.0 / cpi;
+  for (std::size_t si = 0; si < kNumFetchSources; ++si) {
+    const auto s = static_cast<FetchSource>(si);
+    double fetch_rate = 0.0;
+    double pf_rate = 0.0;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      // Fixed slice order: deterministic sums.
+      const auto instrs = static_cast<double>(slices[i].instructions);
+      fetch_rate += weights[i] *
+                    static_cast<double>(slices[i].fetch_sources.count(s)) /
+                    instrs;
+      // Same fixed slice order.
+      pf_rate += weights[i] *
+                 static_cast<double>(slices[i].prefetch_sources.count(s)) /
+                 instrs;
+    }
+    const auto b = static_cast<double>(budget);
+    out.fetch_sources.add(
+        s, static_cast<std::uint64_t>(std::llround(fetch_rate * b)));
+    out.prefetch_sources.add(
+        s, static_cast<std::uint64_t>(std::llround(pf_rate * b)));
+  }
+  out.lines_fetched = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.lines_fetched; });
+  out.recoveries = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.recoveries; });
+  out.blocks_predicted = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.blocks_predicted; });
+  out.l2_hits = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.l2_hits; });
+  out.l2_misses = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.l2_misses; });
+  out.dcache_misses = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.dcache_misses; });
+  out.prefetches_issued = scale_counter(
+      slices, weights, budget,
+      [](const cpu::RunResult& r) { return r.prefetches_issued; });
+  out.mispredicts_per_kilo_instr =
+      static_cast<double>(out.recoveries) * 1000.0 /
+      static_cast<double>(budget);
+
+  // Confidence half-width (see header): weighted cluster-CPI spread as
+  // the standard error of the mixture mean, floored by the relative
+  // minimum that covers within-cluster bias the spread cannot see.
+  double cpi_var = 0.0;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const double slice_cpi = static_cast<double>(slices[i].cycles) /
+                             static_cast<double>(slices[i].instructions);
+    // Fixed slice order: deterministic sum.
+    cpi_var += weights[i] * (slice_cpi - cpi) * (slice_cpi - cpi);
+  }
+  const double n = static_cast<double>(
+      plan.intervals > 0 ? plan.intervals : 1);
+  const double cpi_half_width = 1.96 * std::sqrt(cpi_var / n);
+  // IPC = 1/CPI, so d(IPC) = d(CPI)/CPI^2 to first order.
+  const double spread_error = cpi_half_width / (cpi * cpi);
+  out.ipc_error =
+      std::max(spread_error, out.ipc * kMinRelativeIpcErrorPct / 100.0);
+
+  out.sampled = true;
+  out.sample_intervals = plan.intervals;
+  out.sample_clusters = plan.clusters;
+  out.sample_slices = plan.slices.size();
+  out.sample_cold_starts = cold_starts;
+  out.sample_simulated_instructions = simulated;
+
+  const std::chrono::duration<double> host_elapsed =
+      std::chrono::steady_clock::now() - host_start;
+  out.host_seconds = host_elapsed.count();
+  out.minstr_per_sec =
+      out.host_seconds > 0.0
+          ? static_cast<double>(simulated) / 1e6 / out.host_seconds
+          : 0.0;
+  return out;
+}
+
+cpu::RunResult run_sampled_point(const cpu::MachineConfig& cfg,
+                                 const ResolvedSamplingParams& params) {
+  PRESTAGE_ASSERT(params.enabled, "run_sampled_point: sampling disabled");
+  const auto host_start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const workload::WorkloadSpec> base =
+      base_workload(cfg);
+  const std::shared_ptr<const SamplePlan> plan =
+      get_or_build_plan(*base, cfg.seed, cfg.max_instructions, params);
+  cpu::RunResult out = run_sampled_point_with_plan(cfg, base, *plan);
+  // Charge this point for its plan share too (the cache makes that the
+  // profiling cost for the first point and ~0 for grid neighbors).
+  const std::chrono::duration<double> host_elapsed =
+      std::chrono::steady_clock::now() - host_start;
+  out.host_seconds = host_elapsed.count();
+  out.minstr_per_sec =
+      out.host_seconds > 0.0
+          ? static_cast<double>(out.sample_simulated_instructions) / 1e6 /
+                out.host_seconds
+          : 0.0;
+  return out;
+}
+
+}  // namespace prestage::sample

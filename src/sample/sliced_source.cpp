@@ -1,0 +1,28 @@
+#include "sample/sliced_source.hpp"
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::sample {
+
+SlicedTraceSource::SlicedTraceSource(
+    std::unique_ptr<workload::TraceSource> inner, std::uint64_t start)
+    : inner_(std::move(inner)) {
+  while (inner_->instructions() < start) {
+    (void)inner_->next_stream();
+  }
+  skipped_ = inner_->instructions();
+  PRESTAGE_ASSERT(skipped_ == start,
+                  "slice start is not stream-aligned: wanted " +
+                      std::to_string(start) + ", landed on " +
+                      std::to_string(skipped_));
+}
+
+workload::StreamChunk SlicedTraceSource::next_stream() {
+  workload::StreamChunk chunk = inner_->next_stream();
+  for (workload::DynInst& inst : chunk.insts) {
+    inst.seq = emitted_++;  // the Oracle's window starts at seq 0
+  }
+  return chunk;
+}
+
+}  // namespace prestage::sample

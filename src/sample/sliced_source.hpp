@@ -1,0 +1,67 @@
+// Slice replay: fast-forward a TraceSource to a plan slice's start.
+//
+// SlicedTraceSource discards whole streams from an inner source until
+// its cursor reaches the slice start (profile intervals are
+// stream-aligned by construction, so the skip always lands exactly),
+// then re-exposes the remainder with sequence numbers renumbered from 0
+// — the Oracle's commit window requires the first delivered seq to be 0.
+// Skipping runs at trace-generation speed (tens of Minstr/s), not
+// timing-simulation speed, which is what makes sampling profitable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/spec.hpp"
+#include "workload/trace.hpp"
+
+namespace prestage::sample {
+
+class SlicedTraceSource final : public workload::TraceSource {
+ public:
+  /// Fast-forwards @p inner to @p start (asserts exact stream alignment).
+  SlicedTraceSource(std::unique_ptr<workload::TraceSource> inner,
+                    std::uint64_t start);
+
+  [[nodiscard]] workload::StreamChunk next_stream() override;
+  [[nodiscard]] std::uint64_t instructions() const override {
+    return emitted_;
+  }
+  [[nodiscard]] std::vector<Addr> call_stack_pcs(
+      std::size_t max_depth) const override {
+    return inner_->call_stack_pcs(max_depth);
+  }
+
+  /// Instructions discarded during fast-forward (== the slice start).
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  std::unique_ptr<workload::TraceSource> inner_;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+/// WorkloadSpec wrapper handing a Cpu the sliced view of a base
+/// workload: same program image, trace fast-forwarded to `start`.
+class SlicedWorkloadSpec final : public workload::WorkloadSpec {
+ public:
+  SlicedWorkloadSpec(std::shared_ptr<const workload::WorkloadSpec> base,
+                     std::uint64_t start)
+      : base_(std::move(base)), start_(start) {}
+
+  [[nodiscard]] const workload::Program& program() const override {
+    return base_->program();
+  }
+  [[nodiscard]] std::string name() const override { return base_->name(); }
+  [[nodiscard]] std::unique_ptr<workload::TraceSource> make_source(
+      std::uint64_t seed) const override {
+    return std::make_unique<SlicedTraceSource>(base_->make_source(seed),
+                                               start_);
+  }
+
+ private:
+  std::shared_ptr<const workload::WorkloadSpec> base_;
+  std::uint64_t start_;
+};
+
+}  // namespace prestage::sample

@@ -1,0 +1,19 @@
+#include "workload/synthetic_spec.hpp"
+
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace.hpp"
+
+namespace prestage::workload {
+
+SyntheticWorkloadSpec::SyntheticWorkloadSpec(std::string benchmark,
+                                             std::uint64_t seed)
+    : benchmark_(std::move(benchmark)),
+      program_(generate_program(profile_for(benchmark_), seed)) {}
+
+std::unique_ptr<TraceSource> SyntheticWorkloadSpec::make_source(
+    std::uint64_t seed) const {
+  return std::make_unique<TraceGenerator>(program_, seed);
+}
+
+}  // namespace prestage::workload

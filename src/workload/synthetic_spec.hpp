@@ -1,0 +1,37 @@
+// WorkloadSpec adapter for the synthetic benchmark generator.
+//
+// The Cpu synthesizes (program, TraceGenerator) directly from a
+// (benchmark, seed) pair when MachineConfig carries no workload. Layers
+// that need to *stream the same workload independently of a Cpu* — the
+// sampling profiler walks the dynamic trace once before any timing
+// simulation runs — need that synthesis behind the uniform WorkloadSpec
+// interface. SyntheticWorkloadSpec provides exactly the pair the Cpu
+// would build, so a profile taken here aligns instruction-for-
+// instruction with the trace a Cpu replays for the same config.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/program.hpp"
+#include "workload/spec.hpp"
+
+namespace prestage::workload {
+
+class SyntheticWorkloadSpec final : public WorkloadSpec {
+ public:
+  /// Builds the program the Cpu would build for (@p benchmark, @p seed).
+  SyntheticWorkloadSpec(std::string benchmark, std::uint64_t seed);
+
+  [[nodiscard]] const Program& program() const override { return program_; }
+  [[nodiscard]] std::string name() const override { return benchmark_; }
+  [[nodiscard]] std::unique_ptr<TraceSource> make_source(
+      std::uint64_t seed) const override;
+
+ private:
+  std::string benchmark_;
+  Program program_;
+};
+
+}  // namespace prestage::workload

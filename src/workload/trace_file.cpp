@@ -1,5 +1,6 @@
 #include "workload/trace_file.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <fstream>
 
@@ -82,33 +83,6 @@ class ByteCursor {
   std::size_t pos_ = 0;
 };
 
-std::string read_all(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) file_error(path, "cannot open");
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) file_error(path, "read failed");
-  return bytes;
-}
-
-TraceHeader parse_header(ByteCursor& cur, const std::string& path) {
-  const std::string magic = cur.chars(4);
-  if (magic != std::string(kTraceMagic, 4)) file_error(path, "bad magic");
-  TraceHeader h;
-  h.version = cur.u32();
-  if (h.version != kTraceVersion) {
-    file_error(path, "unsupported trace version " +
-                         std::to_string(h.version) + " (expected " +
-                         std::to_string(kTraceVersion) + ")");
-  }
-  h.record_count = cur.u64();
-  h.program_seed = cur.u64();
-  h.trace_seed = cur.u64();
-  const std::uint8_t name_len = cur.u8();
-  h.benchmark = cur.chars(name_len);
-  return h;
-}
-
 }  // namespace
 
 void write_trace_file(const std::string& path, const TraceHeader& header,
@@ -143,18 +117,74 @@ void write_trace_file(const std::string& path, const TraceHeader& header,
   if (!out.good()) file_error(path, "write failed");
 }
 
-TraceFile read_trace_file(const std::string& path) {
-  const std::string bytes = read_all(path);
-  ByteCursor cur(bytes, path);
-  TraceFile file;
-  file.header = parse_header(cur, path);
-  if (file.header.record_count == 0) file_error(path, "no records");
-  // Division (not multiplication) so a crafted record_count cannot wrap
-  // the check via u64 overflow and reach the reserve() below.
-  if (cur.remaining() % kRecordBytes != 0 ||
-      file.header.record_count != cur.remaining() / kRecordBytes) {
+namespace {
+
+/// Parses just the header from an open stream, reading only the header
+/// bytes (fixed prefix + name). A shorter file still yields the most
+/// specific error the bytes allow (bad magic before truncation, like
+/// the in-memory parser). Leaves the stream positioned at the first
+/// record; returns the header plus its byte size.
+struct StreamedHeader {
+  TraceHeader header;
+  std::uint64_t data_offset = 0;
+};
+
+StreamedHeader parse_streamed_header(std::ifstream& in,
+                                     const std::string& path) {
+  // Fixed-size header prefix: magic, version, record count, two seeds,
+  // name length.
+  constexpr std::size_t kFixedHeader = 4 + 4 + 8 + 8 + 8 + 1;
+  std::string prefix(kFixedHeader, '\0');
+  in.read(prefix.data(), static_cast<std::streamsize>(kFixedHeader));
+  prefix.resize(static_cast<std::size_t>(in.gcount()));
+  ByteCursor cur(prefix, path);
+  const std::string magic = cur.chars(4);
+  if (magic != std::string(kTraceMagic, 4)) file_error(path, "bad magic");
+  TraceHeader h;
+  h.version = cur.u32();
+  if (h.version != kTraceVersion) {
+    file_error(path, "unsupported trace version " +
+                         std::to_string(h.version) + " (expected " +
+                         std::to_string(kTraceVersion) + ")");
+  }
+  h.record_count = cur.u64();
+  h.program_seed = cur.u64();
+  h.trace_seed = cur.u64();
+  const std::uint8_t name_len = cur.u8();
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  if (static_cast<std::size_t>(in.gcount()) != name_len) {
     file_error(path, "truncated");
   }
+  h.benchmark = std::move(name);
+  return {std::move(h), kFixedHeader + name_len};
+}
+
+/// The shared streaming decoder: buffered reads, one callback per
+/// record, a header hook before the first record (so read_trace_file
+/// can reserve). All validation lives here — both public readers must
+/// fail identically on the same corrupt bytes.
+TraceHeader stream_records_impl(
+    const std::string& path,
+    const std::function<void(const TraceHeader&)>& on_header,
+    const std::function<void(const DynInst&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) file_error(path, "cannot open");
+  auto [h, data_offset] = parse_streamed_header(in, path);
+  if (h.record_count == 0) file_error(path, "no records");
+
+  // Division (not multiplication) so a crafted record_count cannot wrap
+  // the check via u64 overflow.
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t data_bytes = file_size - data_offset;
+  if (data_bytes % kRecordBytes != 0 ||
+      h.record_count != data_bytes / kRecordBytes) {
+    file_error(path, "truncated");
+  }
+  in.seekg(static_cast<std::streamoff>(data_offset));
+  on_header(h);
+
   // Register ids index fixed-size scoreboard arrays in the backend and
   // op bytes select switch arms, so both must be validated here: a
   // corrupt byte has to fail like every other malformed-trace case, not
@@ -163,36 +193,74 @@ TraceFile read_trace_file(const std::string& path) {
     if (r >= kNumRegs && r != kNoReg) file_error(path, "bad register id");
     return r;
   };
-  file.records.reserve(file.header.record_count);
-  for (std::uint64_t i = 0; i < file.header.record_count; ++i) {
-    DynInst d;
-    d.pc = cur.u64();
-    d.data_addr = cur.u64();
-    d.next_pc = cur.u64();
-    const std::uint8_t op = cur.u8();
-    if (op > static_cast<std::uint8_t>(OpClass::Return)) {
-      file_error(path, "bad op class");
+  const auto get_u64 = [](const std::uint8_t* b) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
     }
-    d.op = static_cast<OpClass>(op);
-    d.dst = checked_reg(cur.u8());
-    d.src1 = checked_reg(cur.u8());
-    d.src2 = checked_reg(cur.u8());
-    const std::uint8_t flags = cur.u8();
-    d.taken = (flags & 1U) != 0;
-    d.ends_stream = (flags & 2U) != 0;
-    d.seq = i;
-    file.records.push_back(d);
+    return v;
+  };
+
+  constexpr std::size_t kBufferRecords = 4096;
+  std::vector<std::uint8_t> buf(kBufferRecords * kRecordBytes);
+  std::uint64_t index = 0;
+  bool last_ends_stream = false;
+  while (index < h.record_count) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(kBufferRecords, h.record_count - index);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(want * kRecordBytes));
+    if (static_cast<std::uint64_t>(in.gcount()) != want * kRecordBytes) {
+      file_error(path, "read failed");
+    }
+    for (std::uint64_t r = 0; r < want; ++r, ++index) {
+      const std::uint8_t* b = buf.data() + r * kRecordBytes;
+      DynInst d;
+      d.pc = get_u64(b);
+      d.data_addr = get_u64(b + 8);
+      d.next_pc = get_u64(b + 16);
+      const std::uint8_t op = b[24];
+      if (op > static_cast<std::uint8_t>(OpClass::Return)) {
+        file_error(path, "bad op class");
+      }
+      d.op = static_cast<OpClass>(op);
+      d.dst = checked_reg(b[25]);
+      d.src1 = checked_reg(b[26]);
+      d.src2 = checked_reg(b[27]);
+      const std::uint8_t flags = b[28];
+      d.taken = (flags & 1U) != 0;
+      d.ends_stream = (flags & 2U) != 0;
+      d.seq = index;
+      last_ends_stream = d.ends_stream;
+      fn(d);
+    }
   }
-  if (!file.records.back().ends_stream) {
+  if (!last_ends_stream) {
     file_error(path, "last record does not end a stream");
   }
+  return h;
+}
+
+}  // namespace
+
+TraceFile read_trace_file(const std::string& path) {
+  TraceFile file;
+  file.header = stream_records_impl(
+      path,
+      [&file](const TraceHeader& h) { file.records.reserve(h.record_count); },
+      [&file](const DynInst& d) { file.records.push_back(d); });
   return file;
 }
 
+TraceHeader stream_trace_records(
+    const std::string& path, const std::function<void(const DynInst&)>& fn) {
+  return stream_records_impl(path, [](const TraceHeader&) {}, fn);
+}
+
 TraceHeader read_trace_header(const std::string& path) {
-  const std::string bytes = read_all(path);
-  ByteCursor cur(bytes, path);
-  return parse_header(cur, path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) file_error(path, "cannot open");
+  return parse_streamed_header(in, path).header;
 }
 
 TraceFormat detect_trace_format(const std::string& path) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +57,15 @@ void write_trace_file(const std::string& path, const TraceHeader& header,
 /// Reads and validates a trace file; throws SimError on a missing file,
 /// bad magic, unsupported version, or truncated record section.
 [[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+/// Streams a native trace file record by record in fixed-size buffered
+/// reads, without materializing the record vector — the `prestage trace
+/// info` fast path (O(buffer) memory for arbitrarily large traces).
+/// Validation and error messages match read_trace_file exactly (which is
+/// implemented on top of this). Records arrive with positional seq
+/// fields, in file order. Returns the validated header.
+[[nodiscard]] TraceHeader stream_trace_records(
+    const std::string& path, const std::function<void(const DynInst&)>& fn);
 
 /// Reads only the header (for `prestage trace info`).
 [[nodiscard]] TraceHeader read_trace_header(const std::string& path);

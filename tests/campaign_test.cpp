@@ -116,7 +116,8 @@ TEST(CampaignSpec, KeyEmbedsEveryAxis) {
                       .l1i_size = 4096,
                       .benchmark = "eon",
                       .instructions = 1000,
-                      .seed = 1};
+                      .seed = 1,
+                      .sampling = {}};
   RunPoint p = base;
   p.config = "clgp";
   EXPECT_NE(p.key(), base.key());

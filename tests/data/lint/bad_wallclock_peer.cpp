@@ -1,0 +1,5 @@
+// Fixture: a second wall-clock offender next to bad_wallclock.cpp —
+// proves an allow entry for one file never covers its neighbors.
+#include <cstdlib>
+
+int peer_rand() { return rand(); }

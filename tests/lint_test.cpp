@@ -229,6 +229,35 @@ TEST(LintConfig, PathScopingDisablesRuleElsewhere) {
   EXPECT_TRUE(doc.at("findings").array.empty());
 }
 
+TEST(LintConfig, AllowEntryIsFileGranular) {
+  // The production config allowlists single files (src/cpu/cpu.cpp,
+  // src/sample/runner.cpp) for prestage-wallclock; this pins that an
+  // allow entry stops at the named file instead of covering its
+  // directory.
+  const std::string config = test_file("allow_file.json");
+  {
+    std::ofstream out(config);
+    out << R"({"schema": "prestage-lint-config-v1", "rules": {)"
+        << R"("prestage-wallclock": {"severity": "error", "allow": [")"
+        << fixture("bad_wallclock.cpp") << R"("]}}})";
+  }
+  const std::string json_file = test_file("lint.json");
+  std::string output;
+  const int rc = run_lint("--config " + config + " --json " + json_file +
+                              " " + fixture("bad_wallclock.cpp") + " " +
+                              fixture("bad_wallclock_peer.cpp"),
+                          &output);
+  EXPECT_EQ(rc, 1) << output;
+  const JsonValue doc = prestage::json::parse(read_file(json_file));
+  // The allowlisted file contributes nothing; its same-directory peer
+  // still trips.
+  ASSERT_EQ(doc.at("findings").array.size(), 1U);
+  const JsonValue& f = doc.at("findings").array.front();
+  EXPECT_EQ(f.at("file").as_string(), fixture("bad_wallclock_peer.cpp"));
+  EXPECT_EQ(f.at("rule").as_string(), "prestage-wallclock");
+  EXPECT_EQ(f.at("line").as_number(), 5.0);
+}
+
 TEST(LintConfig, UnknownRuleIsRejected) {
   const std::string bad_config = test_file("bad_config.json");
   {
