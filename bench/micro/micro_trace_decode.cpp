@@ -1,0 +1,75 @@
+// Batched trace-decode microbenchmarks: TraceSource::fill() against the
+// scalar next_stream() walk it replaced on the oracle's refill path.
+// The oracle pulls records in 256-entry batches (cpu/oracle.hpp), so
+// fill() throughput at that batch size is what the simulator actually
+// sees; the scalar walk is kept as the baseline the batch path must beat.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_file.hpp"
+
+namespace {
+
+using namespace prestage;
+using workload::DynInst;
+
+constexpr std::size_t kBatch = 256;  // the oracle's refill batch size
+
+/// Generator records through the native batched walk.
+void BM_GeneratorFill(benchmark::State& state) {
+  const workload::Program prog =
+      workload::generate_program(workload::profile_for("eon"), 7);
+  workload::TraceGenerator gen(prog, 42);
+  std::vector<DynInst> buf(kBatch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.fill(buf.data(), buf.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_GeneratorFill);
+
+/// The same records via the scalar stream walk (what fill() replaced).
+void BM_GeneratorNextStream(benchmark::State& state) {
+  const workload::Program prog =
+      workload::generate_program(workload::profile_for("eon"), 7);
+  workload::TraceGenerator gen(prog, 42);
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const workload::StreamChunk chunk = gen.next_stream();
+    records += chunk.insts.size();
+    benchmark::DoNotOptimize(chunk.insts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_GeneratorNextStream);
+
+/// Replay-source batched copy, including the wrap-around seam.
+void BM_ReplayFill(benchmark::State& state) {
+  const workload::Program prog =
+      workload::generate_program(workload::profile_for("gcc"), 11);
+  std::vector<DynInst> recorded;
+  {
+    workload::RecordingTraceSource recorder(prog, 42, &recorded);
+    for (int i = 0; i < 200; ++i) (void)recorder.next_stream();
+  }
+  const auto image =
+      std::make_shared<const std::vector<DynInst>>(std::move(recorded));
+  workload::ReplayTraceSource replay(image);
+  std::vector<DynInst> buf(kBatch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay.fill(buf.data(), buf.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_ReplayFill);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -23,13 +23,22 @@ std::uint64_t StreamPredictor::index_hash(Addr start) noexcept {
   return hash_mix(start >> 2U);
 }
 
+StreamPredictor::Indices StreamPredictor::indices_for(Addr start) const {
+  if (start != cached_start_) {
+    const std::uint64_t h = index_hash(start);
+    cached_indices_ = Indices{h % l1_.size(), h % l2_sets_};
+    cached_start_ = start;
+  }
+  return cached_indices_;
+}
+
 const StreamPredictor::Entry* StreamPredictor::find_l1(Addr start) const {
-  const Entry& e = l1_[index_hash(start) % l1_.size()];
+  const Entry& e = l1_[indices_for(start).l1_index];
   return (e.valid && e.tag == start) ? &e : nullptr;
 }
 
 const StreamPredictor::Entry* StreamPredictor::find_l2(Addr start) const {
-  const std::uint64_t set = index_hash(start) % l2_sets_;
+  const std::uint64_t set = indices_for(start).l2_set;
   for (std::uint32_t w = 0; w < config_.l2_assoc; ++w) {
     const Entry& e = l2_[set * config_.l2_assoc + w];
     if (e.valid && e.tag == start) return &e;
@@ -84,13 +93,14 @@ void StreamPredictor::train_entry(Entry& entry, Addr start,
 void StreamPredictor::train(const Stream& actual) {
   PRESTAGE_ASSERT(actual.length >= 1 && actual.length <= kMaxStreamInstrs);
   const Addr start = actual.start;
+  const Indices idx = indices_for(start);
   // First level trains always (fast reaction); second level trains on
   // first-level presence (cascade promotion) or an existing L2 entry.
-  Entry& l1e = l1_[index_hash(start) % l1_.size()];
+  Entry& l1e = l1_[idx.l1_index];
   const bool was_in_l1 = l1e.valid && l1e.tag == start;
   train_entry(l1e, start, actual);
 
-  const std::uint64_t set = index_hash(start) % l2_sets_;
+  const std::uint64_t set = idx.l2_set;
   Entry* l2e = nullptr;
   for (std::uint32_t w = 0; w < config_.l2_assoc; ++w) {
     Entry& e = l2_[set * config_.l2_assoc + w];

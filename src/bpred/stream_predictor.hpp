@@ -62,6 +62,16 @@ class StreamPredictor {
 
   [[nodiscard]] static std::uint64_t index_hash(Addr start) noexcept;
 
+  /// Hashed table indices for one start address. The hash and the two
+  /// modulo reductions dominate a lookup's host cost, and the verified
+  /// predict/train pair hits both tables with the same start — the
+  /// one-entry cache computes them once per pair.
+  struct Indices {
+    std::uint64_t l1_index;
+    std::uint64_t l2_set;
+  };
+  [[nodiscard]] Indices indices_for(Addr start) const;
+
   [[nodiscard]] const Entry* find_l1(Addr start) const;
   [[nodiscard]] const Entry* find_l2(Addr start) const;
   void train_entry(Entry& entry, Addr start, const Stream& actual);
@@ -71,6 +81,8 @@ class StreamPredictor {
   std::vector<Entry> l2_;  ///< set-associative, round-robin victim choice
   std::vector<std::uint32_t> l2_victim_;  ///< per-set replacement cursor
   std::uint32_t l2_sets_;
+  mutable Addr cached_start_ = kNoAddr;  ///< indices_for() memo key
+  mutable Indices cached_indices_{};
 };
 
 }  // namespace prestage::bpred

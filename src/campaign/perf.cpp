@@ -168,6 +168,88 @@ void write_perf_aggregate(JsonWriter& json, const PerfAggregate& agg) {
   }
 }
 
+PerfDocument parse_perf_document(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (doc.at("schema").as_string() != "prestage-campaign-perf-v1") {
+    throw json::JsonError("not a prestage-campaign-perf-v1 document (is "
+                          "--baseline a BENCH_perf.json?)");
+  }
+  const auto aggregate = [](const json::Value& v) {
+    PerfAggregate agg;
+    agg.points = static_cast<std::size_t>(v.at("points").as_number());
+    agg.host_seconds = v.at("host_seconds").as_number();
+    agg.minstr_per_sec = v.at("minstr_per_sec").as_number();
+    return agg;
+  };
+  PerfDocument out;
+  out.campaign = doc.at("campaign").as_string();
+  out.summary.total = aggregate(doc);
+  if (doc.has("dropped_lines")) {
+    out.summary.dropped_lines =
+        static_cast<std::size_t>(doc.at("dropped_lines").as_number());
+  }
+  for (const json::Value& entry : doc.at("per_config").array) {
+    out.summary.per_config.emplace_back(entry.at("config").as_string(),
+                                        aggregate(entry));
+  }
+  return out;
+}
+
+PerfSummary measure_perf(const CampaignSpec& spec, unsigned jobs,
+                         double min_host_seconds,
+                         const Progress& progress) {
+  const std::vector<RunPoint> points = expand(spec);
+  PerfLog log;
+  double spent = 0.0;
+  do {
+    // A fresh pass over the whole grid each iteration: every config is
+    // weighted by the same point multiset, so the per-config fold stays
+    // comparable no matter where the duration floor lands.
+    for (const PointResult& r : run_points(points, jobs, progress)) {
+      PerfRecord perf = perf_record_of(r);
+      spent += perf.host_seconds;
+      log.add(std::move(perf));
+    }
+  } while (spent < min_host_seconds);
+  return summarize_perf(log);
+}
+
+PerfGateResult gate_perf(const PerfSummary& baseline,
+                         const PerfSummary& candidate, double slack_pct) {
+  PerfGateResult gate;
+  const auto pair_up = [&gate, slack_pct](const std::string& config,
+                                          double base, double cand) {
+    PerfGateEntry e;
+    e.config = config;
+    e.baseline_minstr_per_sec = base;
+    e.candidate_minstr_per_sec = cand;
+    e.delta_pct = base > 0.0 ? (cand - base) / base * 100.0 : 0.0;
+    e.regressed = base > 0.0 && e.delta_pct < -slack_pct;
+    if (e.regressed) ++gate.regressions;
+    return e;
+  };
+  gate.total = pair_up("(total)", baseline.total.minstr_per_sec,
+                       candidate.total.minstr_per_sec);
+  std::map<std::string, double> cand;
+  for (const auto& [config, agg] : candidate.per_config) {
+    cand.emplace(config, agg.minstr_per_sec);
+  }
+  for (const auto& [config, agg] : baseline.per_config) {
+    const auto it = cand.find(config);
+    if (it == cand.end()) {
+      gate.baseline_only.push_back(config);
+      continue;
+    }
+    gate.configs.push_back(pair_up(config, agg.minstr_per_sec, it->second));
+    cand.erase(it);
+  }
+  for (const auto& [config, rate] : cand) {
+    (void)rate;
+    gate.candidate_only.push_back(config);
+  }
+  return gate;
+}
+
 void write_perf_summary(JsonWriter& json, const PerfSummary& summary) {
   write_perf_aggregate(json, summary.total);
   json.field("dropped_lines",

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "campaign/engine.hpp"  // Progress
 #include "campaign/spec.hpp"
 #include "campaign/store.hpp"
 
@@ -128,5 +129,56 @@ void write_perf_aggregate(JsonWriter& json, const PerfAggregate& agg);
 /// Writes a whole summary into the currently open object: the total's
 /// fields followed by a "per_config" array of {config, ...} objects.
 void write_perf_summary(JsonWriter& json, const PerfSummary& summary);
+
+/// A parsed BENCH_perf.json document (the perf-gate baseline).
+struct PerfDocument {
+  std::string campaign;
+  PerfSummary summary;
+};
+
+/// Parses a BENCH_perf.json document (schema
+/// "prestage-campaign-perf-v1"); throws json::JsonError on a missing
+/// field or a schema mismatch.
+[[nodiscard]] PerfDocument parse_perf_document(std::string_view text);
+
+/// Re-executes @p spec's grid in memory — no store, no sidecar —
+/// repeatedly until at least @p min_host_seconds of host time has
+/// accumulated (always at least one full pass), and folds every pass
+/// duration-weighted into one summary. Short grids finish in
+/// microseconds, where a single pass is all timer noise; the repeat
+/// loop buys a stable Minstr/s at a caller-chosen cost. @p progress
+/// sees (completed, grid size) per pass, like run_campaign.
+[[nodiscard]] PerfSummary measure_perf(const CampaignSpec& spec,
+                                       unsigned jobs,
+                                       double min_host_seconds,
+                                       const Progress& progress = {});
+
+/// One config's baseline-vs-candidate throughput pairing.
+struct PerfGateEntry {
+  std::string config;
+  double baseline_minstr_per_sec = 0.0;
+  double candidate_minstr_per_sec = 0.0;
+  /// (candidate - baseline) / baseline, in percent; negative = slower.
+  double delta_pct = 0.0;
+  bool regressed = false;
+};
+
+/// The perf gate's verdict: per-config pairings plus the total row.
+/// A config regresses when its candidate throughput falls more than
+/// @p slack_pct below baseline. Unpaired configs (present on one side
+/// only) never regress — they are surfaced for the caller to judge.
+struct PerfGateResult {
+  PerfGateEntry total;
+  std::vector<PerfGateEntry> configs;  ///< paired, config-name order
+  std::vector<std::string> baseline_only;
+  std::vector<std::string> candidate_only;
+  std::size_t regressions = 0;  ///< regressed paired configs (incl. total)
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+[[nodiscard]] PerfGateResult gate_perf(const PerfSummary& baseline,
+                                       const PerfSummary& candidate,
+                                       double slack_pct);
 
 }  // namespace prestage::campaign

@@ -62,6 +62,7 @@ cpu::MachineConfig RunPoint::machine_config() const {
   cfg.benchmark = benchmark;
   cfg.max_instructions = instructions;
   cfg.seed = seed;
+  cfg.enable_cycle_skip = cycle_skip;
   return cfg;
 }
 
@@ -94,7 +95,8 @@ std::vector<RunPoint> expand(const CampaignSpec& spec) {
                                     .benchmark = bench,
                                     .instructions = instrs,
                                     .seed = spec.seed,
-                                    .sampling = sampling});
+                                    .sampling = sampling,
+                                    .cycle_skip = spec.cycle_skip});
         }
       }
     }

@@ -41,16 +41,20 @@ void print_usage(std::ostream& out) {
          "         (optionally saved as a PSCK checkpoint with --out), or\n"
          "         run one sampled point and reconstruct whole-run\n"
          "         statistics with an error bar\n"
-         "  campaign  run | resume | status | compare | report | perf —\n"
-         "         execute a declarative figure grid against a resumable\n"
-         "         JSONL store (`prestage list` names the campaigns), "
-         "check\n"
-         "         its coverage, diff two stores for IPC regressions, "
-         "emit\n"
-         "         the BENCH_<name>.json figure report, or emit the\n"
-         "         BENCH_perf.json host-throughput report from the "
-         "store's\n"
-         "         .perf sidecar\n"
+         "  campaign  run | resume | status | compare | report | perf |\n"
+         "         perf compare — execute a declarative figure grid "
+         "against\n"
+         "         a resumable JSONL store (`prestage list` names the\n"
+         "         campaigns), check its coverage, diff two stores for "
+         "IPC\n"
+         "         regressions, emit the BENCH_<name>.json figure "
+         "report,\n"
+         "         emit the BENCH_perf.json host-throughput report (from\n"
+         "         the store's .perf sidecar, or measured fresh with\n"
+         "         --min-host-seconds), or gate host throughput against "
+         "a\n"
+         "         committed BENCH_perf.json baseline (exit 3 on "
+         "regression)\n"
          "\n"
          "flags:\n"
          "  --preset SPEC   machine composition: a named preset\n"
@@ -102,6 +106,17 @@ void print_usage(std::ostream& out) {
          "(default 2)\n"
          "  --out PATH      report: output file (default "
          "BENCH_<name>.json)\n"
+         "  --min-host-seconds S\n"
+         "                  perf / perf compare: measure the grid fresh "
+         "(in\n"
+         "                  memory, repeated passes) until S host-seconds\n"
+         "                  accumulate (perf compare default: 1)\n"
+         "  --slack PCT     perf compare: allowed Minstr/s drop before a\n"
+         "                  config counts as regressed (default 20)\n"
+         "  --no-cycle-skip perf / perf compare: measure with event-"
+         "horizon\n"
+         "                  cycle skipping disabled (timing-neutral A/B "
+         "lever)\n"
          "  --help          this message\n";
 }
 
@@ -202,7 +217,11 @@ int main(int argc, char** argv) {
       print_usage(std::cout);
       return 0;
     }
-    const ParseResult parsed = parse_options(argc, argv, 3);
+    // `campaign perf compare` is the one two-word subcommand: the gate
+    // variant of `perf`, so its flags start one word later.
+    const bool perf_compare =
+        sub == "perf" && argc > 3 && std::string_view(argv[3]) == "compare";
+    const ParseResult parsed = parse_options(argc, argv, perf_compare ? 4 : 3);
     if (parsed.help) {
       print_usage(std::cout);
       return 0;
@@ -218,6 +237,7 @@ int main(int argc, char** argv) {
       if (sub == "status") return cmd_campaign_status(parsed.options);
       if (sub == "compare") return cmd_campaign_compare(parsed.options);
       if (sub == "report") return cmd_campaign_report(parsed.options);
+      if (perf_compare) return cmd_campaign_perf_compare(parsed.options);
       if (sub == "perf") return cmd_campaign_perf(parsed.options);
     } catch (const std::exception& e) {
       std::cerr << "prestage: " << e.what() << "\n";

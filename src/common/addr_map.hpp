@@ -57,6 +57,16 @@ class AddrMap {
     ++size_;
   }
 
+  /// Pointer to the mapped value, inserting @p value first when @p key is
+  /// absent (the unordered_map operator[] idiom; stable only until the
+  /// next insert).
+  [[nodiscard]] std::uint32_t* find_or_insert(Addr key,
+                                              std::uint32_t value) {
+    if (std::uint32_t* v = find(key)) return v;
+    insert(key, value);
+    return find(key);
+  }
+
   /// Removes @p key. Precondition: present. Backward-shift deletion keeps
   /// every remaining probe chain intact without tombstones.
   void erase(Addr key) {

@@ -44,7 +44,8 @@ void ClgpPrestager::tick(Cycle now) {
 
   std::uint32_t examined = 0;
   bool issued_transfer = false;
-  for (std::size_t i = 0; i < cltq_.lines_held(); ++i) {
+  for (std::size_t i = cltq_.first_unprefetched(); i < cltq_.lines_held();
+       ++i) {
     if (examined >= config_.scan_per_cycle) return;
     if (cltq_.is_prefetched(i)) continue;
     const frontend::LineView& v = cltq_.line_at(i);
@@ -105,6 +106,49 @@ void ClgpPrestager::tick(Cycle now) {
     issued_transfer = true;
     cltq_.mark_prefetched(i);
   }
+}
+
+IdlePlan ClgpPrestager::idle_plan(Cycle now) {
+  IdlePlan plan;
+  const auto consider = [&plan, now](Cycle at) {
+    const Cycle c = now > at ? now : at;
+    if (c < plan.next_event) plan.next_event = c;
+  };
+  // Settle: known-time L1->PB transfers become visible at `ready`.
+  consider(buffer_.next_settle_cycle());
+  if (plan.next_event <= now) return plan;  // a settle fires this cycle
+
+  // Classify the scan by its first unprefetched CLTQ line, mirroring
+  // tick(): staged / filtered lines mark the entry (work), a busy L1
+  // port or a fully pinned buffer freezes the scan, a feasible
+  // allocation issues a transfer (work).
+  for (std::size_t i = cltq_.first_unprefetched(); i < cltq_.lines_held();
+       ++i) {
+    if (cltq_.is_prefetched(i)) continue;
+    const frontend::LineView& v = cltq_.line_at(i);
+    if (buffer_.find(v.line) != nullptr) {
+      plan.next_event = now;
+      return plan;
+    }
+    if (config_.filter_resident &&
+        (caches_.probe_l0(v.line) ||
+         (!caches_.has_l0() && caches_.probe_l1(v.line)))) {
+      plan.next_event = now;
+      return plan;
+    }
+    if (caches_.probe_l1(v.line) &&
+        !caches_.prefetch_port().can_accept(now)) {
+      consider(caches_.prefetch_port().next_free());
+      return plan;  // port drains on its own; tick counts nothing here
+    }
+    if (!buffer_.can_allocate()) {
+      plan.per_cycle = &pb_occupancy_stalls;
+      return plan;  // a fetch consume or recovery unpins an entry
+    }
+    plan.next_event = now;  // would issue a transfer
+    return plan;
+  }
+  return plan;  // nothing to scan; only a settle (if any) is due
 }
 
 void ClgpPrestager::on_recovery(Cycle now) {

@@ -67,6 +67,28 @@ class PrestageBuffer {
   [[nodiscard]] std::uint32_t valid_entries() const;
   [[nodiscard]] std::uint32_t pinned_entries() const;  ///< consumers > 0
 
+  /// Would allocate() succeed right now? Mirrors its victim search
+  /// without mutating LRU state (event-horizon planning).
+  [[nodiscard]] bool can_allocate() const {
+    for (const Entry& e : entries_) {
+      if (!e.allocated || e.consumers == 0) return true;
+    }
+    return false;
+  }
+
+  /// Earliest settle(now) that would flip a valid bit: the min ready
+  /// over allocated, not-yet-valid entries with a known transfer time.
+  /// kNoCycle when only fill callbacks can change buffer state.
+  [[nodiscard]] Cycle next_settle_cycle() const {
+    Cycle next = kNoCycle;
+    for (const Entry& e : entries_) {
+      if (e.allocated && !e.valid && e.ready != kNoCycle && e.ready < next) {
+        next = e.ready;
+      }
+    }
+    return next;
+  }
+
   /// Direct entry access for tests and diagnostics.
   [[nodiscard]] const std::vector<Entry>& entries() const {
     return entries_;

@@ -1,5 +1,7 @@
 #include "cpu/backend.hpp"
 
+#include <algorithm>
+
 #include "common/prestage_assert.hpp"
 #include "frontend/fetch_types.hpp"
 
@@ -21,24 +23,23 @@ void Backend::accept(const frontend::FetchedInst& inst) {
 }
 
 bool Backend::recovery_due(Cycle now) const {
-  for (const Slot& s : ruu_) {
-    if (s.f.culprit && !s.recovery_handled) {
-      return s.done != kNoCycle && s.done <= now;
-    }
-  }
-  return false;
+  if (culprits_.empty()) return false;
+  const Slot& s = *culprits_.front();
+  return s.done != kNoCycle && s.done <= now;
 }
 
 void Backend::squash_younger_than_culprit() {
-  std::uint64_t culprit_order = 0;
-  for (Slot& s : ruu_) {
-    if (s.f.culprit && !s.recovery_handled) {
-      culprit_order = s.order;
-      s.recovery_handled = true;
-      break;
-    }
+  PRESTAGE_ASSERT(!culprits_.empty(), "squash without a resolved culprit");
+  Slot& culprit = *culprits_.front();
+  const std::uint64_t culprit_order = culprit.order;
+  culprit.recovery_handled = true;
+  culprits_.pop_front();
+  while (!culprits_.empty() && culprits_.back()->order > culprit_order) {
+    culprits_.pop_back();
   }
-  PRESTAGE_ASSERT(culprit_order != 0, "squash without a resolved culprit");
+  while (!unissued_.empty() && unissued_.back()->order > culprit_order) {
+    unissued_.pop_back();
+  }
   while (!ruu_.empty() && ruu_.back().order > culprit_order) {
     ruu_.pop_back();
   }
@@ -98,18 +99,29 @@ void Backend::issue_one(Slot& s, Cycle now, std::uint32_t& loads_this_cycle) {
 }
 
 void Backend::tick_issue(Cycle now) {
+  // Walks only the unissued slots (program order), compacting issued
+  // ones out of the index in the same pass — same selection the full
+  // RUU scan made, without re-visiting issued slots every cycle.
   std::uint32_t issued = 0;
   std::uint32_t loads = 0;
-  for (Slot& s : ruu_) {
-    if (issued >= cfg_.width) break;
-    if (s.issued) continue;
-    if (!reg_ready(s.src1, now) || !reg_ready(s.src2, now)) continue;
-    if (s.op == OpClass::Load && loads >= cfg_.l1d_ports) continue;
+  std::size_t keep = 0;
+  std::size_t i = 0;
+  for (; i < unissued_.size() && issued < cfg_.width; ++i) {
+    Slot& s = *unissued_[i];
+    if (!reg_ready(s.src1, now) || !reg_ready(s.src2, now) ||
+        (s.op == OpClass::Load && loads >= cfg_.l1d_ports)) {
+      unissued_[keep++] = unissued_[i];
+      continue;
+    }
     issue_one(s, now, loads);
     ++issued;
     if (s.done != kNoCycle && s.dst != kNoReg && !s.f.wrong_path) {
       reg_ready_[s.dst] = s.done;
     }
+  }
+  if (keep != i) {
+    for (; i < unissued_.size(); ++i) unissued_[keep++] = unissued_[i];
+    unissued_.resize(keep);
   }
 }
 
@@ -132,6 +144,65 @@ void Backend::tick_commit(Cycle now) {
     oracle_.release_below(head.f.oracle_seq);
     ruu_.pop_front();
     ++retired;
+  }
+}
+
+Cycle Backend::next_event_cycle(Cycle now) const {
+  // `now` is the floor every candidate clamps to, so the first candidate
+  // that lands on it ends the search — on the busy path (the cycle
+  // skip's most common probe outcome) this returns after one or two
+  // comparisons instead of scanning the RUU.
+  Cycle next = kNoCycle;
+  const auto consider = [&next, now](Cycle at) {
+    const Cycle c = std::max(now, at);
+    if (c < next) next = c;
+  };
+  // Commit: the head retires when its completion time arrives. An
+  // outstanding load head (done == kNoCycle) is woken by a MemSystem
+  // completion, which that unit's horizon covers.
+  if (!ruu_.empty()) {
+    const Slot& head = ruu_.front();
+    if (head.issued && head.done != kNoCycle) {
+      if (head.done <= now) return now;
+      consider(head.done);
+    }
+  }
+  // Recovery: the first unhandled culprit triggers it when it completes
+  // (recovery_due looks only at that slot).
+  if (!culprits_.empty()) {
+    const Slot& s = *culprits_.front();
+    if (s.done != kNoCycle) {
+      if (s.done <= now) return now;
+      consider(s.done);
+    }
+  }
+  // Issue: the first cycle any unissued slot has both sources ready
+  // (same scoreboard read tick_issue performs).
+  for (const Slot* sp : unissued_) {
+    const Slot& s = *sp;
+    Cycle ready = 0;
+    if (s.src1 != kNoReg && reg_ready_[s.src1] > ready) {
+      ready = reg_ready_[s.src1];
+    }
+    if (s.src2 != kNoReg && reg_ready_[s.src2] > ready) {
+      ready = reg_ready_[s.src2];
+    }
+    if (ready <= now) return now;
+    consider(ready);
+  }
+  // Dispatch: the decode front matures at its decode-latency age. With
+  // a full RUU dispatch is frozen until commit retires (covered above).
+  if (!decode_.empty() && ruu_.size() < cfg_.ruu_size) {
+    if (decode_.front().ready_at <= now) return now;
+    consider(decode_.front().ready_at);
+  }
+  return next;
+}
+
+void Backend::fold_idle(std::uint64_t n) {
+  ruu_occupancy.sample_n(static_cast<double>(ruu_.size()), n);
+  if (!decode_.empty() && ruu_.size() >= cfg_.ruu_size) {
+    ruu_full_stalls.add(n);
   }
 }
 
@@ -172,6 +243,8 @@ void Backend::tick_dispatch(Cycle now) {
       s.data_addr = d.data_addr;
     }
     ruu_.push_back(s);
+    unissued_.push_back(&ruu_.back());
+    if (s.f.culprit) culprits_.push_back(&ruu_.back());
     (void)decode_.pop();
     ++dispatched;
   }

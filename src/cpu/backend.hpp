@@ -49,6 +49,23 @@ class Backend final : public frontend::IFetchSink {
   void tick_issue(Cycle now);
   void tick_dispatch(Cycle now);
 
+  // --- event-horizon planning (cpu/cpu.cpp fast-forward) ----------------
+
+  /// Earliest cycle >= @p now at which any back-end stage would change
+  /// state: a commit/recovery completion maturing, an unissued slot's
+  /// sources becoming ready, or the decode front reaching dispatch age.
+  /// Excludes outstanding-load wakeups (those ride the MemSystem
+  /// horizon). <= @p now means the back-end has work this cycle;
+  /// kNoCycle means only an external event can wake it.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+  /// Applies the per-cycle bookkeeping of @p n skipped idle cycles:
+  /// the RUU occupancy sample every tick_dispatch takes, and the
+  /// RUU-full stall count when the decode pipe is blocked on a full
+  /// RUU. Must mirror tick_dispatch's frozen-state behavior exactly —
+  /// golden pins byte-compare these counters.
+  void fold_idle(std::uint64_t n);
+
   [[nodiscard]] std::uint64_t committed() const noexcept {
     return committed_;
   }
@@ -98,6 +115,13 @@ class Backend final : public frontend::IFetchSink {
 
   RingBuffer<Staged> decode_;
   std::deque<Slot> ruu_;
+  // Hot-path indices over ruu_, in program order. Raw pointers are safe:
+  // std::deque never moves surviving elements on push_back/pop_front/
+  // pop_back, commit only pops issued slots (never in unissued_, and an
+  // unhandled culprit cannot reach commit — recovery fires first), and
+  // squash prunes both lists alongside the slots it pops.
+  std::vector<Slot*> unissued_;  ///< dispatch order; tick_issue's scan set
+  std::deque<Slot*> culprits_;   ///< unhandled culprits, oldest first
   Cycle reg_ready_[kNumRegs] = {};
   std::uint64_t next_order_ = 1;
   std::uint64_t committed_ = 0;

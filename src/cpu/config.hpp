@@ -59,6 +59,15 @@ struct MachineConfig {
   std::uint32_t decode_stages = 8;  ///< fetch->dispatch depth (15 total)
   std::uint32_t line_bytes = 64;
 
+  // --- host-performance knobs (timing-neutral) ----------------------------
+  /// Event-horizon cycle skipping: when every unit reports its next state
+  /// change lies strictly in the future, run() advances the clock to the
+  /// earliest such event in one step, folding the skipped span into the
+  /// per-cycle counters. Pure host-side optimisation — every statistic,
+  /// golden pin, and store byte is identical with it off (tests force
+  /// both settings). Exposed as a knob for those equivalence tests.
+  bool enable_cycle_skip = true;
+
   // --- data side (Table 2, held fixed across the study) -------------------
   std::uint64_t l1d_size = 32768;
   std::uint32_t l1d_assoc = 2;

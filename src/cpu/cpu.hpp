@@ -70,6 +70,10 @@ struct RunResult {
   double host_seconds = 0.0;
   /// Millions of simulated instructions committed per host second.
   double minstr_per_sec = 0.0;
+  /// Cycles the event-horizon skip advanced in bulk (whole run, warmup
+  /// included). Host diagnostics like the two fields above: the skip is
+  /// timing-neutral, so this is about where host time went, not timing.
+  Cycle cycles_skipped = 0;
 };
 
 class Cpu {
@@ -99,6 +103,11 @@ class Cpu {
   }
 
   [[nodiscard]] Cycle cycle() const noexcept { return cycle_; }
+  /// Cycles advanced in bulk by the event-horizon skip (diagnostics;
+  /// zero when cfg.enable_cycle_skip is false or no span ever froze).
+  [[nodiscard]] Cycle cycles_skipped() const noexcept {
+    return cycles_skipped_;
+  }
   [[nodiscard]] const Backend& backend() const { return *backend_; }
   [[nodiscard]] const prefetch::IPrefetcher& prefetcher() const {
     return *prefetcher_;
@@ -117,6 +126,15 @@ class Cpu {
   void do_recovery(Cycle now);
   void snapshot_warmup_baseline();
 
+  /// Event-horizon fast-forward: when every unit's next state change lies
+  /// strictly past `cycle_`, advances the clock to the earliest such
+  /// event (clamped to @p cycle_cap) in one step, folding the skipped
+  /// span into the per-cycle counters. Returns true when cycles were
+  /// skipped; the caller re-enters the run loop so the wedge assert and
+  /// warmup bookkeeping see every intermediate state they would have
+  /// seen cycle by cycle.
+  bool try_skip(Cycle cycle_cap);
+
   MachineConfig cfg_;
   DerivedTimings timings_;
   workload::Program program_;
@@ -133,6 +151,7 @@ class Cpu {
   std::unique_ptr<FrontendDriver> driver_;
 
   Cycle cycle_ = 0;
+  Cycle cycles_skipped_ = 0;
   bool warmup_done_ = false;
   Cycle warmup_cycle_ = 0;
   std::uint64_t warmup_instrs_ = 0;

@@ -44,6 +44,15 @@ class FrontendDriver {
 
   [[nodiscard]] bool on_wrong_path() const noexcept { return wrong_path_; }
 
+  /// Would tick() change state this cycle? True while a redirect bubble
+  /// is draining (the counter decrements every tick) or the queue has
+  /// room for a prediction. False only when the queue is full — the
+  /// fetch engine consuming a line is what unblocks the driver, and the
+  /// fetch horizon covers that (cpu/cpu.cpp event-horizon skip).
+  [[nodiscard]] bool has_work() const {
+    return redirect_stall_ > 0 || queue_.can_accept_block();
+  }
+
   // --- statistics -------------------------------------------------------
   Counter blocks_predicted;
   Counter stream_mispredictions;  ///< divergences (length/target)

@@ -183,6 +183,104 @@ void FetchEngine::tick(Cycle now, IFetchSink& sink) {
   initiate(now);
 }
 
+IdlePlan FetchEngine::idle_plan(Cycle now, const IFetchSink& sink) {
+  IdlePlan plan;
+  const auto consider = [&plan, now](Cycle at) {
+    const Cycle c = std::max(now, at);
+    if (c < plan.next_event) plan.next_event = c;
+  };
+
+  // deliver(): an active line buffer with an accepting sink delivers
+  // instructions this cycle; a full sink freezes delivery (the back-end
+  // horizon owns the unblock). An inactive buffer promotes the pending
+  // head when its data arrives — a self-timed event when the arrival
+  // time is known (demand fills ride the MemSystem horizon instead).
+  if (line_buffer_.active) {
+    if (sink.can_accept()) {
+      plan.next_event = now;
+      return plan;
+    }
+  } else if (!pending_.empty()) {
+    const Pending& head = pending_.front();
+    if (head.ready != kNoCycle) {
+      consider(head.ready);
+      if (plan.next_event <= now) return plan;
+    }
+  }
+
+  // initiate(): replays the tick's classification on frozen state. Each
+  // early-out below is a state that adds exactly one stall count per
+  // cycle; the issuing branches mean work this cycle.
+  if (pending_.full()) {
+    plan.per_cycle = &stall_cycles_structural;
+    return plan;
+  }
+  const auto view = queue_.peek_line();
+  if (!view.has_value()) {
+    plan.per_cycle = &stall_cycles_no_request;
+    return plan;
+  }
+  const Addr line = view->line;
+
+  bool pending_all_streaming = true;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    pending_all_streaming = pending_all_streaming && pending_.at(i).streaming;
+  }
+
+  const prefetch::PreBufferProbe pb = prefetcher_.probe(line);
+  if (pb.present) {
+    if (pb.data_ready == kNoCycle) {
+      plan.per_cycle = &stall_cycles_structural;  // fill callback wakes
+      return plan;
+    }
+    mem::LatencyPort* port = prefetcher_.pb_port();
+    PRESTAGE_ASSERT(port != nullptr, "pre-buffer probe without a port");
+    const bool streaming =
+        port->pipelined() || prefetcher_.pb_latency() == 1;
+    if (!pending_all_streaming ||
+        (!streaming && (!pending_.empty() || line_buffer_.active))) {
+      plan.per_cycle = &stall_cycles_structural;  // engine drain unblocks
+      return plan;
+    }
+    if (!port->can_accept(now)) {
+      plan.per_cycle = &stall_cycles_structural;
+      consider(port->next_free());
+      return plan;
+    }
+    plan.next_event = now;  // would issue from the pre-buffer
+    return plan;
+  }
+  if (caches_.probe_l0(line)) {
+    if (!pending_all_streaming) {
+      plan.per_cycle = &stall_cycles_structural;
+      return plan;
+    }
+    plan.next_event = now;
+    return plan;
+  }
+  if (caches_.probe_l1(line)) {
+    const bool streaming = caches_.l1_port().pipelined();
+    if (!pending_all_streaming ||
+        (!streaming && (!pending_.empty() || line_buffer_.active))) {
+      plan.per_cycle = &stall_cycles_structural;
+      return plan;
+    }
+    if (!caches_.l1_port().can_accept(now)) {
+      plan.per_cycle = &stall_cycles_structural;
+      consider(caches_.l1_port().next_free());
+      return plan;
+    }
+    plan.next_event = now;
+    return plan;
+  }
+  if (!pending_all_streaming || !pending_.empty() || line_buffer_.active) {
+    plan.per_cycle = &stall_cycles_structural;
+    return plan;
+  }
+  plan.next_event = now;  // would submit the demand miss
+  return plan;
+}
+
 void FetchEngine::flush() {
   line_buffer_.active = false;
   pending_.clear();

@@ -44,6 +44,16 @@ class FetchEngine {
   /// Squashes the line buffer and all in-flight line fetches (recovery).
   void flush();
 
+  /// Event-horizon forecast at cycle @p now (cpu/cpu.cpp fast-forward):
+  /// mirrors deliver()/initiate()'s classification without mutating any
+  /// state. Work this cycle (a delivery, promotion or issue) reports
+  /// next_event <= now; a frozen stall names the counter that tick()
+  /// would increment every cycle, plus the self-timed wakeup (pending
+  /// head arrival, blocking-port drain) when one exists. Wakeups owned
+  /// by other units (MemSystem fills, back-end drain) are deliberately
+  /// excluded — their horizons cover those.
+  [[nodiscard]] IdlePlan idle_plan(Cycle now, const IFetchSink& sink);
+
   [[nodiscard]] bool idle() const {
     return !line_buffer_.active && pending_.empty();
   }

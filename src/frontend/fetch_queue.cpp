@@ -1,5 +1,7 @@
 #include "frontend/fetch_queue.hpp"
 
+#include <bit>
+
 #include "common/prestage_assert.hpp"
 
 namespace prestage::frontend {
@@ -11,7 +13,11 @@ std::uint32_t lines_in_block(const FetchBlock& block,
   const Addr last = line_align(
       block.start + (static_cast<Addr>(block.length) - 1) * kInstrBytes,
       line_bytes);
-  return static_cast<std::uint32_t>((last - first) / line_bytes) + 1;
+  // Line sizes are powers of two (cache geometry precondition), so the
+  // span divides by shift — this runs on every FTQ peek/consume.
+  return static_cast<std::uint32_t>((last - first) >>
+                                    std::countr_zero(line_bytes)) +
+         1;
 }
 
 std::optional<LineView> line_of_block(const FetchBlock& block,
@@ -64,6 +70,7 @@ void FetchTargetQueue::consume_line() {
   if (e.fetch_line >= lines_in_block(e.block, line_bytes_)) {
     (void)entries_.pop();
   }
+  head_view_valid_ = false;
 }
 
 CacheLineTargetQueue::CacheLineTargetQueue(std::uint32_t max_blocks,
@@ -93,11 +100,13 @@ void CacheLineTargetQueue::consume_line() {
     PRESTAGE_ASSERT(blocks_held_ > 0);
     --blocks_held_;
   }
+  if (scan_start_ > 0) --scan_start_;
 }
 
 void CacheLineTargetQueue::flush() {
   lines_.clear();
   blocks_held_ = 0;
+  scan_start_ = 0;
 }
 
 }  // namespace prestage::frontend

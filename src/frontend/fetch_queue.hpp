@@ -65,16 +65,27 @@ class FetchTargetQueue final : public IFetchQueue {
   }
   void push_block(const FetchBlock& block) override {
     entries_.push(Entry{block, 0, 0});
+    head_view_valid_ = false;
   }
 
   [[nodiscard]] std::optional<LineView> peek_line() const override {
     if (entries_.empty()) return std::nullopt;
-    const Entry& e = entries_.at(0);
-    return line_of_block(e.block, line_bytes_, e.fetch_line);
+    // The head view is peeked by the fetch engine's tick *and* its idle
+    // plan every cycle; recomputing the split only when the head entry
+    // or its cursor moves keeps the common re-peek at a cached copy.
+    if (!head_view_valid_) {
+      const Entry& e = entries_.at(0);
+      head_view_ = line_of_block(e.block, line_bytes_, e.fetch_line);
+      head_view_valid_ = true;
+    }
+    return head_view_;
   }
   void consume_line() override;
 
-  void flush() override { entries_.clear(); }
+  void flush() override {
+    entries_.clear();
+    head_view_valid_ = false;
+  }
   [[nodiscard]] bool empty() const override { return entries_.empty(); }
   [[nodiscard]] std::uint32_t blocks_held() const override {
     return static_cast<std::uint32_t>(entries_.size());
@@ -91,6 +102,8 @@ class FetchTargetQueue final : public IFetchQueue {
  private:
   RingBuffer<Entry> entries_;
   std::uint32_t line_bytes_;
+  mutable std::optional<LineView> head_view_;  ///< cached peek_line()
+  mutable bool head_view_valid_ = false;
 };
 
 class CacheLineTargetQueue final : public IFetchQueue {
@@ -121,6 +134,18 @@ class CacheLineTargetQueue final : public IFetchQueue {
   // --- CLGP scan interface (paper §3.2.3) ---
   /// Number of line entries currently queued.
   [[nodiscard]] std::size_t lines_held() const { return lines_.size(); }
+  /// Index of the first entry the scan has not yet processed. The scan
+  /// marks entries strictly front-to-back, so the prefetched bits form a
+  /// prefix; the cached cursor only ever advances (and backs up by one
+  /// per consumed line), making the every-cycle scan start amortised
+  /// O(1) instead of re-walking the marked prefix.
+  [[nodiscard]] std::size_t first_unprefetched() const {
+    while (scan_start_ < lines_.size() &&
+           lines_.at(scan_start_).view.prefetched) {
+      ++scan_start_;
+    }
+    return scan_start_;
+  }
   /// True if entry @p i has already been processed by the CLGP scan.
   [[nodiscard]] bool is_prefetched(std::size_t i) const {
     return lines_.at(i).view.prefetched;
@@ -146,6 +171,7 @@ class CacheLineTargetQueue final : public IFetchQueue {
   std::uint32_t max_blocks_;
   std::uint32_t line_bytes_;
   std::uint32_t blocks_held_ = 0;
+  mutable std::size_t scan_start_ = 0;  ///< first_unprefetched() cursor
 };
 
 }  // namespace prestage::frontend

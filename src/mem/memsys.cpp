@@ -194,6 +194,16 @@ void MemSystem::deliver_completions(Cycle now) {
   }
 }
 
+Cycle MemSystem::next_event_cycle(Cycle now) const noexcept {
+  Cycle next = kNoCycle;
+  if (!ready_heap_.empty()) next = ready_heap_.front().ready;
+  if (pending_count_ > 0) {
+    // A queued request is granted the first cycle the bus is free.
+    next = std::min(next, std::max(now, bus_free_at_));
+  }
+  return next;
+}
+
 void MemSystem::tick(Cycle now) {
   // Idle early-out: nothing pending, nothing in service (the ready
   // heap holds exactly one entry per in-service transaction) — the

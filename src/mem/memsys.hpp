@@ -83,6 +83,15 @@ class MemSystem {
   /// True if a fill for @p addr's line is pending or in flight.
   [[nodiscard]] bool in_flight(Addr addr) const;
 
+  /// Earliest cycle >= @p now at which tick() would change any state:
+  /// the front of the completion heap (min over in-service fills) or
+  /// the next bus grant (as soon as the bus frees with a request still
+  /// queued). kNoCycle when nothing is pending or in service — only a
+  /// new submit() can wake the subsystem. A result <= @p now means
+  /// "work this cycle"; the event-horizon skip in Cpu::run must not
+  /// fast-forward past the returned cycle.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const noexcept;
+
   /// Direct access to the L2 tag array (tests, warm-up).
   [[nodiscard]] SetAssocCache& l2() noexcept { return l2_; }
   [[nodiscard]] const SetAssocCache& l2() const noexcept { return l2_; }

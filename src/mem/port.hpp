@@ -29,6 +29,14 @@ class LatencyPort {
     return busy_until_ == kNoCycle || now >= busy_until_;
   }
 
+  /// Earliest cycle at which can_accept() holds: pipelined ports free up
+  /// the cycle after their last issue, blocking ports when the access
+  /// completes. Feeds the event-horizon computation (cpu/cpu.cpp).
+  [[nodiscard]] Cycle next_free() const noexcept {
+    if (pipelined_) return last_issue_ == kNoCycle ? 0 : last_issue_ + 1;
+    return busy_until_ == kNoCycle ? 0 : busy_until_;
+  }
+
   /// Starts an access at @p now; returns the cycle its result is available.
   Cycle issue(Cycle now) {
     PRESTAGE_ASSERT(can_accept(now), "issue on busy port");

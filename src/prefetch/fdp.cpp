@@ -147,6 +147,58 @@ void FdpPrefetcher::tick(Cycle now) {
   }
 }
 
+IdlePlan FdpPrefetcher::idle_plan(Cycle now) {
+  IdlePlan plan;
+  const auto consider = [&plan, now](Cycle at) {
+    const Cycle c = now > at ? now : at;
+    if (c < plan.next_event) plan.next_event = c;
+  };
+  // Settle loop: known-time L1->PB transfers become visible at `ready`.
+  for (const Entry& e : entries_) {
+    if (e.allocated && !e.valid && e.ready != kNoCycle) consider(e.ready);
+  }
+  if (plan.next_event <= now) return plan;  // a settle fires this cycle
+
+  // The scan's frozen state is classified by its first unscanned line:
+  // a filtered / already-staged line advances the cursor (work), a
+  // missing buffer entry freezes the scan with one stall count per
+  // cycle, a feasible allocation issues a transfer (work).
+  for (std::size_t b = 0; b < ftq_.size(); ++b) {
+    const auto& entry = ftq_.entry(b);
+    const auto view = frontend::line_of_block(entry.block,
+                                              ftq_.line_bytes(),
+                                              entry.prefetch_line);
+    if (!view.has_value()) continue;  // block fully scanned
+    const Addr line = view->line;
+    const bool one_cycle_resident = caches_.has_l0()
+                                        ? caches_.probe_l0(line)
+                                        : caches_.probe_l1(line);
+    if (one_cycle_resident || find(line) != nullptr) {
+      plan.next_event = now;
+      return plan;
+    }
+    bool can_allocate = false;
+    for (const Entry& e : entries_) {
+      if (!e.allocated || e.valid) {
+        can_allocate = true;
+        break;
+      }
+    }
+    if (!can_allocate) {
+      plan.per_cycle = &pb_occupancy_stalls;
+      return plan;  // a settle (above) or a consume/fill unblocks
+    }
+    if (caches_.has_l0() && caches_.probe_l1(line) &&
+        !caches_.prefetch_port().can_accept(now)) {
+      consider(caches_.prefetch_port().next_free());
+      return plan;  // port drains on its own; no counter in this state
+    }
+    plan.next_event = now;  // would issue a transfer
+    return plan;
+  }
+  return plan;  // nothing to scan; only a settle (if any) is due
+}
+
 void FdpPrefetcher::on_recovery(Cycle now) {
   // The FTQ (and its scan cursors) is flushed by the CPU; prefetched
   // lines stay in the buffer — the paper keeps wrong-path prefetches as

@@ -50,6 +50,7 @@ class FdpPrefetcher final : public IPrefetcher {
   [[nodiscard]] mem::LatencyPort* pb_port() override { return &port_; }
   void on_fetch_from_pb(Addr line, Cycle now) override;
   void tick(Cycle now) override;
+  [[nodiscard]] IdlePlan idle_plan(Cycle now) override;
   void on_recovery(Cycle now) override;
   [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
     return sources_;

@@ -69,6 +69,11 @@ class ManaPrefetcher final : public IPrefetcher {
   void on_fetch_from_pb(Addr line, Cycle now) override;
   void on_line_request(Addr line, Cycle now) override;
   void tick(Cycle /*now*/) override {}
+  [[nodiscard]] IdlePlan idle_plan(Cycle) override {
+    // All work happens in on_line_request (fetch is busy then); fills
+    // arrive through MemSystem callbacks or fetch-side probes.
+    return {kNoCycle, nullptr};
+  }
   void on_recovery(Cycle now) override;
   [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
     return sources_;

@@ -46,6 +46,18 @@ class IPrefetcher {
   /// One cycle of prefetch work: scan the queue, issue prefetches.
   virtual void tick(Cycle now) = 0;
 
+  /// Event-horizon forecast (cpu/cpu.cpp fast-forward): mirrors what
+  /// tick(now) would do on frozen state, without doing it. The default
+  /// claims work every cycle — always correct, never skippable — so a
+  /// new scheme is conservative until it opts in. Overrides must report
+  /// next_event <= now whenever tick would mutate state, name the stall
+  /// counter tick bumps once per frozen cycle, and include every
+  /// self-timed wakeup (pre-buffer settle times); wakeups delivered by
+  /// MemSystem callbacks are covered by that unit's horizon.
+  [[nodiscard]] virtual IdlePlan idle_plan(Cycle now) {
+    return {now, nullptr};
+  }
+
   /// Branch misprediction recovery. CLGP resets all consumers counters
   /// (paper §3.2.3); FDP has no pre-buffer bookkeeping to undo.
   virtual void on_recovery(Cycle now) = 0;
@@ -104,6 +116,9 @@ class NonePrefetcher final : public IPrefetcher {
   [[nodiscard]] mem::LatencyPort* pb_port() override { return nullptr; }
   void on_fetch_from_pb(Addr, Cycle) override {}
   void tick(Cycle) override {}
+  [[nodiscard]] IdlePlan idle_plan(Cycle) override {
+    return {kNoCycle, nullptr};  // tick is a no-op: never wakes itself
+  }
   void on_recovery(Cycle) override {}
   [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
     return sources_;

@@ -213,6 +213,23 @@ void ProgramMapPrefetcher::tick(Cycle now) {
   traverse(frontier, now);
 }
 
+IdlePlan ProgramMapPrefetcher::idle_plan(Cycle now) {
+  // tick() mutates state iff an unrecorded block pair sits in the FTQ
+  // or the frontier moved since the last traversal; otherwise it is
+  // pure (entries arrive via callbacks / fetch-side probes) and counts
+  // nothing per cycle.
+  for (std::size_t b = 0; b + 1 < ftq_.size(); ++b) {
+    if (ftq_.entry(b).prefetch_line == 0) return {now, nullptr};
+  }
+  if (ftq_.size() > 0) {
+    const Addr frontier = ftq_.entry(ftq_.size() - 1).block.start;
+    if (frontier != kNoAddr && frontier != last_frontier_) {
+      return {now, nullptr};
+    }
+  }
+  return {kNoCycle, nullptr};
+}
+
 void ProgramMapPrefetcher::on_recovery(Cycle now) {
   (void)now;
   // The walked path was squashed with the FTQ; the map is retired

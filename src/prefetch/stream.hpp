@@ -56,6 +56,11 @@ class StreamPrefetcher final : public IPrefetcher {
   void on_fetch_from_pb(Addr line, Cycle now) override;
   void on_line_request(Addr line, Cycle now) override;
   void tick(Cycle /*now*/) override {}
+  [[nodiscard]] IdlePlan idle_plan(Cycle) override {
+    // All work happens in on_line_request (fetch is busy then); L1-path
+    // entries are valid with a future ready the fetch engine handles.
+    return {kNoCycle, nullptr};
+  }
   void on_recovery(Cycle now) override;
   [[nodiscard]] const SourceBreakdown& prefetch_sources() const override {
     return sources_;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
+#include "common/addr_map.hpp"
 #include "common/prestage_assert.hpp"
 #include "common/rng.hpp"
 
@@ -77,7 +77,7 @@ TraceProfile profile_source(workload::TraceSource& source,
   profile.dim = dim;
 
   SignatureAccumulator acc(dim);
-  std::unordered_set<Addr> seen_blocks;  // counted only, never iterated
+  AddrMap seen_blocks;  // membership + count only, never iterated
 
   // Ring of the most recent instruction lines (consecutive duplicates
   // collapsed) — snapshot at each interval open becomes that interval's
@@ -102,7 +102,9 @@ TraceProfile profile_source(workload::TraceSource& source,
     const workload::StreamChunk chunk = source.next_stream();
     PRESTAGE_ASSERT(!chunk.insts.empty());
     acc.add(chunk.insts.front().pc, chunk.insts.size());
-    seen_blocks.insert(chunk.insts.front().pc);
+    if (!seen_blocks.contains(chunk.insts.front().pc)) {
+      seen_blocks.insert(chunk.insts.front().pc, 0);
+    }
     for (const workload::DynInst& inst : chunk.insts) {
       const Addr line = line_align(inst.pc, kWarmLineBytes);
       if (line != last_line) {

@@ -6,6 +6,27 @@
 
 namespace prestage::workload {
 
+std::size_t TraceSource::fill(DynInst* out, std::size_t n) {
+  std::size_t filled = 0;
+  while (filled < n) {
+    if (fill_carry_pos_ == fill_carry_.size()) {
+      StreamChunk chunk = next_stream();
+      fill_carry_ = std::move(chunk.insts);
+      fill_carry_pos_ = 0;
+      PRESTAGE_ASSERT(!fill_carry_.empty(),
+                      "trace source produced an empty stream");
+    }
+    const std::size_t take =
+        std::min(n - filled, fill_carry_.size() - fill_carry_pos_);
+    std::copy_n(fill_carry_.begin() +
+                    static_cast<std::ptrdiff_t>(fill_carry_pos_),
+                take, out + filled);
+    fill_carry_pos_ += take;
+    filled += take;
+  }
+  return filled;
+}
+
 TraceGenerator::TraceGenerator(const Program& program, std::uint64_t seed)
     : prog_(program),
       rng_(hash_mix(seed ^ 0xabcdef1234567890ULL)),
@@ -19,7 +40,8 @@ bool TraceGenerator::eval_branch(BlockId id, const BasicBlock& b) {
     case BranchBehavior::Biased:
       return rng_.chance(b.bias);
     case BranchBehavior::Periodic: {
-      std::uint32_t& count = latch_counts_[id];
+      std::uint32_t& count =
+          *latch_counts_.find_or_insert(static_cast<Addr>(id), 0);
       ++count;
       if (count >= b.period) {
         count = 0;
@@ -191,6 +213,25 @@ TraceGenerator::StreamChunk TraceGenerator::next_stream() {
       return chunk;
     }
   }
+}
+
+std::size_t TraceGenerator::fill(DynInst* out, std::size_t n) {
+  // The next_stream() loop flattened: stream_len_ persists across calls,
+  // so the region-switch hook and the ends_stream split fire exactly
+  // where the chunked walk would put them.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stream_len_ == 0 && cur_idx_ == 0 &&
+        cur_block_ == prog_.dispatcher_head && prog_.num_regions > 1 &&
+        seq_ > 0) {
+      maybe_switch_region();
+    }
+    DynInst d = step();
+    ++stream_len_;
+    d.ends_stream = d.taken || stream_len_ >= bpred::kMaxStreamInstrs;
+    if (d.ends_stream) stream_len_ = 0;
+    out[i] = d;
+  }
+  return n;
 }
 
 std::vector<Addr> TraceGenerator::call_stack_pcs(std::size_t max_depth) const {

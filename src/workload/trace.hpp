@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "bpred/stream.hpp"
+#include "common/addr_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "workload/program.hpp"
@@ -54,6 +54,17 @@ class TraceSource {
   /// Produces the next actual stream (1..kMaxStreamInstrs instructions).
   [[nodiscard]] virtual StreamChunk next_stream() = 0;
 
+  /// Batched decode: fills out[0..n) with the next n dynamic
+  /// instructions of the flat record stream (stream boundaries are
+  /// carried by DynInst::ends_stream / next_pc, so callers re-segment
+  /// at will). Always returns n — sources are conceptually infinite.
+  /// The default loops next_stream() through a carry buffer and is
+  /// record-for-record identical to calling next_stream() directly;
+  /// sources with a cheaper batch path override it. Mixing fill() and
+  /// next_stream() calls on one source is undefined (the carry buffer
+  /// would be bypassed).
+  [[nodiscard]] virtual std::size_t fill(DynInst* out, std::size_t n);
+
   /// Total instructions emitted so far.
   [[nodiscard]] virtual std::uint64_t instructions() const = 0;
 
@@ -61,6 +72,12 @@ class TraceSource {
   /// repair the speculative RAS at misprediction recovery.
   [[nodiscard]] virtual std::vector<Addr> call_stack_pcs(
       std::size_t max_depth) const = 0;
+
+ private:
+  // Default-fill carry: the tail of the last next_stream() chunk not yet
+  // handed out.
+  std::vector<DynInst> fill_carry_;
+  std::size_t fill_carry_pos_ = 0;
 };
 
 class TraceGenerator final : public TraceSource {
@@ -72,6 +89,10 @@ class TraceGenerator final : public TraceSource {
 
   /// Produces the next actual stream (1..kMaxStreamInstrs instructions).
   [[nodiscard]] StreamChunk next_stream() override;
+
+  /// Native batch path: the next_stream() walk flattened to one record
+  /// per iteration — no chunk vector, no carry copy.
+  [[nodiscard]] std::size_t fill(DynInst* out, std::size_t n) override;
 
   /// Total instructions emitted so far.
   [[nodiscard]] std::uint64_t instructions() const noexcept override {
@@ -111,7 +132,10 @@ class TraceGenerator final : public TraceSource {
   std::uint64_t phase_start_seq_ = 0;
   std::uint64_t phase_budget_ = 0;
   std::vector<BlockId> call_stack_;  ///< continuation blocks
-  std::unordered_map<BlockId, std::uint32_t> latch_counts_;
+  /// Periodic-branch iteration counts, keyed by block id. Open-addressed
+  /// flat table: the lookup sits on the per-branch path of trace
+  /// generation, where unordered_map's node hops dominated the profile.
+  AddrMap latch_counts_;
   std::vector<std::uint64_t> site_cursors_;
 };
 

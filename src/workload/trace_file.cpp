@@ -326,6 +326,35 @@ StreamChunk ReplayTraceSource::next_stream() {
   }
 }
 
+std::size_t ReplayTraceSource::fill(DynInst* out, std::size_t n) {
+  const std::vector<DynInst>& recs = *records_;
+  std::size_t filled = 0;
+  while (filled < n) {
+    if (pos_ == recs.size()) {
+      // Wraps land on stream boundaries: the format guarantees the
+      // final record ends a stream.
+      pos_ = 0;
+      ++wraps_;
+    }
+    const std::size_t take = std::min(n - filled, recs.size() - pos_);
+    std::copy_n(recs.begin() + static_cast<std::ptrdiff_t>(pos_), take,
+                out + filled);
+    for (std::size_t i = 0; i < take; ++i) {
+      DynInst& d = out[filled + i];
+      d.seq = emitted_++;
+      if (d.op == OpClass::Call && d.taken) {
+        call_stack_.push_back(d.pc + kInstrBytes);
+      } else if (d.op == OpClass::Return && d.taken &&
+                 !call_stack_.empty()) {
+        call_stack_.pop_back();
+      }
+    }
+    pos_ += take;
+    filled += take;
+  }
+  return filled;
+}
+
 std::vector<Addr> ReplayTraceSource::call_stack_pcs(
     std::size_t max_depth) const {
   std::vector<Addr> pcs;

@@ -91,6 +91,12 @@ class ReplayTraceSource final : public TraceSource {
       std::shared_ptr<const std::vector<DynInst>> records);
 
   [[nodiscard]] StreamChunk next_stream() override;
+
+  /// Native batch path: bulk-copies record runs (wrapping at the end of
+  /// the vector), renumbering seq and replaying call/return effects on
+  /// the reconstructed stack exactly as next_stream() would.
+  [[nodiscard]] std::size_t fill(DynInst* out, std::size_t n) override;
+
   [[nodiscard]] std::uint64_t instructions() const noexcept override {
     return emitted_;
   }

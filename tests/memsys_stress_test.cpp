@@ -306,6 +306,65 @@ TEST(MemSystemStress, MatchesNaiveReferenceModel) {
   }
 }
 
+TEST(MemSystemStress, HorizonQueriesAreInertAndNeverLate) {
+  // Same randomized schedule as the reference-model test, but with
+  // next_event_cycle() interleaved before every tick. Two contracts:
+  // the query is const (the completion stream still matches the
+  // query-free reference exactly), and it is never late — whenever it
+  // reports the next event strictly past `now`, ticking `now` must
+  // deliver no completion and issue no grant. Conservative-early
+  // horizons are allowed (wasted speed); a late one is a timing bug
+  // the cycle skip would silently commit.
+  for (const std::uint64_t seed : {5ULL, 29ULL, 73ULL}) {
+    MemSystem opt(stress_config());
+    RefMemSystem ref(stress_config());
+    std::vector<Event> opt_events;
+    std::vector<Event> ref_events;
+
+    drive(
+        seed,
+        [&](ReqType type, Addr addr, Cycle now, std::uint64_t id) {
+          opt.submit(type, addr, now, [&opt_events, id](FetchSource s,
+                                                        Cycle r) {
+            opt_events.push_back({id, s, r});
+          });
+          ref.submit(type, addr, now, [&ref_events, id](FetchSource s,
+                                                        Cycle r) {
+            ref_events.push_back({id, s, r});
+          });
+        },
+        [&](Addr addr, Cycle now) {
+          opt.submit_writeback(addr, now);
+          ref.submit_writeback(addr, now);
+        },
+        [&](Cycle now) {
+          const Cycle horizon = opt.next_event_cycle(now);
+          const std::size_t events_before = opt_events.size();
+          std::uint64_t grants_before = 0;
+          for (const auto& g : opt.grants) grants_before += g.value();
+          opt.tick(now);
+          ref.tick(now);
+          if (horizon > now) {
+            EXPECT_EQ(opt_events.size(), events_before)
+                << "seed " << seed << ": completion inside idle horizon "
+                << horizon << " at cycle " << now;
+            std::uint64_t grants_after = 0;
+            for (const auto& g : opt.grants) grants_after += g.value();
+            EXPECT_EQ(grants_after, grants_before)
+                << "seed " << seed << ": grant inside idle horizon "
+                << horizon << " at cycle " << now;
+          }
+        });
+
+    ASSERT_EQ(opt_events.size(), ref_events.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < opt_events.size(); ++i) {
+      ASSERT_TRUE(opt_events[i] == ref_events[i])
+          << "seed " << seed << " event " << i;
+    }
+    EXPECT_GT(opt_events.size(), 0u);
+  }
+}
+
 // --- allocation freedom ---------------------------------------------------
 
 /// One round of representative steady-state traffic over a fixed line
