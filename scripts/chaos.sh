@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Chaos-testing harness: crash-consistency and quarantine drills over
+# the compiled-in fault sites (see `prestage faults list`).
+#
+#   scripts/chaos.sh [path-to-prestage]
+#
+# For every fault site the drill is: arm a fault via PRESTAGE_FAULTS,
+# run the surface that hits the site, let the process die (kill/torn) or
+# quarantine (fail), then re-run disarmed and require the durable
+# artifacts to converge byte-identically on a never-faulted reference.
+# The site list is read from the binary, so a newly added site without a
+# drill below fails here instead of silently going untested.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PRESTAGE="${1:-./build/src/cli/prestage}"
+WORK=build/chaos
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+INSTRS=900
+CAMPAIGN="--name smoke --instrs $INSTRS"
+
+# Runs a command expecting a specific exit code (137 = killed at a
+# fault site, 4 = quarantine, 2 = usage, 0 = clean).
+expect_rc() {
+  local want="$1"
+  shift
+  local rc=0
+  "$@" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne "$want" ]; then
+    echo "chaos: expected exit $want, got $rc: $*" >&2
+    exit 1
+  fi
+}
+
+# --- site inventory ---------------------------------------------------------
+DRILLED="perf.append point.execute psck.read psck.write store.append trace.read"
+SITES=$("$PRESTAGE" faults list | awk 'NR>2 && $1 ~ /\./ {print $1}' | sort |
+  tr '\n' ' ' | sed 's/ $//')
+if [ "$SITES" != "$DRILLED" ]; then
+  echo "chaos: fault sites [$SITES] != drilled sites [$DRILLED];" \
+    "add a drill for the new site" >&2
+  exit 1
+fi
+expect_rc 2 env PRESTAGE_FAULTS="bogus.site:fail" "$PRESTAGE" list
+expect_rc 2 env PRESTAGE_FAULTS="point.execute:torn" "$PRESTAGE" list
+echo "chaos: site inventory matches and malformed specs exit 2"
+
+# --- references (never faulted) ---------------------------------------------
+"$PRESTAGE" campaign run $CAMPAIGN --store "$WORK/ref.jsonl" -j 2 > /dev/null
+"$PRESTAGE" sample plan --bench eon --instrs 60000 --interval 5000 \
+  --out "$WORK/ref.psck" > /dev/null
+"$PRESTAGE" trace record --bench eon --instrs 2000 --out "$WORK/eon.pstr" \
+  > /dev/null
+
+# --- store.append: kill and torn-write crashes ------------------------------
+# Power cut at the Nth store append: the surviving prefix must be intact,
+# and a disarmed resume must converge on the reference bytes.
+expect_rc 137 env PRESTAGE_FAULTS="store.append:kill@3" \
+  "$PRESTAGE" campaign run $CAMPAIGN --store "$WORK/kill-store.jsonl" -j 2
+expect_rc 0 "$PRESTAGE" campaign resume $CAMPAIGN \
+  --store "$WORK/kill-store.jsonl" -j 2
+cmp "$WORK/ref.jsonl" "$WORK/kill-store.jsonl"
+
+# Torn write: half a line, no newline, then death — the resume must
+# terminate the scar, recompute, and compaction must heal the file back
+# to the reference bytes.
+expect_rc 137 env PRESTAGE_FAULTS="store.append:torn@3" \
+  "$PRESTAGE" campaign run $CAMPAIGN --store "$WORK/torn-store.jsonl" -j 2
+expect_rc 0 "$PRESTAGE" campaign resume $CAMPAIGN \
+  --store "$WORK/torn-store.jsonl" -j 2
+cmp "$WORK/ref.jsonl" "$WORK/torn-store.jsonl"
+echo "chaos: store.append kill + torn both heal byte-identically"
+
+# --- perf.append: kill mid-sidecar ------------------------------------------
+# The sidecar is best-effort telemetry; what matters is that the store
+# itself still converges after a crash inside the perf append.
+expect_rc 137 env PRESTAGE_FAULTS="perf.append:kill@2" \
+  "$PRESTAGE" campaign run $CAMPAIGN --store "$WORK/kill-perf.jsonl" -j 2
+expect_rc 0 "$PRESTAGE" campaign resume $CAMPAIGN \
+  --store "$WORK/kill-perf.jsonl" -j 2
+cmp "$WORK/ref.jsonl" "$WORK/kill-perf.jsonl"
+echo "chaos: perf.append kill leaves a resumable store"
+
+# --- point.execute: kill mid-grid -------------------------------------------
+expect_rc 137 env PRESTAGE_FAULTS="point.execute:kill@5" \
+  "$PRESTAGE" campaign run $CAMPAIGN --store "$WORK/kill-point.jsonl" -j 1
+expect_rc 0 "$PRESTAGE" campaign resume $CAMPAIGN \
+  --store "$WORK/kill-point.jsonl" -j 2
+cmp "$WORK/ref.jsonl" "$WORK/kill-point.jsonl"
+echo "chaos: point.execute kill resumes byte-identically"
+
+# --- psck.write / psck.read: checkpoint crashes -----------------------------
+# Killed while writing a checkpoint: the retry must produce the same
+# bytes the never-killed plan wrote.
+expect_rc 137 env PRESTAGE_FAULTS="psck.write:kill@1" \
+  "$PRESTAGE" sample plan --bench eon --instrs 60000 --interval 5000 \
+  --out "$WORK/kill.psck"
+expect_rc 0 "$PRESTAGE" sample plan --bench eon --instrs 60000 \
+  --interval 5000 --out "$WORK/kill.psck"
+cmp "$WORK/ref.psck" "$WORK/kill.psck"
+
+# Killed while reading one: the disarmed retry runs clean; and an
+# *injected read failure* (fail, not kill) degrades to a fresh plan —
+# the graceful-degradation path, exit 0.
+expect_rc 137 env PRESTAGE_FAULTS="psck.read:kill@1" \
+  "$PRESTAGE" sample run --bench eon --instrs 60000 --plan "$WORK/ref.psck"
+expect_rc 0 "$PRESTAGE" sample run --bench eon --instrs 60000 \
+  --plan "$WORK/ref.psck"
+expect_rc 0 env PRESTAGE_FAULTS="psck.read:fail@1" \
+  "$PRESTAGE" sample run --bench eon --instrs 60000 --plan "$WORK/ref.psck"
+echo "chaos: psck write/read kills recover; read failure degrades cleanly"
+
+# --- trace.read: kill and failure -------------------------------------------
+expect_rc 137 env PRESTAGE_FAULTS="trace.read:kill@1" \
+  "$PRESTAGE" trace info --trace "$WORK/eon.pstr"
+expect_rc 0 "$PRESTAGE" trace info --trace "$WORK/eon.pstr"
+expect_rc 1 env PRESTAGE_FAULTS="trace.read:fail@1" \
+  "$PRESTAGE" trace info --trace "$WORK/eon.pstr"
+echo "chaos: trace.read kill recovers and failure exits 1"
+
+# --- quarantine drill: seeded point failure at two worker counts ------------
+# A key=-seeded fault fails one specific grid point on every attempt, so
+# it defeats the retry loop and quarantines deterministically under any
+# worker count: exactly one .failures line, the right error class, and a
+# disarmed resume converging on the reference bytes — for -j 1 and -j 8.
+VICTIM=$(sed -n '4p' "$WORK/ref.jsonl" | sed 's/.*"key":"\([^"]*\)".*/\1/')
+test -n "$VICTIM"
+for jobs in 1 8; do
+  store="$WORK/quarantine-j$jobs.jsonl"
+  expect_rc 4 env PRESTAGE_FAULTS="point.execute:fail@key=$VICTIM" \
+    "$PRESTAGE" campaign run $CAMPAIGN --store "$store" -j "$jobs"
+  test "$(wc -l < "$store.failures")" -eq 1
+  grep -q '"error_class":"FaultInjected"' "$store.failures"
+  grep -q "\"key\":\"$VICTIM\"" "$store.failures"
+  "$PRESTAGE" campaign status $CAMPAIGN --store "$store" |
+    grep -q "1 quarantined"
+  expect_rc 0 "$PRESTAGE" campaign resume $CAMPAIGN --store "$store" -j "$jobs"
+  cmp "$WORK/ref.jsonl" "$store"
+  "$PRESTAGE" campaign status $CAMPAIGN --store "$store" |
+    grep -q "1 recovered"
+done
+cmp "$WORK/quarantine-j1.jsonl.failures" "$WORK/quarantine-j8.jsonl.failures"
+echo "chaos: seeded quarantine is deterministic across -j 1 and -j 8"
+
+# --- fault-free paranoia modes stay byte-identical --------------------------
+# Retries and durable fsync appends are fault-tolerance levers; with no
+# fault armed they must not change a single stored byte.
+"$PRESTAGE" campaign run $CAMPAIGN --store "$WORK/paranoid.jsonl" \
+  --retries 3 --durable -j 2 > /dev/null
+cmp "$WORK/ref.jsonl" "$WORK/paranoid.jsonl"
+echo "chaos: --retries/--durable fault-free store is byte-identical"
+
+echo "chaos: OK"

@@ -138,6 +138,14 @@ print("campaign: BENCH_smoke.json and BENCH_fig5.json parse and are sane")
 EOF
 fi
 
+# --- chaos: fault injection + crash consistency ------------------------------
+# Every compiled-in fault site gets a crash drill (kill at the site →
+# disarmed resume → cmp against a never-faulted reference), the seeded
+# point.execute fault must quarantine exactly one point (with the right
+# error class) deterministically at -j 1 and -j 8, and the fault-free
+# paranoia modes (--retries, --durable) must not change a stored byte.
+scripts/chaos.sh ./build/src/cli/prestage
+
 # --- prefetcher-family grid --------------------------------------------------
 # The open-registry grid: sequential/stream/MANA/program-map families
 # next to FDP/CLGP, proving every registered scheme runs end to end
@@ -308,7 +316,7 @@ echo "sanitizer: every registered prefetcher ran clean under ASan+UBSan"
 # on any report, so `set -e` is the gate.
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j \
-  --target prestage_cli campaign_test memsys_stress_test
+  --target prestage_cli campaign_test fault_test memsys_stress_test
 rm -f build-tsan/ci-smoke.jsonl build-tsan/ci-smoke.jsonl.perf
 ./build-tsan/src/cli/prestage campaign run --name smoke --instrs 1200 \
   --store build-tsan/ci-smoke.jsonl -j 8 > /dev/null
@@ -321,7 +329,9 @@ cmp build-tsan/ci-smoke.jsonl build-tsan/ci-smoke-full.jsonl
   -j 8 > /dev/null
 ./build-tsan/tests/campaign_test \
   --gtest_filter='ParallelFor.*:CampaignEngine.*' > /dev/null
+./build-tsan/tests/fault_test > /dev/null
 ./build-tsan/tests/memsys_stress_test > /dev/null
-echo "tsan: -j 8 run/resume, suite and scheduler tests ran race-free"
+echo "tsan: -j 8 run/resume, suite, scheduler and fault-layer tests" \
+  "ran race-free"
 
 echo "ci: OK"

@@ -16,10 +16,29 @@
 #include <string>
 #include <vector>
 
+#include "campaign/failures.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/store.hpp"
+#include "common/cancel.hpp"
 
 namespace prestage::campaign {
+
+/// How the engine treats a run point that throws or runs away.
+struct FaultPolicy {
+  /// Total attempts per point before quarantine (retries + 1). Retries
+  /// are immediate — bounded by count, never by wall-clock sleeps — so
+  /// tests and grids pay nothing for the default. Clamped to >= 1.
+  unsigned max_attempts = 2;
+  /// Fail-fast: rethrow the first error (annotated with the run-point
+  /// key and config) instead of retrying or quarantining.
+  bool strict = false;
+  /// Per-point host-seconds budget; a point exceeding it is cancelled
+  /// cooperatively (Cpu::run's watchdog) and quarantined. 0 disables.
+  double point_host_seconds = 0.0;
+  /// fsync the store and perf sidecar after every line (crash-safe
+  /// durable appends; see LineAppender).
+  bool durable = false;
+};
 
 /// What a run did: total grid size vs. reused (already stored) vs.
 /// freshly executed points, plus how many store lines were dropped as
@@ -34,19 +53,56 @@ struct RunOutcome {
   std::size_t corrupt_dropped = 0;
   double host_seconds = 0.0;
   double minstr_per_sec = 0.0;
+
+  /// Failure isolation: points that kept throwing and were quarantined
+  /// to the `<store>.failures` sidecar (their records ride along for
+  /// the CLI summary), and points that succeeded only after retries.
+  std::size_t quarantined = 0;
+  std::size_t retried = 0;
+  std::vector<FailureRecord> failures;
+  /// The store was rewritten into canonical grid order after the run
+  /// (interior gap from an earlier quarantine/kill, or corrupt lines
+  /// physically removed) — see compact_store.
+  bool compacted = false;
 };
 
 /// Progress callback: (newly completed points, points to execute).
 using Progress = std::function<void(std::size_t, std::size_t)>;
 
+/// Host-only execution controls threaded into the machine config (never
+/// part of a run point's identity).
+struct ExecControls {
+  const CancelToken* cancel = nullptr;
+  double max_host_seconds = 0.0;
+};
+
 /// Simulates one run point (used by the engine workers and tests).
 [[nodiscard]] PointResult simulate(const RunPoint& point);
+[[nodiscard]] PointResult simulate(const RunPoint& point,
+                                   const ExecControls& controls);
 
 /// Runs every point of @p spec that @p store_path does not already
 /// contain; appends the new results (in expansion order) to the store.
+/// A point that throws is retried and then quarantined per @p policy —
+/// the rest of the grid completes, and outcome.quarantined says how
+/// many points were abandoned (resume re-offers them, since their keys
+/// never reach the store).
 RunOutcome run_campaign(const CampaignSpec& spec,
                         const std::string& store_path, unsigned jobs,
-                        const Progress& progress = {});
+                        const Progress& progress = {},
+                        const FaultPolicy& policy = {});
+
+/// Rewrites @p store_path in canonical order — grid keys in expansion
+/// order first, then foreign records in file order, corrupt lines
+/// dropped — atomically (temp file + rename), re-emitting loaded lines
+/// byte-for-byte. No-op (and no write at all) when the file already is
+/// canonical, which every fault-free fresh run and suffix-resume is;
+/// only interior gaps healed out of order, torn lines and duplicate
+/// keys trigger the rewrite. This is what makes a quarantine → resume
+/// sequence converge on bytes identical to a never-faulted run.
+/// Returns true when the file was rewritten.
+bool compact_store(const std::string& store_path,
+                   const std::vector<RunPoint>& points);
 
 /// In-memory variant for the bench harnesses: simulates the whole grid
 /// (no store involved) and returns results in expansion order.

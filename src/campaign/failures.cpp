@@ -1,0 +1,59 @@
+#include "campaign/failures.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/json_writer.hpp"
+
+namespace prestage::campaign {
+
+std::string failures_log_path(const std::string& store_path) {
+  return store_path + ".failures";
+}
+
+std::string encode_failure_line(const FailureRecord& r) {
+  std::ostringstream out;
+  JsonWriter json(out, JsonWriter::Style::Compact);
+  json.begin_object();
+  json.field("key", r.key);
+  json.field("config", r.config);
+  json.field("benchmark", r.benchmark);
+  json.field("error_class", r.error_class);
+  json.field("message", r.message);
+  json.field("attempts", r.attempts);
+  json.end_object();
+  return out.str();
+}
+
+FailureRecord decode_failure_line(std::string_view line) {
+  const json::Value doc = json::parse(line);
+  FailureRecord r;
+  r.key = doc.at("key").as_string();
+  if (r.key.empty()) throw json::JsonError("empty failure key");
+  r.config = doc.at("config").as_string();
+  r.benchmark = doc.at("benchmark").as_string();
+  r.error_class = doc.at("error_class").as_string();
+  r.message = doc.at("message").as_string();
+  r.attempts =
+      static_cast<std::uint64_t>(doc.at("attempts").as_number());
+  return r;
+}
+
+FailureLog FailureLog::load(const std::string& path) {
+  FailureLog log;
+  std::ifstream in(path);
+  if (!in) return log;  // no quarantine history: nothing failed yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      log.add(decode_failure_line(line));
+    } catch (const json::JsonError&) {
+      ++log.dropped_;  // torn tail from a killed run: skip, count
+    }
+  }
+  return log;
+}
+
+}  // namespace prestage::campaign

@@ -1,0 +1,64 @@
+// Quarantine sidecar for campaign stores.
+//
+// A run point that keeps throwing after its retries is *quarantined*:
+// the engine records what failed (and how) as one JSONL line in
+// `<store>.failures` and moves on, so one poisoned point cannot abort a
+// grid. Quarantined keys never enter the result store, which is exactly
+// what makes `campaign resume` re-offer them — and once a later run
+// succeeds, the store gains the key and the old failure records read as
+// *recovered* history (`campaign status` reports both buckets).
+//
+// Failure records flush through the same ordered-prefix discipline as
+// results, so for deterministic failures (key=-seeded faults, config
+// errors) the sidecar bytes are worker-count-independent too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prestage::campaign {
+
+/// One quarantined run point.
+struct FailureRecord {
+  std::string key;          ///< RunPoint::key() content hash
+  std::string config;       ///< canonical machine-config string
+  std::string benchmark;
+  std::string error_class;  ///< FaultInjected | PointCancelled |
+                            ///< SimError | JsonError | Exception
+  std::string message;      ///< the final attempt's what()
+  std::uint64_t attempts = 0;  ///< attempts consumed (retries + 1)
+};
+
+/// The quarantine sidecar path for a result store.
+[[nodiscard]] std::string failures_log_path(const std::string& store_path);
+
+/// Serializes to one compact JSON line (no trailing newline).
+[[nodiscard]] std::string encode_failure_line(const FailureRecord& r);
+
+/// Parses one sidecar line; throws json::JsonError when malformed.
+[[nodiscard]] FailureRecord decode_failure_line(std::string_view line);
+
+/// Loaded quarantine sidecar. Corrupt lines are counted and dropped,
+/// never fatal — same contract as the store and perf loaders.
+class FailureLog {
+ public:
+  [[nodiscard]] static FailureLog load(const std::string& path);
+
+  void add(FailureRecord r) { records_.push_back(std::move(r)); }
+
+  [[nodiscard]] const std::vector<FailureRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  /// Corrupt/torn JSONL lines skipped while loading.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<FailureRecord> records_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace prestage::campaign

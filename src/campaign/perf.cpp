@@ -207,6 +207,8 @@ PerfSummary measure_perf(const CampaignSpec& spec, unsigned jobs,
     // comparable no matter where the duration floor lands.
     for (const PointResult& r : run_points(points, jobs, progress)) {
       PerfRecord perf = perf_record_of(r);
+      // Host telemetry folded in run_points grid order; the sum only
+      // gates the duration floor and is never serialized into a store.
       spent += perf.host_seconds;
       log.add(std::move(perf));
     }

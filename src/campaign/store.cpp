@@ -1,8 +1,14 @@
 #include "campaign/store.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/json.hpp"
 #include "common/json_writer.hpp"
@@ -138,7 +144,8 @@ ResultStore ResultStore::load(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     try {
-      store.insert(decode_line(line));
+      PointResult r = decode_line(line);
+      store.insert_raw(std::move(r), line);
       ++store.stats_.loaded;
     } catch (const json::JsonError&) {
       ++store.stats_.skipped;  // truncated tail or corrupt line: recompute
@@ -148,10 +155,16 @@ ResultStore ResultStore::load(const std::string& path) {
 }
 
 void ResultStore::insert(PointResult r) {
+  std::string raw = encode_line(r);
+  insert_raw(std::move(r), std::move(raw));
+}
+
+void ResultStore::insert_raw(PointResult r, std::string raw) {
   const auto [it, fresh] = index_.emplace(r.key, entries_.size());
   (void)it;
   if (!fresh) return;  // first record for a key wins
   entries_.push_back(std::move(r));
+  raw_lines_.push_back(std::move(raw));
 }
 
 const PointResult* ResultStore::find(const std::string& key) const {
@@ -162,10 +175,13 @@ const PointResult* ResultStore::find(const std::string& key) const {
 struct LineAppender::Impl {
   std::string path;
   std::ofstream out;
+  std::optional<faults::Site> site;
+  int fsync_fd = -1;  ///< durable mode: fd fsynced after every flush
 };
 
-LineAppender::LineAppender(const std::string& path)
-    : impl_(new Impl{path, {}}) {
+LineAppender::LineAppender(const std::string& path,
+                           std::optional<faults::Site> site, bool durable)
+    : impl_(new Impl{path, {}, site, -1}) {
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
@@ -193,15 +209,44 @@ LineAppender::LineAppender(const std::string& path)
     throw SimError(message);
   }
   if (torn_tail) impl_->out << '\n';
+#if defined(__unix__) || defined(__APPLE__)
+  if (durable) {
+    // A separate fd on the same file, only ever fsynced: the ofstream
+    // keeps owning the writes, durability rides alongside. Failure to
+    // open it degrades to the non-durable mode rather than aborting —
+    // the data path itself is intact.
+    impl_->fsync_fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  }
+#else
+  (void)durable;  // flush-per-line is the best a bare ofstream offers
+#endif
 }
 
-LineAppender::~LineAppender() { delete impl_; }
+LineAppender::~LineAppender() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (impl_ != nullptr && impl_->fsync_fd >= 0) ::close(impl_->fsync_fd);
+#endif
+  delete impl_;
+}
 
 void LineAppender::append_line(const std::string& line) {
+  if (impl_->site &&
+      faults::check(*impl_->site, line) == faults::Action::Torn) {
+    // Simulated power cut mid-write: half the line, no newline, then
+    // die with the crash harness's exit code. The next open's torn-tail
+    // termination and the loader's corrupt-line drop must heal this.
+    impl_->out.write(line.data(),
+                     static_cast<std::streamsize>(line.size() / 2));
+    impl_->out.flush();
+    std::_Exit(137);
+  }
   impl_->out << line << '\n';
   impl_->out.flush();
   PRESTAGE_ASSERT(impl_->out.good(),
                   "write to result store '" + impl_->path + "' failed");
+#if defined(__unix__) || defined(__APPLE__)
+  if (impl_->fsync_fd >= 0) ::fsync(impl_->fsync_fd);
+#endif
 }
 
 }  // namespace prestage::campaign

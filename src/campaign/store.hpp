@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/faultpoint.hpp"
 #include "cpu/cpu.hpp"
 
 namespace prestage::campaign {
@@ -73,10 +75,20 @@ class ResultStore {
   [[nodiscard]] const std::vector<PointResult>& entries() const {
     return entries_;  // file order
   }
+  /// The exact on-disk line of each entry, aligned with entries().
+  /// Compaction re-emits these verbatim: a decode/re-encode round trip
+  /// must never be able to change a stored byte. In-memory insert()s
+  /// synthesize theirs through encode_line (what append would write).
+  [[nodiscard]] const std::vector<std::string>& raw_lines() const {
+    return raw_lines_;
+  }
   [[nodiscard]] const LoadStats& load_stats() const { return stats_; }
 
  private:
+  void insert_raw(PointResult r, std::string raw);
+
   std::vector<PointResult> entries_;
+  std::vector<std::string> raw_lines_;
   std::map<std::string, std::size_t> index_;
   LoadStats stats_;
 };
@@ -85,10 +97,19 @@ class ResultStore {
 /// open, terminates a torn tail line left by a killed writer, and
 /// append() writes one line plus '\n' and flushes, throwing SimError if
 /// the write does not land (full disk must not be mistaken for
-/// progress). Shared by the result store and the host-perf sidecar.
+/// progress). Shared by the result store and the host-perf/failures
+/// sidecars.
+///
+/// @p site, when set, compiles a fault probe into append_line (the
+/// whole line is the probe context, so key= triggers match against the
+/// embedded "key" field). @p durable adds an fsync after every flush:
+/// a line append_line returned from has reached the device, not just
+/// the page cache — the crash-consistency contract a power cut tests.
 class LineAppender {
  public:
-  explicit LineAppender(const std::string& path);
+  explicit LineAppender(const std::string& path,
+                        std::optional<faults::Site> site = std::nullopt,
+                        bool durable = false);
   ~LineAppender();
   LineAppender(const LineAppender&) = delete;
   LineAppender& operator=(const LineAppender&) = delete;
@@ -103,7 +124,8 @@ class LineAppender {
 /// LineAppender over encode_line(): the result-store writer.
 class StoreAppender {
  public:
-  explicit StoreAppender(const std::string& path) : lines_(path) {}
+  explicit StoreAppender(const std::string& path, bool durable = false)
+      : lines_(path, faults::Site::StoreAppend, durable) {}
 
   void append(const PointResult& r) { lines_.append_line(encode_line(r)); }
 

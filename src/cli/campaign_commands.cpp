@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "bench/figures.hpp"
@@ -101,8 +102,14 @@ int cmd_campaign_run(const Options& opt, bool resume) {
     }
   };
 
+  campaign::FaultPolicy policy;
+  policy.max_attempts = opt.retries + 1;
+  policy.strict = opt.strict;
+  policy.point_host_seconds = opt.point_budget_seconds;
+  policy.durable = opt.durable;
+
   const campaign::RunOutcome outcome =
-      campaign::run_campaign(spec, store_path, opt.jobs, progress);
+      campaign::run_campaign(spec, store_path, opt.jobs, progress, policy);
 
   // The pool is clamped to the executed point count, so report what
   // actually ran, not just the resolved --jobs value.
@@ -121,6 +128,27 @@ int cmd_campaign_run(const Options& opt, bool resume) {
                       {outcome.host_seconds, outcome.minstr_per_sec})
                       .c_str());
     }
+    if (outcome.retried > 0) {
+      std::printf("retried     : %zu point(s) succeeded after retry\n",
+                  outcome.retried);
+    }
+    if (outcome.quarantined > 0) {
+      std::printf("quarantined : %zu point(s) -> %s\n", outcome.quarantined,
+                  campaign::failures_log_path(store_path).c_str());
+      for (const campaign::FailureRecord& f : outcome.failures) {
+        std::printf("  %s (%s, %s): %s after %llu attempt(s): %s\n",
+                    f.key.c_str(), f.config.c_str(), f.benchmark.c_str(),
+                    f.error_class.c_str(),
+                    static_cast<unsigned long long>(f.attempts),
+                    f.message.c_str());
+      }
+      std::printf("note        : `campaign resume` re-offers quarantined "
+                  "points (their keys never reached the store)\n");
+    }
+    if (outcome.compacted) {
+      std::printf("store       : rewritten into canonical order (healed "
+                  "an interior gap or corrupt lines)\n");
+    }
   }
 
   if (sink.wanted()) {
@@ -136,13 +164,30 @@ int cmd_campaign_run(const Options& opt, bool resume) {
     json.field("executed", static_cast<std::uint64_t>(outcome.executed));
     json.field("corrupt_dropped",
                static_cast<std::uint64_t>(outcome.corrupt_dropped));
+    json.field("retried", static_cast<std::uint64_t>(outcome.retried));
+    json.field("quarantined",
+               static_cast<std::uint64_t>(outcome.quarantined));
+    json.field("compacted", outcome.compacted);
+    json.key("failures");
+    json.begin_array();
+    for (const campaign::FailureRecord& f : outcome.failures) {
+      json.begin_object();
+      json.field("key", f.key);
+      json.field("config", f.config);
+      json.field("benchmark", f.benchmark);
+      json.field("error_class", f.error_class);
+      json.field("message", f.message);
+      json.field("attempts", f.attempts);
+      json.end_object();
+    }
+    json.end_array();
     json.key("host");
     sim::write_host_perf(
         json, {outcome.host_seconds, outcome.minstr_per_sec});
     json.end_object();
     if (!sink.finish()) return 1;
   }
-  return 0;
+  return outcome.quarantined > 0 ? 4 : 0;
 }
 
 int cmd_campaign_status(const Options& opt) {
@@ -165,6 +210,23 @@ int cmd_campaign_status(const Options& opt) {
   // budgets/seeds, older grids): worth surfacing, never an error.
   const std::size_t foreign = store.size() - done;
 
+  // Quarantine history: a failure record whose key is still absent from
+  // the store is an open quarantine (resume will re-offer it); one whose
+  // key made it in later is a recovery. Count unique keys — a point
+  // quarantined on several runs is still one point.
+  const campaign::FailureLog failures =
+      campaign::FailureLog::load(campaign::failures_log_path(store_path));
+  std::set<std::string> quarantined_keys;
+  std::set<std::string> recovered_keys;
+  for (const campaign::FailureRecord& f : failures.records()) {
+    (store.contains(f.key) ? recovered_keys : quarantined_keys)
+        .insert(f.key);
+  }
+  // Host-telemetry sidecar health rides along: dropped lines there mean
+  // a crash tore the perf log (the store itself heals separately).
+  const campaign::PerfLog perf =
+      campaign::PerfLog::load(campaign::perf_log_path(store_path));
+
   if (!sink.owns_stdout()) {
     std::printf("campaign    : %s — %s\n", spec.name.c_str(),
                 spec.title.c_str());
@@ -176,6 +238,21 @@ int cmd_campaign_status(const Options& opt) {
     std::printf(")\n");
     std::printf("coverage    : %zu/%zu points done, %zu missing%s\n", done,
                 total, missing, missing == 0 ? " — complete" : "");
+    if (!failures.empty() || failures.dropped() > 0) {
+      std::printf("failures    : %zu quarantined, %zu recovered "
+                  "(%zu record(s) in %s",
+                  quarantined_keys.size(), recovered_keys.size(),
+                  failures.size(),
+                  campaign::failures_log_path(store_path).c_str());
+      if (failures.dropped() > 0) {
+        std::printf(", %zu corrupt lines dropped", failures.dropped());
+      }
+      std::printf(")\n");
+    }
+    if (perf.dropped() > 0) {
+      std::printf("perf        : %zu corrupt sidecar lines dropped\n",
+                  perf.dropped());
+    }
     if (foreign > 0) {
       std::printf("note        : %zu stored records are outside this grid "
                   "(different --instrs/seed?)\n", foreign);
@@ -195,6 +272,16 @@ int cmd_campaign_status(const Options& opt) {
     json.field("foreign_records", static_cast<std::uint64_t>(foreign));
     json.field("corrupt_dropped",
                static_cast<std::uint64_t>(store.load_stats().skipped));
+    json.field("quarantined",
+               static_cast<std::uint64_t>(quarantined_keys.size()));
+    json.field("recovered",
+               static_cast<std::uint64_t>(recovered_keys.size()));
+    json.field("failure_records",
+               static_cast<std::uint64_t>(failures.size()));
+    json.field("failure_lines_dropped",
+               static_cast<std::uint64_t>(failures.dropped()));
+    json.field("perf_lines_dropped",
+               static_cast<std::uint64_t>(perf.dropped()));
     json.end_object();
     if (!sink.finish()) return 1;
   }

@@ -32,7 +32,8 @@ int cmd_trace_info(const Options& opt);
 
 /// Runs (or resumes) a registered campaign grid against its JSONL result
 /// store, skipping points whose key is already stored. @p resume
-/// additionally requires the store to exist.
+/// additionally requires the store to exist. Exit 4 when any point was
+/// quarantined (the grid otherwise completed; see `<store>.failures`).
 int cmd_campaign_run(const Options& opt, bool resume);
 
 /// Reports how much of a campaign grid the store covers.
@@ -68,7 +69,13 @@ int cmd_sample_profile(const Options& opt);
 int cmd_sample_plan(const Options& opt);
 
 /// Executes one sampled run point (fresh plan, or --plan checkpoint) and
-/// reconstructs whole-run statistics with a confidence half-width.
+/// reconstructs whole-run statistics with a confidence half-width. A
+/// corrupt or missing checkpoint falls back to a fresh plan (counted as
+/// a cold start) rather than aborting.
 int cmd_sample_run(const Options& opt);
+
+/// Lists the registered fault-injection sites and whatever
+/// PRESTAGE_FAULTS currently arms.
+int cmd_faults_list(const Options& opt);
 
 }  // namespace prestage::cli

@@ -1,0 +1,62 @@
+// The `prestage faults` subcommands: enumerate the compiled-in fault
+// sites and show what PRESTAGE_FAULTS currently arms, so chaos harnesses
+// discover the site list from the binary instead of a hand-kept copy.
+#include <cstdio>
+
+#include "cli/commands.hpp"
+#include "cli/json_sink.hpp"
+#include "common/faultpoint.hpp"
+#include "common/json_writer.hpp"
+#include "common/table.hpp"
+
+namespace prestage::cli {
+
+int cmd_faults_list(const Options& opt) {
+  JsonSink sink(opt.json_path);
+  if (sink.failed()) return 1;
+
+  const std::vector<std::string> armed = faults::describe_armed();
+
+  if (!sink.owns_stdout()) {
+    Table t({"site", "kind", "description"});
+    for (const faults::SiteInfo& info : faults::site_table()) {
+      t.add_row({info.name, info.append_site ? "append" : "exec/io",
+                 info.description});
+    }
+    std::printf("%s", t.to_text().c_str());
+    if (armed.empty()) {
+      std::printf("armed       : none (set PRESTAGE_FAULTS="
+                  "\"site:action[@trigger],...\")\n");
+    } else {
+      std::printf("armed       :");
+      for (const std::string& a : armed) std::printf(" %s", a.c_str());
+      std::printf("\n");
+    }
+  }
+
+  if (sink.wanted()) {
+    JsonWriter json(sink.stream());
+    json.begin_object();
+    json.field("schema", "prestage-faults-v1");
+    json.field("armed_count", static_cast<std::uint64_t>(armed.size()));
+    json.key("armed");
+    json.begin_array();
+    for (const std::string& a : armed) json.value(a);
+    json.end_array();
+    json.key("sites");
+    json.begin_array();
+    for (const faults::SiteInfo& info : faults::site_table()) {
+      json.begin_object();
+      json.field("name", info.name);
+      json.field("description", info.description);
+      json.field("torn_supported", info.append_site);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!sink.finish()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace prestage::cli

@@ -14,12 +14,14 @@
 // All subcommands honour PRESTAGE_INSTRS when --instrs is absent, like
 // the bench harnesses, and emit machine-readable JSON via --json (a file
 // path, or `-` for stdout).
+#include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <string_view>
 
 #include "cli/commands.hpp"
 #include "cli/options.hpp"
+#include "common/faultpoint.hpp"
 
 namespace {
 
@@ -55,6 +57,10 @@ void print_usage(std::ostream& out) {
          "a\n"
          "         committed BENCH_perf.json baseline (exit 3 on "
          "regression)\n"
+         "  faults  list — enumerate the fault-injection sites compiled\n"
+         "         into the I/O and execution paths, and what\n"
+         "         PRESTAGE_FAULTS currently arms (spec grammar:\n"
+         "         site:action[@trigger],... — see the README)\n"
          "\n"
          "flags:\n"
          "  --preset SPEC   machine composition: a named preset\n"
@@ -117,13 +123,44 @@ void print_usage(std::ostream& out) {
          "horizon\n"
          "                  cycle skipping disabled (timing-neutral A/B "
          "lever)\n"
-         "  --help          this message\n";
+         "\n"
+         "fault-tolerance flags (campaign run/resume):\n"
+         "  --retries N     extra attempts per failing point before it "
+         "is\n"
+         "                  quarantined to <store>.failures (default 1)\n"
+         "  --strict        fail fast on the first point error (no "
+         "retry,\n"
+         "                  no quarantine; restores pre-quarantine "
+         "behaviour)\n"
+         "  --durable       fsync the store and its sidecars after "
+         "every\n"
+         "                  appended line (crash-safe, slower)\n"
+         "  --point-budget S\n"
+         "                  per-point host-seconds watchdog budget; a "
+         "point\n"
+         "                  exceeding it is cancelled and quarantined\n"
+         "  --help          this message\n"
+         "\n"
+         "exit codes: 0 ok, 1 runtime error, 2 usage, 3 regression "
+         "found,\n"
+         "            4 campaign completed with quarantined points\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace prestage::cli;
+
+  // Arm fault injection before anything touches a faultable path. A
+  // malformed spec is a usage error: failing loudly here beats running
+  // a chaos campaign that silently injects nothing.
+  if (const char* spec = std::getenv("PRESTAGE_FAULTS")) {
+    const std::string error = prestage::faults::arm(spec);
+    if (!error.empty()) {
+      std::cerr << "prestage: bad PRESTAGE_FAULTS: " << error << "\n";
+      return 2;
+    }
+  }
 
   if (argc < 2) {
     print_usage(std::cerr);
@@ -245,6 +282,38 @@ int main(int argc, char** argv) {
     }
     std::cerr << "prestage: unknown campaign subcommand '" << sub
               << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (command == "faults") {
+    if (argc < 3) {
+      std::cerr << "prestage: `faults` needs a subcommand (list)\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    const std::string_view sub = argv[2];
+    if (sub == "--help" || sub == "-h" || sub == "help") {
+      print_usage(std::cout);
+      return 0;
+    }
+    const ParseResult parsed = parse_options(argc, argv, 3);
+    if (parsed.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (!parsed.error.empty()) {
+      std::cerr << "prestage: " << parsed.error << "\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    try {
+      if (sub == "list") return cmd_faults_list(parsed.options);
+    } catch (const std::exception& e) {
+      std::cerr << "prestage: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "prestage: unknown faults subcommand '" << sub << "'\n\n";
     print_usage(std::cerr);
     return 2;
   }

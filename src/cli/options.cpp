@@ -232,6 +232,39 @@ ParseResult parse_options(int argc, char** argv, int first) {
       ++i;
     } else if (arg == "--no-cycle-skip") {
       opt.no_cycle_skip = true;
+    } else if (arg == "--retries") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      // 0 is meaningful (a single attempt, no retry), so parse_u64's
+      // zero rejection only covers the positive values.
+      if (std::string_view(v) == "0") {
+        opt.retries = 0;
+      } else {
+        const auto n = parse_u64(v);
+        if (!n || *n > 16) {
+          result.error = std::string("--retries needs a count in 0..16, "
+                                     "got '") + v + "'";
+          return result;
+        }
+        opt.retries = static_cast<unsigned>(*n);
+      }
+      ++i;
+    } else if (arg == "--strict") {
+      opt.strict = true;
+    } else if (arg == "--durable") {
+      opt.durable = true;
+    } else if (arg == "--point-budget") {
+      const char* v = need_value(i, arg);
+      if (!v) return result;
+      char* end = nullptr;
+      const double t = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(t) || t <= 0.0) {
+        result.error = std::string("--point-budget needs a positive "
+                                   "host-seconds budget, got '") + v + "'";
+        return result;
+      }
+      opt.point_budget_seconds = t;
+      ++i;
     } else if (arg == "--trace") {
       const char* v = need_value(i, arg);
       if (!v) return result;

@@ -48,6 +48,13 @@ struct Options {
   double min_host_seconds = 0.0;
   bool no_cycle_skip = false;  ///< --no-cycle-skip: perf A/B baseline
 
+  // --- fault tolerance (campaign run/resume) ------------------------------
+  unsigned retries = 1;   ///< --retries: extra attempts before quarantine
+  bool strict = false;    ///< --strict: fail fast, no retry/quarantine
+  bool durable = false;   ///< --durable: fsync store/sidecar per line
+  /// --point-budget: per-point host-seconds watchdog budget (0 = off).
+  double point_budget_seconds = 0.0;
+
   // --- sample subcommands -------------------------------------------------
   // All zeros mean "resolve a default against the instruction budget"
   // (sample::SamplingParams::resolve), so the flags below only pin knobs.

@@ -293,26 +293,46 @@ int cmd_sample_run(const Options& opt) {
 
   cpu::RunResult r;
   sample::ResolvedSamplingParams params;
+  bool checkpoint_fallback = false;
   if (!opt.plan_path.empty()) {
-    const sample::Checkpoint ckpt =
-        sample::read_checkpoint_file(opt.plan_path);
-    if (ckpt.plan.workload != spec->name()) {
-      std::cerr << "prestage: checkpoint '" << opt.plan_path
-                << "' was built for workload '" << ckpt.plan.workload
-                << "', not '" << spec->name() << "'\n";
-      return 2;
+    // A corrupt, truncated or missing checkpoint degrades to a fresh
+    // plan (counted as one cold start, like a slice whose saved state
+    // was declined) instead of aborting: the checkpoint is a cache of
+    // the plan, never the only way to build it. A checkpoint for the
+    // wrong workload stays a usage error — silently replanning would
+    // mask pointing --plan at the wrong file.
+    sample::Checkpoint ckpt;
+    bool have_checkpoint = true;
+    try {
+      ckpt = sample::read_checkpoint_file(opt.plan_path);
+    } catch (const SimError& e) {
+      std::cerr << "prestage: warning: checkpoint '" << opt.plan_path
+                << "' is unreadable (" << e.what()
+                << "); falling back to a fresh plan\n";
+      have_checkpoint = false;
+      checkpoint_fallback = true;
     }
-    params = ckpt.plan.params;
-    if (!sink.owns_stdout()) {
-      std::printf("checkpoint  : %s (PSCK v%u, %zu slices)\n",
-                  opt.plan_path.c_str(), sample::kCheckpointVersion,
-                  ckpt.plan.slices.size());
+    if (have_checkpoint) {
+      if (ckpt.plan.workload != spec->name()) {
+        std::cerr << "prestage: checkpoint '" << opt.plan_path
+                  << "' was built for workload '" << ckpt.plan.workload
+                  << "', not '" << spec->name() << "'\n";
+        return 2;
+      }
+      params = ckpt.plan.params;
+      if (!sink.owns_stdout()) {
+        std::printf("checkpoint  : %s (PSCK v%u, %zu slices)\n",
+                    opt.plan_path.c_str(), sample::kCheckpointVersion,
+                    ckpt.plan.slices.size());
+      }
+      r = sample::run_sampled_point_with_plan(cfg, spec, ckpt.plan);
     }
-    r = sample::run_sampled_point_with_plan(cfg, spec, ckpt.plan);
-  } else {
+  }
+  if (opt.plan_path.empty() || checkpoint_fallback) {
     params = sampling_params(opt).resolve(budget);
     if (!sink.owns_stdout()) print_params(params, spec->name(), budget);
     r = sample::run_sampled_point(cfg, params);
+    if (checkpoint_fallback) r.sample_cold_starts += 1;
   }
 
   const double speedup =
@@ -350,6 +370,9 @@ int cmd_sample_run(const Options& opt) {
     json.field("workload", spec->name());
     json.field("budget", budget);
     write_params_fields(json, params);
+    if (!opt.plan_path.empty()) {
+      json.field("checkpoint_fallback", checkpoint_fallback);
+    }
     json.key("result");
     json.begin_object();
     json.field("ipc", r.ipc);

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the I/O and execution paths.
+//
+// A fault *site* is a named, compiled-in probe (store.append,
+// point.execute, ...) that code on a failure-relevant path calls via
+// check(). Disarmed — the only state production runs ever see — a probe
+// is a single relaxed atomic load. Armed (PRESTAGE_FAULTS, or arm() in
+// tests), a probe consults the armed spec and either returns, throws
+// FaultInjected, kills the process like a power cut (_Exit(137)), or
+// asks an append site to simulate a torn write (half a line, no
+// newline, then death).
+//
+// Spec grammar (comma-separated):   site:action[@trigger]
+//   action   fail | throw   throw FaultInjected at the site
+//            kill           _Exit(137) at the site (crash testing)
+//            torn           append sites only: truncate mid-line + die
+//   trigger  N              fire once, on the Nth hit of the site (default 1)
+//            every=N        fire on every Nth hit
+//            key=S          fire whenever the site context contains S
+//
+// Hit counters are per-site and process-global. Count triggers are
+// deterministic wherever the site itself is serialized (the store/perf
+// append sites run under the engine's ordered-flush lock); key=
+// triggers are deterministic everywhere — including point.execute under
+// any worker count — because they match the run-point key, not arrival
+// order. Tests that assert across -j 1/2/8 use key= for that reason.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/prestage_assert.hpp"
+
+namespace prestage::faults {
+
+enum class Site : int {
+  StoreAppend,   ///< result-store line append (campaign::LineAppender)
+  PerfAppend,    ///< `.perf` sidecar line append
+  PsckRead,      ///< PSCK checkpoint file read (sample subsystem)
+  PsckWrite,     ///< PSCK checkpoint file write
+  TraceRead,     ///< trace file open/stream (workload subsystem)
+  PointExecute,  ///< one campaign run point's simulation
+};
+inline constexpr int kNumSites = 6;
+
+/// Thrown by a fired fail/throw fault. Derives SimError so every
+/// existing catch site treats an injected failure exactly like the real
+/// one it stands in for.
+class FaultInjected : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// What check() asks its caller to do. Throw and kill are handled
+/// inside check(); only the torn-write simulation needs the caller
+/// (the appender owns the stream being torn).
+enum class Action {
+  None,  ///< no fault fired: proceed
+  Torn,  ///< write a truncated line, flush, then _Exit(137)
+};
+
+struct SiteInfo {
+  Site site;
+  const char* name;         ///< spec-grammar spelling ("store.append")
+  const char* description;  ///< one line for `prestage faults list`
+  bool append_site;         ///< torn action valid here
+};
+
+/// All registered sites, in Site enum order.
+[[nodiscard]] const std::array<SiteInfo, kNumSites>& site_table();
+
+[[nodiscard]] const char* to_string(Site site);
+
+namespace detail {
+extern std::atomic<bool> armed_flag;
+[[nodiscard]] Action check_slow(Site site, std::string_view context);
+}  // namespace detail
+
+/// True when any fault spec is armed. One atomic load: the entire cost
+/// a disarmed probe adds to a hot path.
+[[nodiscard]] inline bool armed() {
+  return detail::armed_flag.load(std::memory_order_acquire);
+}
+
+/// The probe. @p context is site-specific matter for key= triggers: the
+/// run-point key at point.execute, the full line at the append sites,
+/// the file path at the read/write sites. May throw FaultInjected or
+/// terminate the process; see Action for the torn case.
+inline Action check(Site site, std::string_view context = {}) {
+  if (!armed()) return Action::None;
+  return detail::check_slow(site, context);
+}
+
+/// Parses @p spec and arms it, resetting all hit counters. Returns an
+/// error message (and arms nothing) when the spec names an unknown
+/// site/action or a malformed trigger; empty string on success. Not
+/// thread-safe against concurrent check(): arm before workers start.
+[[nodiscard]] std::string arm(std::string_view spec);
+
+/// Disarms everything and clears the hit counters.
+void disarm();
+
+/// The armed faults re-rendered in spec grammar, in spec order (empty
+/// when disarmed) — what `prestage faults list` reports as armed.
+[[nodiscard]] std::vector<std::string> describe_armed();
+
+/// Test helper: arm for one scope, disarm on exit. Asserts the spec
+/// parses — tests hand it literals.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(std::string_view spec) {
+    const std::string error = arm(spec);
+    PRESTAGE_ASSERT(error.empty(), error);
+  }
+  ~ScopedFaults() { disarm(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace prestage::faults

@@ -51,6 +51,8 @@ class Distribution {
   /// callers must not fold fractional samples.
   void sample_n(double v, std::uint64_t n) noexcept {
     if (n == 0) return;
+    // FP-deterministic: samples arrive in simulation order, and the
+    // exact-representability contract above makes the fold order-free.
     sum_ += v * static_cast<double>(n);
     if (v < min_ || count_ == 0) min_ = v;
     if (v > max_ || count_ == 0) max_ = v;

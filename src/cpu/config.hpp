@@ -10,6 +10,10 @@
 #include "cacti/cacti.hpp"
 #include "cacti/tech.hpp"
 
+namespace prestage {
+class CancelToken;
+}  // namespace prestage
+
 namespace prestage::workload {
 class WorkloadSpec;
 }  // namespace prestage::workload
@@ -67,6 +71,16 @@ struct MachineConfig {
   /// golden pin, and store byte is identical with it off (tests force
   /// both settings). Exposed as a knob for those equivalence tests.
   bool enable_cycle_skip = true;
+
+  // --- watchdog (host-only; excluded from run-point keys) -----------------
+  /// Cooperative cancellation: when set, run()'s outer loop polls the
+  /// token every few thousand iterations and throws PointCancelled once
+  /// it is cancelled (common/cancel.hpp). Lets the campaign engine
+  /// quarantine a runaway point instead of hanging a worker on it.
+  const CancelToken* cancel = nullptr;
+  /// Per-run host-seconds budget; run() throws PointCancelled once the
+  /// wall clock it already tracks exceeds it. 0 disables the check.
+  double max_host_seconds = 0.0;
 
   // --- data side (Table 2, held fixed across the study) -------------------
   std::uint64_t l1d_size = 32768;

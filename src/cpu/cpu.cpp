@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/cancel.hpp"
 #include "common/prestage_assert.hpp"
 #include "prefetch/registry.hpp"
 #include "workload/generator.hpp"
@@ -196,7 +197,26 @@ RunResult Cpu::run() {
   const Cycle cycle_cap = 10000 + target * 400;
 
   StatSnapshot warm{};
+  std::uint64_t watchdog_poll = 0;
   while (backend_->committed() < target) {
+    // Runaway-point watchdog: a cheap mask test per iteration, the
+    // token/clock reads only every 4096th. Polling at iteration 0 too
+    // means a pre-cancelled token never simulates a single cycle.
+    if ((watchdog_poll++ & 0xFFFU) == 0U) {
+      if (cfg_.cancel != nullptr && cfg_.cancel->cancelled()) {
+        throw PointCancelled("run cancelled by token");
+      }
+      if (cfg_.max_host_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        host_start)
+                  .count() > cfg_.max_host_seconds) {
+        // Budget only — no elapsed reading — so the message (and any
+        // failure record carrying it) is deterministic.
+        throw PointCancelled(
+            "run exceeded its host-seconds budget (" +
+            std::to_string(cfg_.max_host_seconds) + "s)");
+      }
+    }
     if (!warmup_done_ && backend_->committed() >= cfg_.warmup_instructions) {
       warmup_done_ = true;
       warmup_cycle_ = cycle_;

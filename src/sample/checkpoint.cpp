@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/faultpoint.hpp"
 #include "common/prestage_assert.hpp"
 
 namespace prestage::sample {
@@ -192,6 +193,7 @@ Checkpoint deserialize_checkpoint(const std::uint8_t* data,
 }
 
 void write_checkpoint_file(const std::string& path, const Checkpoint& cp) {
+  faults::check(faults::Site::PsckWrite, path);
   const std::vector<std::uint8_t> bytes = serialize_checkpoint(cp);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -205,6 +207,7 @@ void write_checkpoint_file(const std::string& path, const Checkpoint& cp) {
 }
 
 Checkpoint read_checkpoint_file(const std::string& path) {
+  faults::check(faults::Site::PsckRead, path);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw SimError("cannot open checkpoint file: " + path);

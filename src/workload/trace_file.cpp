@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <fstream>
 
+#include "common/faultpoint.hpp"
 #include "common/prestage_assert.hpp"
 #include "workload/champsim.hpp"
 #include "workload/generator.hpp"
@@ -168,6 +169,7 @@ TraceHeader stream_records_impl(
     const std::string& path,
     const std::function<void(const TraceHeader&)>& on_header,
     const std::function<void(const DynInst&)>& fn) {
+  faults::check(faults::Site::TraceRead, path);
   std::ifstream in(path, std::ios::binary);
   if (!in) file_error(path, "cannot open");
   auto [h, data_offset] = parse_streamed_header(in, path);

@@ -17,6 +17,8 @@
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/store.hpp"
+#include "common/cancel.hpp"
+#include "common/faultpoint.hpp"
 #include "common/json.hpp"
 #include "common/json_writer.hpp"
 #include "common/parallel.hpp"
@@ -287,16 +289,22 @@ TEST(CampaignEngine, TornFinalWriteHealsWithoutCorruptingNewRecords) {
   { std::ofstream out(path, std::ios::trunc); out << torn.str(); }
 
   // Resume must terminate the torn line before appending, so the five
-  // recomputed records all land parseable.
+  // recomputed records all land parseable — and the post-run compaction
+  // then rewrites the store without the garbage line, so the healed
+  // file carries no scar tissue at all.
   const auto outcome = campaign::run_campaign(spec, path, 2);
   EXPECT_EQ(outcome.reused, 3u);
   EXPECT_EQ(outcome.executed, 5u);
+  EXPECT_TRUE(outcome.compacted) << "the torn line forces a rewrite";
 
   const ResultStore healed = ResultStore::load(path);
   EXPECT_EQ(healed.load_stats().loaded, 8u);
-  EXPECT_EQ(healed.load_stats().skipped, 1u) << "only the torn line drops";
+  EXPECT_EQ(healed.load_stats().skipped, 0u)
+      << "compaction physically removed the torn line";
   const campaign::ResultGrid grid(spec, healed);
   EXPECT_EQ(grid.missing(), 0u);
+  EXPECT_EQ(read_file(path), fresh)
+      << "healed store converges on the never-torn bytes";
   EXPECT_EQ(campaign::run_campaign(spec, path, 2).executed, 0u);
 }
 
@@ -337,6 +345,191 @@ TEST(CampaignEngine, CorruptAndTruncatedLinesAreDroppedAndRecomputed) {
   EXPECT_TRUE(healed.contains(dropped_key));
   const campaign::ResultGrid grid(spec, healed);
   EXPECT_EQ(grid.missing(), 0u);
+}
+
+TEST(CampaignEngine, QuarantineIsolatesPoisonedPointAndResumeConverges) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string ref_path = fresh_file("ref.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, ref_path, 2).executed, 8u);
+  const std::string ref = read_file(ref_path);
+  // An interior grid point: its quarantine leaves a gap the resume must
+  // backfill, which is exactly what compaction exists to canonicalize.
+  const RunPoint victim = campaign::expand(spec)[3];
+
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    const std::string path =
+        fresh_file("store-j" + std::to_string(jobs) + ".jsonl");
+    std::filesystem::remove(campaign::failures_log_path(path));
+
+    campaign::RunOutcome faulted;
+    {
+      faults::ScopedFaults armed("point.execute:fail@key=" + victim.key());
+      faulted = campaign::run_campaign(spec, path, jobs);
+    }
+    // key= defeats the retry loop (it fires on every attempt), so the
+    // point quarantines while the other seven complete.
+    EXPECT_EQ(faulted.quarantined, 1u) << "jobs=" << jobs;
+    EXPECT_EQ(faulted.retried, 0u);
+    ASSERT_EQ(faulted.failures.size(), 1u);
+    EXPECT_EQ(faulted.failures[0].key, victim.key());
+    EXPECT_EQ(faulted.failures[0].error_class, "FaultInjected");
+    EXPECT_EQ(faulted.failures[0].attempts, 2u) << "default policy retries once";
+
+    const auto log =
+        campaign::FailureLog::load(campaign::failures_log_path(path));
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.records()[0].key, victim.key());
+    EXPECT_EQ(log.records()[0].config, victim.config);
+    EXPECT_EQ(log.dropped(), 0u);
+
+    const ResultStore partial = ResultStore::load(path);
+    EXPECT_EQ(partial.size(), 7u) << "the rest of the grid completed";
+    EXPECT_FALSE(partial.contains(victim.key()));
+
+    // Disarmed resume re-offers the quarantined key (it never reached
+    // the store) and must converge on the never-faulted bytes.
+    const auto resumed = campaign::run_campaign(spec, path, jobs);
+    EXPECT_EQ(resumed.reused, 7u);
+    EXPECT_EQ(resumed.executed, 1u);
+    EXPECT_TRUE(resumed.compacted) << "backfilled gap forces a rewrite";
+    EXPECT_EQ(read_file(path), ref) << "jobs=" << jobs;
+  }
+}
+
+TEST(CampaignEngine, TransientFaultIsRetriedNotQuarantined) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string ref_path = fresh_file("ref.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, ref_path, 1).executed, 8u);
+  const std::string ref = read_file(ref_path);
+
+  const std::string path = fresh_file("store.jsonl");
+  campaign::RunOutcome out;
+  {
+    // A once-trigger fails the first execution attempt and is then
+    // spent, so the default policy's single retry succeeds. jobs=1
+    // keeps the hit order deterministic.
+    faults::ScopedFaults armed("point.execute:fail@1");
+    out = campaign::run_campaign(spec, path, 1);
+  }
+  EXPECT_EQ(out.retried, 1u);
+  EXPECT_EQ(out.quarantined, 0u);
+  EXPECT_TRUE(out.failures.empty());
+  EXPECT_FALSE(out.compacted) << "nothing quarantined: store is canonical";
+  EXPECT_FALSE(
+      std::filesystem::exists(campaign::failures_log_path(path)))
+      << "a clean run must not leave a .failures sidecar";
+  EXPECT_EQ(read_file(path), ref)
+      << "retries must not perturb the stored bytes";
+}
+
+TEST(CampaignEngine, StrictModeRethrowsAnnotatedWithPointIdentity) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("store.jsonl");
+  const RunPoint victim = campaign::expand(spec)[2];
+  campaign::FaultPolicy policy;
+  policy.strict = true;
+
+  faults::ScopedFaults armed("point.execute:fail@key=" + victim.key());
+  try {
+    campaign::run_campaign(spec, path, 1, {}, policy);
+    FAIL() << "strict mode must rethrow the first point error";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(victim.key()), std::string::npos) << what;
+    EXPECT_NE(what.find(victim.config), std::string::npos) << what;
+    EXPECT_NE(what.find("injected fault"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(
+      std::filesystem::exists(campaign::failures_log_path(path)))
+      << "strict mode never quarantines";
+}
+
+TEST(CampaignEngine, ZeroRetriesQuarantinesOnFirstFailure) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string path = fresh_file("store.jsonl");
+  campaign::FaultPolicy policy;
+  policy.max_attempts = 1;
+  campaign::RunOutcome out;
+  {
+    faults::ScopedFaults armed("point.execute:fail@1");
+    out = campaign::run_campaign(spec, path, 1, {}, policy);
+  }
+  EXPECT_EQ(out.quarantined, 1u);
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].attempts, 1u);
+}
+
+TEST(CampaignEngine, DurableModeWritesIdenticalBytes) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string ref_path = fresh_file("ref.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, ref_path, 2).executed, 8u);
+
+  const std::string path = fresh_file("store.jsonl");
+  campaign::FaultPolicy policy;
+  policy.durable = true;
+  const auto out = campaign::run_campaign(spec, path, 2, {}, policy);
+  EXPECT_EQ(out.executed, 8u);
+  EXPECT_EQ(read_file(path), read_file(ref_path))
+      << "fsync-per-line changes durability, never bytes";
+}
+
+TEST(CampaignEngine, WatchdogQuarantinesOverBudgetPointsAndResumeRecovers) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string ref_path = fresh_file("ref.jsonl");
+  ASSERT_EQ(campaign::run_campaign(spec, ref_path, 2).executed, 8u);
+
+  const std::string path = fresh_file("store.jsonl");
+  campaign::FaultPolicy policy;
+  // A budget no real point can meet: every point must be cancelled at
+  // the watchdog's first poll and quarantined as PointCancelled.
+  policy.point_host_seconds = 1e-9;
+  const auto out = campaign::run_campaign(spec, path, 2, {}, policy);
+  EXPECT_EQ(out.quarantined, 8u);
+  ASSERT_EQ(out.failures.size(), 8u);
+  for (const campaign::FailureRecord& f : out.failures) {
+    EXPECT_EQ(f.error_class, "PointCancelled");
+  }
+
+  // With the budget lifted, resume completes the grid and converges on
+  // the never-budgeted bytes (the budget is host-only, not identity).
+  const auto resumed = campaign::run_campaign(spec, path, 2);
+  EXPECT_EQ(resumed.executed, 8u);
+  EXPECT_EQ(read_file(path), read_file(ref_path));
+}
+
+TEST(CampaignEngine, CancelTokenStopsSimulationCooperatively) {
+  const RunPoint point = campaign::expand(tiny_spec()).front();
+  CancelToken token;
+  campaign::ExecControls controls;
+  controls.cancel = &token;
+  // Not cancelled: the point simulates normally.
+  EXPECT_EQ(campaign::simulate(point, controls).key, point.key());
+  // Pre-cancelled: the watchdog fires before any cycle is simulated.
+  token.cancel();
+  EXPECT_THROW((void)campaign::simulate(point, controls), PointCancelled);
+}
+
+TEST(CampaignEngine, FailureRecordRoundTripsThroughJsonl) {
+  campaign::FailureRecord r;
+  r.key = "0123456789abcdef";
+  r.config = "clgp-l0-pb16";
+  r.benchmark = "eon";
+  r.error_class = "FaultInjected";
+  r.message = "injected fault at point.execute";
+  r.attempts = 3;
+  const std::string line = campaign::encode_failure_line(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const campaign::FailureRecord d = campaign::decode_failure_line(line);
+  EXPECT_EQ(d.key, r.key);
+  EXPECT_EQ(d.config, r.config);
+  EXPECT_EQ(d.benchmark, r.benchmark);
+  EXPECT_EQ(d.error_class, r.error_class);
+  EXPECT_EQ(d.message, r.message);
+  EXPECT_EQ(d.attempts, r.attempts);
+
+  EXPECT_THROW((void)campaign::decode_failure_line("{\"key\":\"torn"),
+               json::JsonError);
+  EXPECT_THROW((void)campaign::decode_failure_line("{}"), json::JsonError);
 }
 
 TEST(CampaignReport, GridAggregatesAndReportAreDeterministic) {

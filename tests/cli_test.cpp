@@ -35,11 +35,13 @@ std::string test_file(const std::string& name) {
          info->name() + "." + name;
 }
 
-/// Runs `prestage <args>`, captures stdout+stderr, returns the exit code.
-int run_cli(const std::string& args, std::string* output) {
+/// Runs `<env> prestage <args>` (env may carry VAR=value assignments for
+/// the child only), captures stdout+stderr, returns the exit code.
+int run_cli_env(const std::string& env, const std::string& args,
+                std::string* output) {
   const std::string out_file = test_file("cli_out.txt");
-  const std::string command =
-      cli_path() + " " + args + " > " + out_file + " 2>&1";
+  const std::string command = (env.empty() ? "" : env + " ") + cli_path() +
+                              " " + args + " > " + out_file + " 2>&1";
   const int status = std::system(command.c_str());
   std::ifstream in(out_file);
   std::stringstream ss;
@@ -47,6 +49,11 @@ int run_cli(const std::string& args, std::string* output) {
   *output = ss.str();
   if (status == -1) return -1;
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Runs `prestage <args>`, captures stdout+stderr, returns the exit code.
+int run_cli(const std::string& args, std::string* output) {
+  return run_cli_env("", args, output);
 }
 
 std::string read_file(const std::string& path) {
@@ -684,6 +691,171 @@ TEST(CliCampaign, ErrorPathsFailLoudly) {
   // Bad --jobs value.
   EXPECT_EQ(run_cli("campaign run --name smoke --jobs many", &output), 2);
   EXPECT_NE(output.find("--jobs"), std::string::npos) << output;
+
+  // Bad fault-tolerance flag values.
+  EXPECT_EQ(run_cli("campaign run --name smoke --retries 99", &output), 2);
+  EXPECT_NE(output.find("--retries"), std::string::npos) << output;
+  EXPECT_EQ(run_cli("campaign run --name smoke --point-budget -1",
+                    &output),
+            2);
+  EXPECT_NE(output.find("--point-budget"), std::string::npos) << output;
+}
+
+TEST(CliFaults, ListEmitsEverySiteAndTheArmedSpec) {
+  std::string output;
+  int rc = run_cli("faults list --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue doc = parse_json(output);
+  EXPECT_EQ(doc.at("schema").string, "prestage-faults-v1");
+  EXPECT_EQ(doc.at("armed_count").number, 0.0);
+  EXPECT_TRUE(doc.at("armed").array.empty());
+  ASSERT_EQ(doc.at("sites").array.size(), 6u);
+  bool saw_store_append = false;
+  for (const JsonValue& site : doc.at("sites").array) {
+    if (site.at("name").string == "store.append") {
+      saw_store_append = true;
+      EXPECT_TRUE(site.at("torn_supported").boolean);
+    }
+    if (site.at("name").string == "point.execute") {
+      EXPECT_FALSE(site.at("torn_supported").boolean);
+    }
+  }
+  EXPECT_TRUE(saw_store_append);
+
+  rc = run_cli_env("PRESTAGE_FAULTS=point.execute:fail@key=beef",
+                   "faults list --json -", &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue armed = parse_json(output);
+  EXPECT_EQ(armed.at("armed_count").number, 1.0);
+  ASSERT_EQ(armed.at("armed").array.size(), 1u);
+  EXPECT_EQ(armed.at("armed").array[0].string,
+            "point.execute:fail@key=beef");
+}
+
+TEST(CliFaults, MalformedSpecIsAUsageError) {
+  std::string output;
+  // The spec is validated before any subcommand runs — even `list`,
+  // which would not hit a single fault site.
+  EXPECT_EQ(run_cli_env("PRESTAGE_FAULTS=bogus.site:fail", "list", &output),
+            2);
+  EXPECT_NE(output.find("bad PRESTAGE_FAULTS"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("store.append"), std::string::npos)
+      << "error should list the valid sites: " << output;
+  EXPECT_EQ(run_cli_env("PRESTAGE_FAULTS=store.append:fail@every=x",
+                        "faults list", &output),
+            2);
+  EXPECT_EQ(
+      run_cli_env("PRESTAGE_FAULTS=point.execute:torn", "list", &output),
+      2);
+  EXPECT_NE(output.find("append site"), std::string::npos) << output;
+}
+
+TEST(CliFaults, SeededFaultQuarantinesThenRecoversByteIdentical) {
+  const std::string store = test_file("quarantine.jsonl");
+  std::remove(store.c_str());
+  std::remove((store + ".perf").c_str());
+  std::remove((store + ".failures").c_str());
+  const std::string ref_store = test_file("quarantine-ref.jsonl");
+  std::remove(ref_store.c_str());
+  const std::string common = "--name smoke --instrs 700 ";
+  std::string output;
+
+  // Reference bytes: the same grid never faulted.
+  ASSERT_EQ(run_cli("campaign run " + common + "--store " + ref_store +
+                        " -j 2",
+                    &output),
+            0)
+      << output;
+  // Victim: an interior grid point's key, read from the reference store.
+  std::istringstream lines(read_file(ref_store));
+  std::string line;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(std::getline(lines, line));
+  const std::string victim = parse_json(line).at("key").string;
+
+  int rc = run_cli_env("PRESTAGE_FAULTS=point.execute:fail@key=" + victim,
+                       "campaign run " + common + "--store " + store +
+                           " -j 2 --json -",
+                       &output);
+  EXPECT_EQ(rc, 4) << "quarantine has its own exit code: " << output;
+  const JsonValue run = parse_json(output);
+  EXPECT_EQ(run.at("quarantined").number, 1.0);
+  ASSERT_EQ(run.at("failures").array.size(), 1u);
+  const JsonValue& failure = run.at("failures").array[0];
+  EXPECT_EQ(failure.at("key").string, victim);
+  EXPECT_EQ(failure.at("error_class").string, "FaultInjected");
+  EXPECT_EQ(failure.at("attempts").number, 2.0);
+
+  rc = run_cli("campaign status " + common + "--store " + store +
+                   " --json -",
+               &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue before = parse_json(output);
+  EXPECT_EQ(before.at("quarantined").number, 1.0);
+  EXPECT_EQ(before.at("recovered").number, 0.0);
+  EXPECT_EQ(before.at("missing").number, 1.0);
+
+  // Disarmed resume re-runs the quarantined point and converges on the
+  // never-faulted bytes; the failure record flips to "recovered".
+  rc = run_cli("campaign resume " + common + "--store " + store + " -j 2",
+               &output);
+  ASSERT_EQ(rc, 0) << output;
+  EXPECT_EQ(read_file(store), read_file(ref_store));
+
+  rc = run_cli("campaign status " + common + "--store " + store +
+                   " --json -",
+               &output);
+  ASSERT_EQ(rc, 0) << output;
+  const JsonValue after = parse_json(output);
+  EXPECT_EQ(after.at("quarantined").number, 0.0);
+  EXPECT_EQ(after.at("recovered").number, 1.0);
+  EXPECT_TRUE(after.at("complete").boolean);
+}
+
+TEST(CliFaults, StrictModeFailsFastWithPointIdentity) {
+  const std::string store = test_file("strict.jsonl");
+  std::remove(store.c_str());
+  std::string output;
+  const int rc = run_cli_env(
+      "PRESTAGE_FAULTS=point.execute:fail@1",
+      "campaign run --name smoke --instrs 700 --store " + store +
+          " -j 1 --strict",
+      &output);
+  EXPECT_EQ(rc, 1) << output;
+  EXPECT_NE(output.find("run point"), std::string::npos)
+      << "strict error must name the point: " << output;
+  EXPECT_NE(output.find("injected fault"), std::string::npos) << output;
+}
+
+TEST(CliFaults, SampleRunFallsBackOnCorruptCheckpoint) {
+  const std::string plan = test_file("corrupt.psck");
+  { std::ofstream out(plan, std::ios::trunc); out << "not a checkpoint"; }
+  std::string output;
+  const int rc = run_cli("sample run --bench eon --instrs 3000 --plan " +
+                             plan + " --json -",
+                         &output);
+  ASSERT_EQ(rc, 0) << "a corrupt checkpoint degrades, never aborts: "
+                   << output;
+  // stderr carries the warning; stdout stays a parseable document.
+  const std::size_t json_start = output.find('{');
+  ASSERT_NE(json_start, std::string::npos) << output;
+  EXPECT_NE(output.find("falling back to a fresh plan"), std::string::npos)
+      << output;
+  const JsonValue doc = parse_json(output.substr(json_start));
+  EXPECT_TRUE(doc.at("checkpoint_fallback").boolean);
+  EXPECT_GE(doc.at("result").at("cold_starts").number, 1.0);
+
+  // A checkpoint for the wrong workload stays a hard usage error.
+  const std::string other = test_file("other.psck");
+  ASSERT_EQ(run_cli("sample plan --bench gzip --instrs 3000 --out " + other,
+                    &output),
+            0)
+      << output;
+  EXPECT_EQ(run_cli("sample run --bench eon --instrs 3000 --plan " + other,
+                    &output),
+            2);
+  EXPECT_NE(output.find("was built for workload"), std::string::npos)
+      << output;
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Fault-injection layer: spec grammar acceptance and rejection, trigger
+// semantics (once-at-Nth hit, every=N, key= substring), the disarmed
+// no-op contract, and describe_armed's spec round-trip.
+//
+// The kill and torn actions terminate the process by design, so their
+// end-to-end behaviour lives in scripts/chaos.sh (kill → resume → cmp);
+// here they are exercised only up to parsing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/faultpoint.hpp"
+
+namespace {
+
+using namespace prestage;
+
+/// disarm() between tests: the armed spec and hit counters are process
+/// globals, and gtest runs cases in one process.
+class FaultSpec : public testing::Test {
+ protected:
+  void TearDown() override { faults::disarm(); }
+};
+using FaultTrigger = FaultSpec;
+
+TEST_F(FaultSpec, AcceptsEveryDocumentedForm) {
+  for (const char* spec : {
+           "store.append:fail",
+           "store.append:throw",
+           "perf.append:kill",
+           "point.execute:fail@3",
+           "psck.read:throw@every=2",
+           "psck.write:kill@1",
+           "trace.read:fail@key=eon.pstr",
+           "store.append:torn@2",
+           "perf.append:torn",
+           "store.append:fail@1,point.execute:throw@key=abc",
+       }) {
+    EXPECT_EQ(faults::arm(spec), "") << spec;
+    EXPECT_TRUE(faults::armed()) << spec;
+  }
+}
+
+TEST_F(FaultSpec, RejectsMalformedSpecsWithoutArming) {
+  for (const char* spec : {
+           "",                            // empty clause
+           ",",                           // two empty clauses
+           "store.append",                // no action
+           ":fail",                       // no site
+           "bogus.site:fail",             // unknown site
+           "store.append:explode",        // unknown action
+           "store.append:fail@",          // empty trigger
+           "store.append:fail@0",         // hit numbers are 1-based
+           "store.append:fail@every=0",   // period must be >= 1
+           "store.append:fail@key=",      // empty substring
+           "store.append:fail@nth=3",     // unknown trigger form
+           "point.execute:torn",          // torn needs an append site
+           "psck.read:torn@1",            // ditto
+           "store.append:fail,,psck.read:fail",  // interior empty clause
+       }) {
+    EXPECT_NE(faults::arm(spec), "") << spec;
+    EXPECT_FALSE(faults::armed())
+        << "a rejected spec must arm nothing: " << spec;
+  }
+}
+
+TEST_F(FaultSpec, RejectedSpecLeavesPreviousArmingUntouched) {
+  ASSERT_EQ(faults::arm("store.append:fail@7"), "");
+  EXPECT_NE(faults::arm("bogus.site:fail"), "");
+  // arm() parses the whole spec before replacing anything, so the old
+  // arming survives a failed re-arm.
+  ASSERT_TRUE(faults::armed());
+  const auto armed = faults::describe_armed();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0], "store.append:fail@7");
+}
+
+TEST_F(FaultSpec, DescribeArmedRendersTheSpecGrammar) {
+  ASSERT_EQ(faults::arm("store.append:torn@2,psck.read:kill@every=5,"
+                        "point.execute:throw@key=deadbeef"),
+            "");
+  const std::vector<std::string> armed = faults::describe_armed();
+  ASSERT_EQ(armed.size(), 3u);
+  EXPECT_EQ(armed[0], "store.append:torn@2");
+  EXPECT_EQ(armed[1], "psck.read:kill@every=5");
+  // throw and fail are synonyms; fail is the canonical rendering.
+  EXPECT_EQ(armed[2], "point.execute:fail@key=deadbeef");
+
+  faults::disarm();
+  EXPECT_TRUE(faults::describe_armed().empty());
+}
+
+TEST_F(FaultSpec, SiteTableMatchesTheEnum) {
+  const auto& table = faults::site_table();
+  for (int i = 0; i < faults::kNumSites; ++i) {
+    EXPECT_EQ(static_cast<int>(table[i].site), i);
+    EXPECT_STREQ(faults::to_string(table[i].site), table[i].name);
+  }
+}
+
+TEST_F(FaultTrigger, DisarmedChecksAreNoOps) {
+  faults::disarm();
+  EXPECT_FALSE(faults::armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(faults::check(faults::Site::StoreAppend, "anything"),
+              faults::Action::None);
+  }
+}
+
+TEST_F(FaultTrigger, OnceAtNthHitFiresExactlyOnce) {
+  ASSERT_EQ(faults::arm("point.execute:fail@3"), "");
+  EXPECT_EQ(faults::check(faults::Site::PointExecute), faults::Action::None);
+  EXPECT_EQ(faults::check(faults::Site::PointExecute), faults::Action::None);
+  EXPECT_THROW(faults::check(faults::Site::PointExecute),
+               faults::FaultInjected);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(faults::check(faults::Site::PointExecute),
+              faults::Action::None)
+        << "a once-trigger must not re-fire";
+  }
+}
+
+TEST_F(FaultTrigger, EveryNthFiresPeriodically) {
+  ASSERT_EQ(faults::arm("psck.read:fail@every=3"), "");
+  int fired = 0;
+  for (int i = 1; i <= 9; ++i) {
+    try {
+      (void)faults::check(faults::Site::PsckRead);
+    } catch (const faults::FaultInjected&) {
+      ++fired;
+      EXPECT_EQ(i % 3, 0) << "fires on hits 3, 6, 9";
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultTrigger, KeyMatchFiresOnSubstringRegardlessOfHitOrder) {
+  ASSERT_EQ(faults::arm("point.execute:fail@key=beef"), "");
+  EXPECT_EQ(faults::check(faults::Site::PointExecute, "0123abcd"),
+            faults::Action::None);
+  EXPECT_THROW(faults::check(faults::Site::PointExecute, "00beef99"),
+               faults::FaultInjected);
+  // Still armed: key= triggers fire on every matching hit (that is what
+  // defeats the retry loop and forces a quarantine).
+  EXPECT_THROW(faults::check(faults::Site::PointExecute, "beef"),
+               faults::FaultInjected);
+  EXPECT_EQ(faults::check(faults::Site::PointExecute, "0123abcd"),
+            faults::Action::None);
+}
+
+TEST_F(FaultTrigger, SitesCountHitsIndependently) {
+  ASSERT_EQ(faults::arm("psck.write:fail@2"), "");
+  // Hits on other sites must not advance psck.write's counter.
+  EXPECT_EQ(faults::check(faults::Site::PsckRead), faults::Action::None);
+  EXPECT_EQ(faults::check(faults::Site::TraceRead), faults::Action::None);
+  EXPECT_EQ(faults::check(faults::Site::PsckWrite), faults::Action::None);
+  EXPECT_THROW(faults::check(faults::Site::PsckWrite),
+               faults::FaultInjected);
+}
+
+TEST_F(FaultTrigger, RearmingResetsHitCounters) {
+  ASSERT_EQ(faults::arm("trace.read:fail@2"), "");
+  EXPECT_EQ(faults::check(faults::Site::TraceRead), faults::Action::None);
+  ASSERT_EQ(faults::arm("trace.read:fail@2"), "");
+  EXPECT_EQ(faults::check(faults::Site::TraceRead), faults::Action::None)
+      << "arm() resets counters: this is hit 1 again";
+  EXPECT_THROW(faults::check(faults::Site::TraceRead),
+               faults::FaultInjected);
+}
+
+TEST_F(FaultTrigger, TornIsReturnedToTheCallerNotThrown) {
+  ASSERT_EQ(faults::arm("store.append:torn@1"), "");
+  // The appender owns the stream being torn, so check() hands the torn
+  // action back instead of acting on it.
+  EXPECT_EQ(faults::check(faults::Site::StoreAppend, "line"),
+            faults::Action::Torn);
+  EXPECT_EQ(faults::check(faults::Site::StoreAppend, "line"),
+            faults::Action::None);
+}
+
+TEST_F(FaultTrigger, ScopedFaultsDisarmsOnExit) {
+  {
+    faults::ScopedFaults armed("point.execute:fail@key=zzz");
+    EXPECT_TRUE(faults::armed());
+  }
+  EXPECT_FALSE(faults::armed());
+}
+
+TEST_F(FaultTrigger, InjectedFaultIsASimError) {
+  ASSERT_EQ(faults::arm("point.execute:fail@1"), "");
+  // FaultInjected derives SimError so every existing catch site treats
+  // an injected failure exactly like the real one it stands in for.
+  try {
+    (void)faults::check(faults::Site::PointExecute);
+    FAIL() << "armed fault must fire";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "injected fault at point.execute");
+  }
+}
+
+}  // namespace
